@@ -1,0 +1,66 @@
+// Command tescbench regenerates the tables and figures of the paper's
+// evaluation section (§5) on the surrogate datasets.
+//
+// Usage:
+//
+//	tescbench -exp fig5            # one experiment
+//	tescbench -exp all             # everything (minutes at default scale)
+//	tescbench -exp table1 -dblp-scale 1.0 -pairs 100   # paper-sized
+//
+// Output is aligned text: one block per figure/table, directly
+// comparable with the published plots (see EXPERIMENTS.md for the
+// committed outputs and the paper-vs-measured discussion).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tesc/internal/bench"
+)
+
+func main() {
+	def := bench.DefaultConfig()
+	var (
+		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(bench.IDs(), " | ")+" | all)")
+		dblpScale  = flag.Float64("dblp-scale", def.DBLPScale, "DBLP surrogate scale (1.0 = ~100k nodes; paper ≈ 9.6)")
+		intrNodes  = flag.Int("intrusion-nodes", def.IntrusionNodes, "Intrusion surrogate node count (paper: 200858)")
+		twScaleExp = flag.Int("twitter-scale-exp", def.TwitterScaleExp, "Twitter surrogate R-MAT exponent (paper ≈ 24)")
+		pairs      = flag.Int("pairs", def.Pairs, "event pairs per recall point (paper: 100)")
+		sample     = flag.Int("n", def.SampleSize, "reference sample size (paper: 900)")
+		reps       = flag.Int("reps", def.Reps, "repetitions for timing points (paper: 50)")
+		seed       = flag.Uint64("seed", def.Seed, "random seed")
+		workers    = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		DBLPScale:       *dblpScale,
+		IntrusionNodes:  *intrNodes,
+		TwitterScaleExp: *twScaleExp,
+		Pairs:           *pairs,
+		SampleSize:      *sample,
+		Reps:            *reps,
+		Seed:            *seed,
+		Workers:         *workers,
+	}
+
+	if *exp == "all" {
+		if err := bench.RunAll(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runner, ok := bench.Registry[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tescbench: unknown experiment %q (have: %s)\n", *exp, strings.Join(bench.IDs(), ", "))
+		os.Exit(2)
+	}
+	if err := runner(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tescbench:", err)
+		os.Exit(1)
+	}
+}

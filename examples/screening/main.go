@@ -1,0 +1,96 @@
+// Screening: sweep an attributed graph's whole event vocabulary for
+// structural correlations — the workflow behind the paper's §5.4 case
+// studies, where the reported keyword/alert pairs are the top findings
+// of exactly such a sweep.
+//
+// A co-authorship-style graph carries twelve "keyword" events: two
+// genuinely co-located pairs (one strong, one weaker), one separated
+// pair, and six independent noise keywords. The screen must surface the
+// planted pairs at the top with FDR-corrected significance and leave the
+// noise pairs unrejected.
+//
+// Run with:
+//
+//	go run ./examples/screening
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"tesc"
+)
+
+func main() {
+	g := tesc.RandomCoauthorshipGraph(0.15, 21) // ~15k authors
+	st := g.Stats()
+	fmt.Printf("co-authorship graph: %d authors, %d edges (avg degree %.1f)\n",
+		st.Nodes, st.Edges, st.AvgDegree)
+
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := g.NumNodes()
+	ev := tesc.EventSet{}
+
+	// two attracting keyword pairs, planted the way related keywords
+	// actually co-occur in DBLP: the same author uses both (sameFrac),
+	// a co-author picks up the related keyword (coFrac), or the second
+	// keyword appears somewhere unrelated (the remainder).
+	plantPair := func(nameA, nameB string, count int, sameFrac, coFrac float64) {
+		var a, b []int
+		for len(a) < count {
+			u := rng.IntN(n)
+			if g.Degree(u) == 0 {
+				continue
+			}
+			a = append(a, u)
+			r := rng.Float64()
+			switch {
+			case r < sameFrac:
+				b = append(b, u)
+			case r < sameFrac+coFrac:
+				ns := g.Neighbors(u)
+				b = append(b, ns[rng.IntN(len(ns))])
+			default:
+				b = append(b, rng.IntN(n))
+			}
+		}
+		ev[nameA], ev[nameB] = a, b
+	}
+	plantPair("wireless", "sensor", 160, 0.5, 0.45) // strong
+	plantPair("semantic", "rdf", 110, 0.4, 0.4)     // weaker
+
+	// noise keywords: uniform occurrences
+	for _, name := range []string{"java", "gpu", "sql", "camera", "texture", "ontology"} {
+		var occ []int
+		for i := 0; i < 120; i++ {
+			occ = append(occ, rng.IntN(n))
+		}
+		ev[name] = occ
+	}
+
+	res, err := tesc.Screen(g, ev, tesc.ScreenOptions{
+		H:              1,
+		SampleSize:     600,
+		Tail:           tesc.PositiveTail,
+		MinOccurrences: 20,
+		Seed:           9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nscreened %d pairs, %d significant after FDR correction:\n\n", res.Tested, res.Rejected)
+	fmt.Printf("%-12s %-12s %8s %8s %10s  %s\n", "event a", "event b", "tau", "z", "adj-p", "")
+	for i, p := range res.Pairs {
+		if i >= 8 || p.Skipped != "" {
+			break
+		}
+		mark := ""
+		if p.Significant {
+			mark = "*"
+		}
+		fmt.Printf("%-12s %-12s %+8.3f %+8.2f %10.2g  %s\n", p.A, p.B, p.Tau, p.Z, p.AdjP, mark)
+	}
+	fmt.Println("\n(planted pairs lead; noise-pair rejections are controlled by FDR)")
+}

@@ -1,0 +1,267 @@
+// Package baseline implements the three comparators the paper evaluates
+// TESC against:
+//
+//   - Transaction Correlation (TC): nodes are isolated transactions and
+//     the two events binary items; association is Kendall's τ_b on the
+//     2×2 contingency table ([1], used in Tables 1–4). TESC's headline
+//     examples are pairs whose TC and TESC disagree.
+//   - Hitting-time proximity (from the authors' earlier SIGMOD'11 work
+//     [11]): the "more sophisticated proximity measure" §2 rejects on
+//     cost grounds. A truncated / decayed hitting-time Monte-Carlo
+//     estimator reproduces its cost profile for the Figure 10(a)
+//     comparison (170ms vs 5.2ms per node).
+//   - Proximity pattern mining (pFP, [16]): a support-thresholded
+//     neighborhood co-occurrence miner. Table 5 shows TESC detects rare
+//     positively-correlated pairs that any frequency-based miner misses;
+//     this simplified miner (exact neighborhood aggregation instead of
+//     pFP's probabilistic flooding) preserves exactly that property.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"tesc/internal/graph"
+	"tesc/internal/stats"
+)
+
+// TransactionCorrelation computes the TC baseline between two occurrence
+// sets over a common node universe: Kendall τ_b over the binary
+// "has a" / "has b" node indicators, reported with the same z-score
+// machinery as TESC so the Tables 1–4 columns are directly comparable.
+func TransactionCorrelation(va, vb *graph.NodeSet) (stats.TauBResult, error) {
+	if va.Universe() != vb.Universe() {
+		return stats.TauBResult{}, fmt.Errorf("baseline: universe mismatch %d vs %d", va.Universe(), vb.Universe())
+	}
+	var n11, n10 int64
+	for _, v := range va.Members() {
+		if vb.Contains(v) {
+			n11++
+		} else {
+			n10++
+		}
+	}
+	n01 := int64(vb.Len()) - n11
+	n00 := int64(va.Universe()) - n11 - n10 - n01
+	return stats.BinaryTauB(n11, n10, n01, n00), nil
+}
+
+// HittingTimeEstimator estimates truncated and decayed hitting times from
+// a node to a target set by Monte-Carlo random walks. It reproduces the
+// cost shape of the hitting-time proximity of [11] that Figure 10(a)
+// compares BFS against.
+type HittingTimeEstimator struct {
+	// MaxSteps truncates each walk (the T of truncated hitting time).
+	MaxSteps int
+	// NumWalks is the Monte-Carlo sample size per query.
+	NumWalks int
+	// Decay is the per-step decay c ∈ (0,1] of the decayed variant
+	// DHT(r,S) = E[c^T_S]; 1 gives plain truncated hitting time weight.
+	Decay float64
+}
+
+// DefaultHittingTime mirrors common settings of [11]: 10-step truncation,
+// 1000 walks, decay 0.8.
+func DefaultHittingTime() HittingTimeEstimator {
+	return HittingTimeEstimator{MaxSteps: 10, NumWalks: 1000, Decay: 0.8}
+}
+
+// Truncated returns the estimated expected number of steps for a random
+// walk from start to first reach target, truncated at MaxSteps (walks
+// that never arrive contribute MaxSteps).
+func (e HittingTimeEstimator) Truncated(g *graph.Graph, start graph.NodeID, target *graph.NodeSet, rng *rand.Rand) float64 {
+	total := 0
+	for w := 0; w < e.NumWalks; w++ {
+		steps, _ := e.walk(g, start, target, rng)
+		total += steps
+	}
+	return float64(total) / float64(e.NumWalks)
+}
+
+// Decayed returns the estimated decayed hitting proximity E[c^T], where T
+// is the hitting time; walks that never arrive within MaxSteps contribute
+// 0. Higher values mean the target set is closer.
+func (e HittingTimeEstimator) Decayed(g *graph.Graph, start graph.NodeID, target *graph.NodeSet, rng *rand.Rand) float64 {
+	var total float64
+	for w := 0; w < e.NumWalks; w++ {
+		if steps, hit := e.walk(g, start, target, rng); hit {
+			total += pow(e.Decay, steps)
+		}
+	}
+	return total / float64(e.NumWalks)
+}
+
+// IterativeTruncated computes the exact truncated hitting time from
+// EVERY node to the target set by T rounds of dynamic programming:
+//
+//	h_0(v) = 0 for all v;  h_k(v) = 0 if v ∈ S, else 1 + mean_u h_{k-1}(u)
+//
+// and returns the vector h_T. This is how the authors' earlier
+// hitting-time measure [11] evaluates proximity — a per-query cost of
+// O(T·(|V|+|E|)) that Figure 10(a) contrasts with the ~O(|V^h|) of one
+// h-hop BFS (the paper quotes 170ms/query at 10M nodes vs 5.2ms at 20M).
+func (e HittingTimeEstimator) IterativeTruncated(g *graph.Graph, target *graph.NodeSet) []float64 {
+	n := g.NumNodes()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for k := 1; k <= e.MaxSteps; k++ {
+		for v := 0; v < n; v++ {
+			if target.Contains(graph.NodeID(v)) {
+				next[v] = 0
+				continue
+			}
+			ns := g.Neighbors(graph.NodeID(v))
+			if len(ns) == 0 {
+				next[v] = float64(e.MaxSteps)
+				continue
+			}
+			var sum float64
+			for _, u := range ns {
+				sum += cur[u]
+			}
+			next[v] = 1 + sum/float64(len(ns))
+			if next[v] > float64(e.MaxSteps) {
+				next[v] = float64(e.MaxSteps)
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// walk runs one random walk and returns the hitting step count (truncated
+// at MaxSteps) and whether the target was actually reached. A start node
+// already in the target hits at 0.
+func (e HittingTimeEstimator) walk(g *graph.Graph, start graph.NodeID, target *graph.NodeSet, rng *rand.Rand) (int, bool) {
+	if target.Contains(start) {
+		return 0, true
+	}
+	cur := start
+	for step := 1; step <= e.MaxSteps; step++ {
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			return e.MaxSteps, false // stuck; never hits
+		}
+		cur = ns[rng.IntN(len(ns))]
+		if target.Contains(cur) {
+			return step, true
+		}
+	}
+	return e.MaxSteps, false
+}
+
+func pow(c float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= c
+	}
+	return out
+}
+
+// PairSupport is a mined event pair with its neighborhood co-occurrence
+// support.
+type PairSupport struct {
+	A, B    string
+	Support float64 // aggregated co-occurrence support (see ProximityMiner)
+}
+
+// ProximityMiner is the simplified pFP stand-in: for every node it
+// aggregates the events occurring in its h-vicinity and scores, for
+// every event pair, the aggregated co-occurrence support. Pairs with
+// support ≥ MinSup·|V| are "proximity patterns".
+//
+// With Alpha == 0 support is the exact count of nodes whose h-vicinity
+// contains both events. With Alpha > 0 it is pFP's decay-weighted
+// aggregation ([16] uses α = 1): an occurrence at hop distance d
+// contributes e^(−α·d) to its neighborhood, and a node supports the pair
+// by the smaller of the two events' aggregated weights.
+type ProximityMiner struct {
+	// H is the aggregation radius (1 matches the paper's pFP runs).
+	H int
+	// MinSup is the relative support threshold (the paper uses 10/|V|).
+	MinSup float64
+	// Alpha is the distance-decay exponent (0 = exact counting).
+	Alpha float64
+}
+
+// Mine returns all event pairs meeting the support threshold, sorted by
+// descending support. occurrences maps event name → occurrence nodes.
+func (m ProximityMiner) Mine(g *graph.Graph, occurrences map[string][]graph.NodeID) []PairSupport {
+	counts := m.PairSupports(g, occurrences)
+	threshold := m.MinSup * float64(g.NumNodes())
+	if threshold < 1 {
+		threshold = 1
+	}
+	var out []PairSupport
+	for pair, c := range counts {
+		if c >= threshold {
+			out = append(out, PairSupport{A: pair[0], B: pair[1], Support: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// PairSupports returns the aggregated co-occurrence support of every
+// event pair (keys are ordered name pairs, A < B).
+func (m ProximityMiner) PairSupports(g *graph.Graph, occurrences map[string][]graph.NodeID) map[[2]string]float64 {
+	names := make([]string, 0, len(occurrences))
+	for name := range occurrences {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 64 {
+		panic("baseline: ProximityMiner supports at most 64 events per call")
+	}
+	n := g.NumNodes()
+
+	// weights[e][v] = aggregated presence of event e at node v: 1 for
+	// exact mode, max over occurrences of e^(−α·d) for decay mode.
+	// Flooding is a multi-source BFS per event; with BFS level order the
+	// first (closest) visit already carries the maximal weight.
+	weights := make([][]float32, len(names))
+	bfs := graph.NewBFS(g)
+	for e, name := range names {
+		w := make([]float32, n)
+		bfs.Run(occurrences[name], m.H, func(v graph.NodeID, d int) {
+			if m.Alpha > 0 {
+				w[v] = float32(math.Exp(-m.Alpha * float64(d)))
+			} else {
+				w[v] = 1
+			}
+		})
+		weights[e] = w
+	}
+
+	counts := make(map[[2]string]float64)
+	for v := 0; v < n; v++ {
+		for i := 0; i < len(names); i++ {
+			wi := weights[i][v]
+			if wi == 0 {
+				continue
+			}
+			for j := i + 1; j < len(names); j++ {
+				wj := weights[j][v]
+				if wj == 0 {
+					continue
+				}
+				mn := wi
+				if wj < mn {
+					mn = wj
+				}
+				counts[[2]string{names[i], names[j]}] += float64(mn)
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,257 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"tesc/internal/graph"
+	"tesc/internal/stats"
+)
+
+func TestTransactionCorrelation(t *testing.T) {
+	// 10 nodes; a = {0..4}, b = {0..4}: perfect positive TC
+	va := graph.NewNodeSet(10, []graph.NodeID{0, 1, 2, 3, 4})
+	r, err := TransactionCorrelation(va, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.TauB, 1, 1e-12) {
+		t.Errorf("identical events τ_b = %g, want 1", r.TauB)
+	}
+	// disjoint covering events: perfect negative
+	vb := graph.NewNodeSet(10, []graph.NodeID{5, 6, 7, 8, 9})
+	r2, _ := TransactionCorrelation(va, vb)
+	if !almostEqual(r2.TauB, -1, 1e-12) {
+		t.Errorf("disjoint covering events τ_b = %g, want -1", r2.TauB)
+	}
+	// universe mismatch
+	bad := graph.NewNodeSet(11, []graph.NodeID{0})
+	if _, err := TransactionCorrelation(va, bad); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+}
+
+func TestTransactionCorrelationAgainstDirectTauB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(121, 1))
+	const n = 500
+	var ma, mb []graph.NodeID
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if rng.Float64() < 0.2 {
+			ma = append(ma, graph.NodeID(v))
+			x[v] = 1
+		}
+		if rng.Float64() < 0.3 {
+			mb = append(mb, graph.NodeID(v))
+			y[v] = 1
+		}
+	}
+	r, err := TransactionCorrelation(graph.NewNodeSet(n, ma), graph.NewNodeSet(n, mb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := stats.TauB(x, y)
+	if !almostEqual(r.TauB, direct.TauB, 1e-9) || !almostEqual(r.Z, direct.Z, 1e-9) {
+		t.Errorf("TC %+v != direct τ_b %+v", r, direct)
+	}
+}
+
+func TestHittingTimeOnPath(t *testing.T) {
+	// path 0-1-2; target {2}; from 2: hit at 0. From 1: first step hits
+	// with prob 1/2, expected truncated time small.
+	g := graph.Path(3)
+	target := graph.NewNodeSet(3, []graph.NodeID{2})
+	e := HittingTimeEstimator{MaxSteps: 20, NumWalks: 4000, Decay: 0.5}
+	rng := rand.New(rand.NewPCG(122, 1))
+
+	if ht := e.Truncated(g, 2, target, rng); ht != 0 {
+		t.Errorf("hitting time from target = %g, want 0", ht)
+	}
+	if d := e.Decayed(g, 2, target, rng); d != 1 {
+		t.Errorf("decayed proximity from target = %g, want 1", d)
+	}
+	htFrom1 := e.Truncated(g, 1, target, rng)
+	htFrom0 := e.Truncated(g, 0, target, rng)
+	if htFrom1 >= htFrom0 {
+		t.Errorf("hitting time should grow with distance: from1=%g from0=%g", htFrom1, htFrom0)
+	}
+	dFrom1 := e.Decayed(g, 1, target, rng)
+	dFrom0 := e.Decayed(g, 0, target, rng)
+	if dFrom1 <= dFrom0 {
+		t.Errorf("decayed proximity should shrink with distance: from1=%g from0=%g", dFrom1, dFrom0)
+	}
+}
+
+func TestHittingTimeUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]graph.NodeID{{0, 1}, {2, 3}})
+	target := graph.NewNodeSet(4, []graph.NodeID{3})
+	e := HittingTimeEstimator{MaxSteps: 15, NumWalks: 200, Decay: 0.5}
+	rng := rand.New(rand.NewPCG(123, 1))
+	if ht := e.Truncated(g, 0, target, rng); ht != 15 {
+		t.Errorf("unreachable target hitting time = %g, want MaxSteps", ht)
+	}
+	if d := e.Decayed(g, 0, target, rng); d != 0 {
+		t.Errorf("unreachable decayed proximity = %g, want 0", d)
+	}
+	// isolated start node
+	g2 := graph.MustFromEdges(2, nil)
+	t2 := graph.NewNodeSet(2, []graph.NodeID{1})
+	if ht := e.Truncated(g2, 0, t2, rng); ht != 15 {
+		t.Errorf("stuck walk hitting time = %g", ht)
+	}
+}
+
+func TestHittingTimeExactExpectation(t *testing.T) {
+	// Two-node path, target {1}: hit at exactly 1 step from node 0.
+	g := graph.Path(2)
+	target := graph.NewNodeSet(2, []graph.NodeID{1})
+	e := HittingTimeEstimator{MaxSteps: 5, NumWalks: 500, Decay: 0.8}
+	rng := rand.New(rand.NewPCG(124, 1))
+	if ht := e.Truncated(g, 0, target, rng); ht != 1 {
+		t.Errorf("deterministic 1-step hit = %g", ht)
+	}
+	if d := e.Decayed(g, 0, target, rng); !almostEqual(d, 0.8, 1e-12) {
+		t.Errorf("decayed = %g, want 0.8", d)
+	}
+}
+
+func TestIterativeTruncated(t *testing.T) {
+	// path 0-1-2 with target {2}: h(2)=0; by symmetry of the chain,
+	// h_T(1) = 1 + h_{T-1}(0)/2, h_T(0) = 1 + h_{T-1}(1).
+	g := graph.Path(3)
+	target := graph.NewNodeSet(3, []graph.NodeID{2})
+	e := HittingTimeEstimator{MaxSteps: 50}
+	h := e.IterativeTruncated(g, target)
+	if h[2] != 0 {
+		t.Errorf("h(target) = %g, want 0", h[2])
+	}
+	// exact expected hitting times on this chain: h(1)=3, h(0)=4
+	if !almostEqual(h[1], 3, 1e-6) || !almostEqual(h[0], 4, 1e-6) {
+		t.Errorf("h = %v, want [4 3 0]", h)
+	}
+	// truncation caps values
+	e2 := HittingTimeEstimator{MaxSteps: 1}
+	h2 := e2.IterativeTruncated(g, target)
+	if h2[0] != 1 || h2[1] != 1 {
+		t.Errorf("T=1 values = %v, want capped at 1", h2)
+	}
+	// disconnected nodes stay at MaxSteps
+	g3 := graph.MustFromEdges(3, [][2]graph.NodeID{{1, 2}})
+	h3 := HittingTimeEstimator{MaxSteps: 9}.IterativeTruncated(g3, graph.NewNodeSet(3, []graph.NodeID{2}))
+	if h3[0] != 9 {
+		t.Errorf("isolated node h = %g, want MaxSteps", h3[0])
+	}
+	// iterative and Monte-Carlo estimates agree
+	e4 := HittingTimeEstimator{MaxSteps: 20, NumWalks: 20000}
+	rng := rand.New(rand.NewPCG(99, 1))
+	mc := e4.Truncated(g, 0, target, rng)
+	it := e4.IterativeTruncated(g, target)[0]
+	if !almostEqual(mc, it, 0.15) {
+		t.Errorf("MC %g vs iterative %g", mc, it)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if pow(0.5, 0) != 1 || pow(0.5, 2) != 0.25 {
+		t.Error("pow wrong")
+	}
+}
+
+func TestProximityMinerCounts(t *testing.T) {
+	// star: center 0, leaves 1..4. Events: "a" on 1, "b" on 2, "c" on 0.
+	g := graph.Star(5)
+	occ := map[string][]graph.NodeID{
+		"a": {1},
+		"b": {2},
+		"c": {0},
+	}
+	m := ProximityMiner{H: 1}
+	counts := m.PairSupports(g, occ)
+	// 1-vicinity flood: a reaches {1,0}, b reaches {2,0}, c reaches all.
+	// {a,b} co-located at node 0 only → 1.
+	// {a,c} at nodes 0 and 1 → 2; {b,c} at 0 and 2 → 2.
+	if counts[[2]string{"a", "b"}] != 1 {
+		t.Errorf("ab = %g, want 1", counts[[2]string{"a", "b"}])
+	}
+	if counts[[2]string{"a", "c"}] != 2 || counts[[2]string{"b", "c"}] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestProximityMinerThreshold(t *testing.T) {
+	g := graph.Star(5)
+	occ := map[string][]graph.NodeID{
+		"a": {1},
+		"b": {2},
+		"c": {0},
+	}
+	// threshold 2/5 → only the support-2 pairs survive
+	m := ProximityMiner{H: 1, MinSup: 0.4}
+	patterns := m.Mine(g, occ)
+	if len(patterns) != 2 {
+		t.Fatalf("patterns = %v", patterns)
+	}
+	for _, p := range patterns {
+		if p.Support < 2 {
+			t.Errorf("pattern below threshold: %+v", p)
+		}
+	}
+	// sorted by support desc then name
+	if patterns[0].Support < patterns[1].Support {
+		t.Error("not sorted by support")
+	}
+	// rare pair {a,b} must be absent — the Table 5 phenomenon
+	for _, p := range patterns {
+		if p.A == "a" && p.B == "b" {
+			t.Error("rare pair should be filtered by minsup")
+		}
+	}
+}
+
+func TestProximityMinerDecay(t *testing.T) {
+	// path a-m-b: event a on 0, event b on 2. With H=1 and decay α, node
+	// 1 (the middle) aggregates e^-α from each side; nodes 0 and 2 see
+	// only their own event.
+	g := graph.Path(3)
+	occ := map[string][]graph.NodeID{"a": {0}, "b": {2}}
+	m := ProximityMiner{H: 1, Alpha: 1}
+	counts := m.PairSupports(g, occ)
+	want := math.Exp(-1)
+	if got := counts[[2]string{"a", "b"}]; !almostEqual(got, want, 1e-6) {
+		t.Errorf("decayed support = %g, want %g", got, want)
+	}
+	// exact mode counts the middle node as a full co-occurrence
+	exact := ProximityMiner{H: 1}.PairSupports(g, occ)
+	if exact[[2]string{"a", "b"}] != 1 {
+		t.Errorf("exact support = %g, want 1", exact[[2]string{"a", "b"}])
+	}
+	// decay weight uses the closest occurrence: event on both ends of a
+	// 2-path, query the shared neighbor
+	g2 := graph.Path(2)
+	occ2 := map[string][]graph.NodeID{"a": {0, 1}, "b": {1}}
+	dec := ProximityMiner{H: 1, Alpha: 2}.PairSupports(g2, occ2)
+	// node 1: wa = 1 (own occurrence, d=0), wb = 1 → min 1;
+	// node 0: wa = 1 (d=0), wb = e^-2 → min e^-2
+	want2 := 1 + math.Exp(-2)
+	if got := dec[[2]string{"a", "b"}]; !almostEqual(got, want2, 1e-6) {
+		t.Errorf("decayed support = %g, want %g", got, want2)
+	}
+}
+
+func TestProximityMinerEventCapPanics(t *testing.T) {
+	g := graph.Path(2)
+	occ := map[string][]graph.NodeID{}
+	for i := 0; i < 65; i++ {
+		occ[string(rune('A'+i%26))+string(rune('a'+i/26))] = []graph.NodeID{0}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic beyond 64 events")
+		}
+	}()
+	ProximityMiner{H: 1}.PairSupports(g, occ)
+}
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }

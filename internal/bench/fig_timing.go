@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"tesc/internal/baseline"
+	"tesc/internal/core"
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+	"tesc/internal/stats"
+	"tesc/internal/vicinity"
+)
+
+// RunFig9 regenerates Figure 9: wall-clock time of the reference-node
+// sampling algorithms as the number of event nodes |Va∪b| grows, one
+// sub-figure per vicinity level. Event node sets are uniform random
+// subsets of the Twitter surrogate, as in §5.3; sampling time excludes
+// the (offline) vicinity index, which is built only for the event nodes
+// via the partial-index shortcut.
+//
+// Following §5.2.2, the importance sampler uses batch size 1 for h=1,
+// 3 for h=2 and 6 for h=3. Whole-graph sampling is reported for h ≥ 2
+// (at h=1 with small event sets almost every examination misses and the
+// paper leaves it off the plot as ">10s").
+func RunFig9(cfg Config) ([]Figure, error) {
+	g := cfg.TwitterMutual()
+	n := g.NumNodes()
+	// |Va∪b| grid: fractions of the paper's 1k..500k on 20M, i.e.
+	// 0.005%..2.5% of the graph.
+	fracs := []float64{0.00005, 0.005, 0.0125, 0.025}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf19))
+
+	var figures []Figure
+	for h := 1; h <= 3; h++ {
+		batch := map[int]int{1: 1, 2: 3, 3: 6}[h]
+		fig := Figure{
+			ID:     fmt.Sprintf("fig9%c", 'a'+h-1),
+			Title:  fmt.Sprintf("sampling time (ms) vs #event nodes, h=%d (Twitter surrogate, %d nodes)", h, n),
+			XLabel: "event-nodes",
+			YLabel: "ms",
+		}
+		batchSeries := Series{Name: "batch-bfs"}
+		impSeries := Series{Name: fmt.Sprintf("importance(batch=%d)", batch)}
+		wgSeries := Series{Name: "whole-graph"}
+
+		for _, f := range fracs {
+			k := int(f * float64(n))
+			if k < 10 {
+				k = 10
+			}
+			// random event node set
+			members := make([]graph.NodeID, k)
+			for i := range members {
+				members[i] = graph.NodeID(rng.IntN(n))
+			}
+			union := graph.NewNodeSet(n, members)
+			p := core.MustNewProblem(g, union, graph.NewNodeSet(n, nil))
+
+			idx, err := vicinity.BuildForNodes(g, p.EventNodes(), h, vicinity.Options{Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+
+			timeSampler := func(s core.Sampler) float64 {
+				start := time.Now()
+				for rep := 0; rep < cfg.Reps; rep++ {
+					if _, err := s.SampleReferences(p, h, cfg.SampleSize, rng); err != nil {
+						return -1
+					}
+				}
+				return float64(time.Since(start).Microseconds()) / float64(cfg.Reps) / 1000
+			}
+
+			x := float64(union.Len())
+			batchSeries.X = append(batchSeries.X, x)
+			batchSeries.Y = append(batchSeries.Y, timeSampler(&core.BatchBFSSampler{}))
+			impSeries.X = append(impSeries.X, x)
+			impSeries.Y = append(impSeries.Y, timeSampler(&core.ImportanceSampler{Index: idx, BatchSize: batch}))
+			if h >= 2 {
+				wgSeries.X = append(wgSeries.X, x)
+				wgSeries.Y = append(wgSeries.Y, timeSampler(&core.WholeGraphSampler{}))
+			}
+		}
+		fig.Series = append(fig.Series, batchSeries, impSeries)
+		if h >= 2 {
+			fig.Series = append(fig.Series, wgSeries)
+		}
+		figures = append(figures, fig)
+	}
+	return figures, nil
+}
+
+// RunFig10a regenerates Figure 10(a): the cost of one h-hop BFS as the
+// graph grows, h = 1, 2, 3, plus the truncated-hitting-time comparison
+// the paper cites (170ms/query on 10M nodes versus 5.2ms for a 3-hop
+// BFS).
+func RunFig10a(cfg Config) (Figure, error) {
+	maxExp := cfg.TwitterScaleExp
+	exps := []int{maxExp - 3, maxExp - 2, maxExp - 1, maxExp}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf10a))
+
+	fig := Figure{
+		ID:     "fig10a",
+		Title:  "per-query time (ms) vs graph size (R-MAT)",
+		XLabel: "nodes",
+		YLabel: "ms",
+	}
+	series := make([]Series, 3)
+	for h := 1; h <= 3; h++ {
+		series[h-1] = Series{Name: fmt.Sprintf("bfs h=%d", h)}
+	}
+	htSeries := Series{Name: "hitting-time"}
+
+	for _, exp := range exps {
+		gcfg := graphgen.DefaultTwitterSurrogate(exp)
+		g := graphgen.RMAT(gcfg, rng)
+		n := g.NumNodes()
+		bfs := graph.NewBFS(g)
+		queries := cfg.Reps * 100 // h=1 BFS is sub-microsecond; average well
+		sources := make([]graph.NodeID, queries)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.IntN(n))
+		}
+		for h := 1; h <= 3; h++ {
+			start := time.Now()
+			sink := 0
+			for _, s := range sources {
+				sink += bfs.VicinitySize(s, h)
+			}
+			ms := float64(time.Since(start).Microseconds()) / float64(queries) / 1000
+			_ = sink
+			series[h-1].X = append(series[h-1].X, float64(n))
+			series[h-1].Y = append(series[h-1].Y, ms)
+		}
+		// hitting-time comparison: the iterative O(T·(|V|+|E|)) evaluation
+		// of [11] against a random 1% target set (few repetitions — it is
+		// orders of magnitude slower per query, which is the point)
+		targetMembers := make([]graph.NodeID, n/100+1)
+		for i := range targetMembers {
+			targetMembers[i] = graph.NodeID(rng.IntN(n))
+		}
+		target := graph.NewNodeSet(n, targetMembers)
+		est := baseline.DefaultHittingTime()
+		htQueries := cfg.Reps
+		start := time.Now()
+		for q := 0; q < htQueries; q++ {
+			est.IterativeTruncated(g, target)
+		}
+		htSeries.X = append(htSeries.X, float64(n))
+		htSeries.Y = append(htSeries.Y, float64(time.Since(start).Microseconds())/float64(htQueries)/1000)
+	}
+	fig.Series = append(fig.Series, series...)
+	fig.Series = append(fig.Series, htSeries)
+	return fig, nil
+}
+
+// RunFig10b regenerates Figure 10(b): z-score computation time versus
+// the number of reference nodes. Both the O(n²) pair enumeration the
+// paper uses and this repository's O(n log n) implementation are
+// reported.
+func RunFig10b(cfg Config) (Figure, error) {
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf10b))
+	ns := []int{200, 400, 600, 800, 1000}
+	fig := Figure{
+		ID:     "fig10b",
+		Title:  "z-score computation time (ms) vs #reference nodes",
+		XLabel: "n",
+		YLabel: "ms",
+	}
+	naive := Series{Name: "o(n^2) (paper)"}
+	fast := Series{Name: "o(n log n) (ours)"}
+	reps := cfg.Reps * 4
+	for _, n := range ns {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			// realistic tied densities: small integers over a vicinity size
+			x[i] = float64(rng.IntN(20)) / 100
+			y[i] = float64(rng.IntN(20)) / 100
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			stats.KendallNaive(x, y)
+		}
+		naive.X = append(naive.X, float64(n))
+		naive.Y = append(naive.Y, float64(time.Since(start).Microseconds())/float64(reps)/1000)
+
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			stats.Kendall(x, y)
+		}
+		fast.X = append(fast.X, float64(n))
+		fast.Y = append(fast.Y, float64(time.Since(start).Microseconds())/float64(reps)/1000)
+	}
+	fig.Series = append(fig.Series, naive, fast)
+	return fig, nil
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one or more paper artifacts and renders them to w.
+type Runner func(cfg Config, w io.Writer) error
+
+// Registry maps experiment IDs (fig5, fig6, ..., table5) to runners.
+// cmd/tescbench exposes it on the command line.
+var Registry = map[string]Runner{
+	"datasets": func(cfg Config, w io.Writer) error {
+		t, err := RunDatasets(cfg)
+		return renderTables([]Table{t}, err, w)
+	},
+	"fig5": func(cfg Config, w io.Writer) error {
+		figs, err := RunRecallFigure(cfg, true)
+		return renderFigures(figs, err, w)
+	},
+	"fig6": func(cfg Config, w io.Writer) error {
+		figs, err := RunRecallFigure(cfg, false)
+		return renderFigures(figs, err, w)
+	},
+	"fig7": func(cfg Config, w io.Writer) error {
+		fig, err := RunFig7(cfg)
+		return renderFigures([]Figure{fig}, err, w)
+	},
+	"fig8": func(cfg Config, w io.Writer) error {
+		figs, err := RunFig8(cfg)
+		return renderFigures(figs, err, w)
+	},
+	"fig9": func(cfg Config, w io.Writer) error {
+		figs, err := RunFig9(cfg)
+		return renderFigures(figs, err, w)
+	},
+	"fig10a": func(cfg Config, w io.Writer) error {
+		fig, err := RunFig10a(cfg)
+		return renderFigures([]Figure{fig}, err, w)
+	},
+	"fig10b": func(cfg Config, w io.Writer) error {
+		fig, err := RunFig10b(cfg)
+		return renderFigures([]Figure{fig}, err, w)
+	},
+	"table1": func(cfg Config, w io.Writer) error {
+		t, err := RunTable1(cfg)
+		return renderTables([]Table{t}, err, w)
+	},
+	"table2": func(cfg Config, w io.Writer) error {
+		t, err := RunTable2(cfg)
+		return renderTables([]Table{t}, err, w)
+	},
+	"table3": func(cfg Config, w io.Writer) error {
+		t, err := RunTable3(cfg)
+		return renderTables([]Table{t}, err, w)
+	},
+	"table4": func(cfg Config, w io.Writer) error {
+		t, err := RunTable4(cfg)
+		return renderTables([]Table{t}, err, w)
+	},
+	"table5": func(cfg Config, w io.Writer) error {
+		t, err := RunTable5(cfg)
+		return renderTables([]Table{t}, err, w)
+	},
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll runs every registered experiment in ID order.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range IDs() {
+		if _, err := fmt.Fprintf(w, "### experiment %s\n", id); err != nil {
+			return err
+		}
+		if err := Registry[id](cfg, w); err != nil {
+			return fmt.Errorf("bench: %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func renderFigures(figs []Figure, err error, w io.Writer) error {
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		if err := f.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderTables(ts []Table, err error, w io.Writer) error {
+	if err != nil {
+		return err
+	}
+	for _, t := range ts {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"tesc/internal/graph"
+)
+
+// Density holds every per-reference-node quantity one h-hop BFS yields.
+//
+// A single traversal from r computes the vicinity size |V^h_r|, the two
+// event occurrence counts, and the event-node count |Va∪b ∩ V^h_r| that
+// the importance-sampling estimator needs for p(r) — the shared-BFS
+// optimization called out in DESIGN.md: evaluating p(r) costs nothing on
+// top of the density pass.
+type Density struct {
+	VicinitySize int // |V^h_r|, the normalizing "area" of Eq. 2
+	CountA       int // |Va ∩ V^h_r|
+	CountB       int // |Vb ∩ V^h_r|
+	CountUnion   int // |Va∪b ∩ V^h_r|, numerator of p(r)·Nsum
+
+	// SumA and SumB are the intensity-weighted occurrence masses; they
+	// equal CountA/CountB when the problem has unit intensities.
+	SumA, SumB float64
+}
+
+// SA returns s^h_a(r) = SumA / VicinitySize (Eq. 2, intensity-weighted).
+func (d Density) SA() float64 { return d.SumA / float64(d.VicinitySize) }
+
+// SB returns s^h_b(r).
+func (d Density) SB() float64 { return d.SumB / float64(d.VicinitySize) }
+
+// InSight reports whether r sees at least one event occurrence — i.e.
+// whether r is a legal reference node (Definition 3; §3.2 excludes
+// "out-of-sight" nodes).
+func (d Density) InSight() bool { return d.CountUnion > 0 }
+
+// DensityEvaluator computes Density records over a fixed problem and
+// vicinity level, reusing one BFS engine. Not safe for concurrent use.
+type DensityEvaluator struct {
+	p   *Problem
+	h   int
+	bfs *graph.BFS
+	// evaluation counters for the complexity experiments (Fig. 10a)
+	BFSCount int64 // number of h-hop traversals performed
+}
+
+// NewDensityEvaluator returns an evaluator for p at level h.
+func NewDensityEvaluator(p *Problem, h int) *DensityEvaluator {
+	return &DensityEvaluator{p: p, h: h, bfs: graph.NewBFS(p.G)}
+}
+
+// Eval runs one h-hop BFS from r and returns its Density.
+func (e *DensityEvaluator) Eval(r graph.NodeID) Density {
+	e.BFSCount++
+	var d Density
+	va, vb := e.p.Va, e.p.Vb
+	ia, ib := e.p.IntensityA, e.p.IntensityB
+	e.bfs.Run([]graph.NodeID{r}, e.h, func(v graph.NodeID, _ int) {
+		d.VicinitySize++
+		inA := va.Contains(v)
+		inB := vb.Contains(v)
+		if inA {
+			d.CountA++
+			if ia != nil {
+				d.SumA += ia[v]
+			} else {
+				d.SumA++
+			}
+		}
+		if inB {
+			d.CountB++
+			if ib != nil {
+				d.SumB += ib[v]
+			} else {
+				d.SumB++
+			}
+		}
+		if inA || inB {
+			d.CountUnion++
+		}
+	})
+	return d
+}
+
+// EvalAll evaluates every node in rs and returns the parallel density
+// vectors s^h_a and s^h_b plus the full records.
+func (e *DensityEvaluator) EvalAll(rs []graph.NodeID) (sa, sb []float64, ds []Density) {
+	sa = make([]float64, len(rs))
+	sb = make([]float64, len(rs))
+	ds = make([]Density, len(rs))
+	for i, r := range rs {
+		d := e.Eval(r)
+		ds[i] = d
+		sa[i] = d.SA()
+		sb[i] = d.SB()
+	}
+	return sa, sb, ds
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"tesc/internal/graph"
+)
+
+// EvalAllParallel evaluates densities for all reference nodes using a
+// pool of workers, each owning a private BFS engine. The density phase
+// performs n independent h-hop traversals (the dominant cost of a test,
+// §4.4), so it parallelizes embarrassingly; results are identical to the
+// sequential EvalAll.
+//
+// workers <= 0 selects GOMAXPROCS. The evaluator e itself is only used
+// for its problem/level configuration; its BFSCount is advanced by the
+// total number of traversals.
+func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, sb []float64, ds []Density) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rs) {
+		workers = len(rs)
+	}
+	sa = make([]float64, len(rs))
+	sb = make([]float64, len(rs))
+	ds = make([]Density, len(rs))
+	if len(rs) == 0 {
+		return sa, sb, ds
+	}
+	if workers <= 1 {
+		for i, r := range rs {
+			d := e.Eval(r)
+			ds[i] = d
+			sa[i] = d.SA()
+			sb[i] = d.SB()
+		}
+		return sa, sb, ds
+	}
+
+	var wg sync.WaitGroup
+	const chunk = 16
+	next := make(chan int)
+	go func() {
+		for lo := 0; lo < len(rs); lo += chunk {
+			next <- lo
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := NewDensityEvaluator(e.p, e.h)
+			for lo := range next {
+				hi := lo + chunk
+				if hi > len(rs) {
+					hi = len(rs)
+				}
+				for i := lo; i < hi; i++ {
+					d := local.Eval(rs[i])
+					ds[i] = d
+					sa[i] = d.SA()
+					sb[i] = d.SB()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	e.BFSCount += int64(len(rs))
+	return sa, sb, ds
+}

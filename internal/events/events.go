@@ -1,0 +1,216 @@
+// Package events stores event occurrences on graph nodes: the attributed
+// graph model of the paper's §2, where each node v carries a set of
+// events Qv ⊆ Q and each event a has an occurrence node set Va.
+//
+// The store is optimized for the two access patterns TESC needs:
+// event → occurrence NodeSet (to form Va, Vb, Va∪b) and node → event list
+// (for the baselines that treat nodes as transactions).
+package events
+
+import (
+	"fmt"
+	"sort"
+
+	"tesc/internal/graph"
+)
+
+// Store is an immutable event-occurrence index over a fixed node
+// universe. Build one with a Builder.
+type Store struct {
+	n      int // node universe size
+	names  []string
+	byName map[string]int
+	occ    [][]graph.NodeID // event index → sorted occurrence nodes
+	weight []map[graph.NodeID]float64
+	sets   []*graph.NodeSet // lazily built, nil until first use
+	byNode map[graph.NodeID][]int
+}
+
+// Builder accumulates event occurrences.
+type Builder struct {
+	n   int
+	occ map[string]map[graph.NodeID]float64
+}
+
+// NewBuilder returns a builder over a universe of n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, occ: make(map[string]map[graph.NodeID]float64)}
+}
+
+// Add records that event name occurred on node v with unit intensity.
+// Repeated additions accumulate intensity (e.g. an author using the same
+// keyword in several papers — the §6 intensity extension), while the
+// occurrence itself stays idempotent.
+func (b *Builder) Add(name string, v graph.NodeID) { b.AddWeighted(name, v, 1) }
+
+// AddWeighted records an occurrence with an explicit intensity (> 0).
+func (b *Builder) AddWeighted(name string, v graph.NodeID, intensity float64) {
+	if v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("events: node %d outside universe [0,%d)", v, b.n))
+	}
+	if intensity <= 0 {
+		panic(fmt.Sprintf("events: intensity %g must be positive", intensity))
+	}
+	m := b.occ[name]
+	if m == nil {
+		m = make(map[graph.NodeID]float64)
+		b.occ[name] = m
+	}
+	m[v] += intensity
+}
+
+// AddAll records an event on every node in vs.
+func (b *Builder) AddAll(name string, vs []graph.NodeID) {
+	for _, v := range vs {
+		b.Add(name, v)
+	}
+}
+
+// Build freezes the builder into a Store.
+func (b *Builder) Build() *Store {
+	s := &Store{
+		n:      b.n,
+		byName: make(map[string]int, len(b.occ)),
+		byNode: make(map[graph.NodeID][]int),
+	}
+	for name := range b.occ {
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.occ = make([][]graph.NodeID, len(s.names))
+	s.weight = make([]map[graph.NodeID]float64, len(s.names))
+	s.sets = make([]*graph.NodeSet, len(s.names))
+	for i, name := range s.names {
+		s.byName[name] = i
+		nodes := make([]graph.NodeID, 0, len(b.occ[name]))
+		w := make(map[graph.NodeID]float64, len(b.occ[name]))
+		for v, intensity := range b.occ[name] {
+			nodes = append(nodes, v)
+			w[v] = intensity
+		}
+		sort.Slice(nodes, func(a, c int) bool { return nodes[a] < nodes[c] })
+		s.occ[i] = nodes
+		s.weight[i] = w
+		for _, v := range nodes {
+			s.byNode[v] = append(s.byNode[v], i)
+		}
+	}
+	return s
+}
+
+// Intensity returns the intensity of the event on node v (0 when the
+// event does not occur there).
+func (s *Store) Intensity(name string, v graph.NodeID) float64 {
+	i, ok := s.byName[name]
+	if !ok {
+		return 0
+	}
+	return s.weight[i][v]
+}
+
+// IntensityVector returns the full-length intensity vector of the event
+// (length = universe), suitable for the intensity-weighted TESC variant.
+// Returns nil for unknown events.
+func (s *Store) IntensityVector(name string) []float64 {
+	i, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	out := make([]float64, s.n)
+	for v, w := range s.weight[i] {
+		out[v] = w
+	}
+	return out
+}
+
+// Weighted reports whether any occurrence of the event has intensity ≠ 1.
+func (s *Store) Weighted(name string) bool {
+	i, ok := s.byName[name]
+	if !ok {
+		return false
+	}
+	for _, w := range s.weight[i] {
+		if w != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Universe returns the node universe size.
+func (s *Store) Universe() int { return s.n }
+
+// NumEvents returns the number of distinct events.
+func (s *Store) NumEvents() int { return len(s.names) }
+
+// Names returns all event names, sorted. The slice aliases internal
+// storage.
+func (s *Store) Names() []string { return s.names }
+
+// Has reports whether the store knows the event.
+func (s *Store) Has(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Occurrences returns the sorted occurrence nodes of the event, or nil if
+// unknown. The slice aliases internal storage.
+func (s *Store) Occurrences(name string) []graph.NodeID {
+	i, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	return s.occ[i]
+}
+
+// Count returns |Va| for the event, 0 if unknown.
+func (s *Store) Count(name string) int { return len(s.Occurrences(name)) }
+
+// Set returns the occurrence NodeSet of the event (Va), or an empty set
+// if the event is unknown. Sets are cached after first construction.
+func (s *Store) Set(name string) *graph.NodeSet {
+	i, ok := s.byName[name]
+	if !ok {
+		return graph.NewNodeSet(s.n, nil)
+	}
+	if s.sets[i] == nil {
+		s.sets[i] = graph.NewNodeSet(s.n, s.occ[i])
+	}
+	return s.sets[i]
+}
+
+// UnionSet returns Va∪b = Va ∪ Vb for two events.
+func (s *Store) UnionSet(a, b string) *graph.NodeSet {
+	return s.Set(a).Union(s.Set(b))
+}
+
+// NodeEvents returns the indices-free list of event names on node v,
+// sorted, or nil when the node carries no events.
+func (s *Store) NodeEvents(v graph.NodeID) []string {
+	idxs := s.byNode[v]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.names[idx]
+	}
+	return out
+}
+
+// ContingencyTable returns the 2×2 transaction table of two events over
+// all nodes: n11 (both), n10 (a only), n01 (b only), n00 (neither). This
+// is the input of the Transaction Correlation baseline.
+func (s *Store) ContingencyTable(a, b string) (n11, n10, n01, n00 int64) {
+	sa, sb := s.Set(a), s.Set(b)
+	for _, v := range sa.Members() {
+		if sb.Contains(v) {
+			n11++
+		} else {
+			n10++
+		}
+	}
+	n01 = int64(sb.Len()) - n11
+	n00 = int64(s.n) - n11 - n10 - n01
+	return n11, n10, n01, n00
+}

@@ -1,0 +1,152 @@
+package graph
+
+// BFS is a reusable breadth-first-search engine over a fixed graph.
+//
+// TESC testing performs thousands of h-hop BFS traversals per event pair
+// (one per density evaluation, plus the traversals inside the samplers),
+// so the engine keeps its frontier queues and an epoch-stamped visited
+// array across calls: after warm-up a traversal performs zero heap
+// allocations. The engine is NOT safe for concurrent use; create one per
+// goroutine (see NewBFS).
+type BFS struct {
+	g     *Graph
+	mark  []uint32
+	epoch uint32
+	cur   []NodeID
+	next  []NodeID
+}
+
+// NewBFS returns a BFS engine bound to g.
+func NewBFS(g *Graph) *BFS {
+	return &BFS{
+		g:    g,
+		mark: make([]uint32, g.NumNodes()),
+	}
+}
+
+// Graph returns the graph the engine is bound to.
+func (b *BFS) Graph() *Graph { return b.g }
+
+func (b *BFS) bump() {
+	b.epoch++
+	if b.epoch == 0 { // epoch counter wrapped; reset stamps
+		for i := range b.mark {
+			b.mark[i] = 0
+		}
+		b.epoch = 1
+	}
+}
+
+// Run performs a breadth-first search of depth at most h starting from
+// sources, invoking visit exactly once per distinct reached node with its
+// BFS depth (sources have depth 0). Duplicate sources are visited once.
+//
+// With len(sources) > 1 this is exactly the paper's Batch BFS
+// (Algorithm 1): the multi-source traversal that retrieves V^h of a node
+// set in one pass, equivalent to an (h+1)-hop BFS from a virtual node
+// attached to every source, with worst-case cost O(|V|+|E|) instead of
+// O(|sources|·(|V|+|E|)).
+func (b *BFS) Run(sources []NodeID, h int, visit func(v NodeID, depth int)) {
+	b.RunUntil(sources, h, func(v NodeID, depth int) bool {
+		visit(v, depth)
+		return true
+	})
+}
+
+// RunUntil is Run with early termination: the traversal stops as soon as
+// visit returns false (the node it returned false for has still been
+// visited). Whole-graph sampling (Algorithm 3) uses this to abort the
+// eligibility BFS the moment an event node is seen.
+func (b *BFS) RunUntil(sources []NodeID, h int, visit func(v NodeID, depth int) bool) {
+	if h < 0 {
+		return
+	}
+	b.bump()
+	b.cur = b.cur[:0]
+	for _, s := range sources {
+		if b.mark[s] != b.epoch {
+			b.mark[s] = b.epoch
+			b.cur = append(b.cur, s)
+			if !visit(s, 0) {
+				return
+			}
+		}
+	}
+	for depth := 1; depth <= h && len(b.cur) > 0; depth++ {
+		b.next = b.next[:0]
+		for _, v := range b.cur {
+			for _, u := range b.g.Neighbors(v) {
+				if b.mark[u] != b.epoch {
+					b.mark[u] = b.epoch
+					b.next = append(b.next, u)
+					if !visit(u, depth) {
+						return
+					}
+				}
+			}
+		}
+		b.cur, b.next = b.next, b.cur
+	}
+}
+
+// Vicinity appends every node of the h-vicinity of u (Definition 1:
+// all nodes within distance h of u, including u itself) to out and
+// returns the extended slice.
+func (b *BFS) Vicinity(u NodeID, h int, out []NodeID) []NodeID {
+	b.Run([]NodeID{u}, h, func(v NodeID, _ int) { out = append(out, v) })
+	return out
+}
+
+// VicinitySize returns |V^h_u|, the node count of u's h-vicinity.
+func (b *BFS) VicinitySize(u NodeID, h int) int {
+	count := 0
+	b.Run([]NodeID{u}, h, func(NodeID, int) { count++ })
+	return count
+}
+
+// SetVicinity appends every node of the h-vicinity of the node set
+// sources (Definition 2) to out and returns the extended slice. This is
+// the paper's Batch BFS (Algorithm 1) used to materialize the full
+// reference node set V^h_{a∪b}.
+func (b *BFS) SetVicinity(sources []NodeID, h int, out []NodeID) []NodeID {
+	b.Run(sources, h, func(v NodeID, _ int) { out = append(out, v) })
+	return out
+}
+
+// Distance returns the hop distance from u to v, or -1 if v is not
+// reachable from u. It expands at most the whole graph.
+func (b *BFS) Distance(u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	dist := -1
+	b.Run([]NodeID{u}, b.g.NumNodes(), func(w NodeID, d int) {
+		if w == v && dist < 0 {
+			dist = d
+		}
+	})
+	return dist
+}
+
+// Eccentricity returns the largest BFS depth reached from u (the
+// eccentricity of u within its connected component).
+func (b *BFS) Eccentricity(u NodeID) int {
+	max := 0
+	b.Run([]NodeID{u}, b.g.NumNodes(), func(_ NodeID, d int) {
+		if d > max {
+			max = d
+		}
+	})
+	return max
+}
+
+// NodesAtDistance appends to out every node at hop distance exactly d
+// from u and returns the extended slice.
+func (b *BFS) NodesAtDistance(u NodeID, d int, out []NodeID) []NodeID {
+	b.Run([]NodeID{u}, d, func(v NodeID, depth int) {
+		if depth == d {
+			out = append(out, v)
+		}
+	})
+	return out
+}

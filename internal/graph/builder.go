@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// The builder is forgiving: duplicate edges, reversed duplicates and
+// self-loops may be added freely and are dropped during Build, matching
+// the simple undirected graphs assumed by the paper (§2). Node count may
+// either be fixed up front with NewBuilder or grow implicitly to the
+// largest endpoint seen.
+type Builder struct {
+	n        int
+	us       []NodeID
+	vs       []NodeID
+	fixed    bool
+	directed bool
+}
+
+// NewBuilder returns a builder for a graph with exactly n nodes
+// (IDs 0..n-1). Edges with endpoints outside that range cause Build to
+// fail.
+func NewBuilder(n int) *Builder {
+	if n < 0 || n > MaxNodes {
+		panic(fmt.Sprintf("graph: invalid node count %d", n))
+	}
+	return &Builder{n: n, fixed: true}
+}
+
+// NewGrowingBuilder returns a builder whose node count is one more than
+// the largest endpoint added.
+func NewGrowingBuilder() *Builder { return &Builder{} }
+
+// NewDirectedBuilder returns a builder for a directed graph with exactly
+// n nodes: AddEdge(u, v) records the one-way arc u→v. Build drops
+// duplicate arcs and self-loops as in the undirected case.
+func NewDirectedBuilder(n int) *Builder {
+	if n < 0 || n > MaxNodes {
+		panic(fmt.Sprintf("graph: invalid node count %d", n))
+	}
+	return &Builder{n: n, fixed: true, directed: true}
+}
+
+// AddEdge records the undirected edge {u, v}.
+func (b *Builder) AddEdge(u, v NodeID) {
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	if !b.fixed {
+		if int(u) >= b.n {
+			b.n = int(u) + 1
+		}
+		if int(v) >= b.n {
+			b.n = int(v) + 1
+		}
+	}
+}
+
+// NumPending returns the number of edge records added so far (before
+// dedup).
+func (b *Builder) NumPending() int { return len(b.us) }
+
+// Build validates endpoints, symmetrizes, deduplicates, drops self-loops
+// and returns the CSR graph. The builder can be reused afterwards; its
+// pending edges are retained.
+func (b *Builder) Build() (*Graph, error) {
+	n := b.n
+	for i := range b.us {
+		if b.us[i] < 0 || int(b.us[i]) >= n || b.vs[i] < 0 || int(b.vs[i]) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) outside node range [0,%d)", b.us[i], b.vs[i], n)
+		}
+	}
+
+	// Count adjacency-list sizes (both directions for undirected graphs),
+	// excluding self-loops.
+	deg := make([]int64, n+1)
+	for i := range b.us {
+		if b.us[i] == b.vs[i] {
+			continue
+		}
+		deg[b.us[i]+1]++
+		if !b.directed {
+			deg[b.vs[i]+1]++
+		}
+	}
+	offsets := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i+1]
+	}
+	adj := make([]NodeID, offsets[n])
+	cursor := make([]int64, n)
+	for i := range cursor {
+		cursor[i] = offsets[i]
+	}
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if u == v {
+			continue
+		}
+		adj[cursor[u]] = v
+		cursor[u]++
+		if !b.directed {
+			adj[cursor[v]] = u
+			cursor[v]++
+		}
+	}
+
+	// Sort each adjacency list and remove duplicates in place.
+	newOffsets := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		ns := adj[lo:hi]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		newOffsets[v] = w
+		var prev NodeID = -1
+		for _, u := range ns {
+			if u != prev {
+				adj[w] = u
+				w++
+				prev = u
+			}
+		}
+	}
+	newOffsets[n] = w
+	compact := make([]NodeID, w)
+	copy(compact, adj[:w])
+
+	m := w / 2
+	if b.directed {
+		m = w
+	}
+	return &Graph{offsets: newOffsets, adj: compact, m: m, directed: b.directed}, nil
+}
+
+// MustBuild is Build that panics on error, for tests and generators whose
+// inputs are valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges builds an n-node graph directly from an edge list.
+func FromEdges(n int, edges [][2]NodeID) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(n int, edges [][2]NodeID) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Path returns the path graph 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle graph on n nodes (n >= 3).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(NodeID(i), NodeID((i+1)%n))
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star graph: node 0 connected to 1..n-1.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, NodeID(i))
+	}
+	return b.MustBuild()
+}
+
+// Grid returns the rows×cols 4-neighbor lattice, a useful analogue of the
+// continuous spatial spaces the point-pattern literature studies.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}

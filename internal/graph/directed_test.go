@@ -1,0 +1,97 @@
+package graph
+
+import "testing"
+
+func TestDirectedBuilder(t *testing.T) {
+	b := NewDirectedBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 0) // duplicate arc
+	b.AddEdge(3, 3) // self loop
+	g := b.MustBuild()
+	if !g.Directed() {
+		t.Fatal("Directed() = false")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 arcs", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("arc direction not respected by HasEdge")
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 1 {
+		t.Errorf("out-degrees = %d, %d", g.Degree(0), g.Degree(2))
+	}
+	if g.Degree(3) != 0 {
+		t.Error("self loop should be dropped")
+	}
+}
+
+func TestDirectedForEachEdge(t *testing.T) {
+	b := NewDirectedBuilder(3)
+	b.AddEdge(2, 0) // reversed pairs both kept
+	b.AddEdge(0, 2)
+	g := b.MustBuild()
+	arcs := g.Edges()
+	if len(arcs) != 2 {
+		t.Fatalf("arcs = %v", arcs)
+	}
+}
+
+func TestDirectedBFSFollowsArcs(t *testing.T) {
+	// chain 0 → 1 → 2; BFS from 2 must reach nothing.
+	b := NewDirectedBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	bfs := NewBFS(g)
+	if n := bfs.VicinitySize(0, 2); n != 3 {
+		t.Errorf("forward vicinity of 0 = %d, want 3", n)
+	}
+	if n := bfs.VicinitySize(2, 2); n != 1 {
+		t.Errorf("forward vicinity of 2 = %d, want 1 (no out-arcs)", n)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	b := NewDirectedBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(3, 0)
+	g := b.MustBuild()
+	tr := g.Transpose()
+	if !tr.Directed() || tr.NumEdges() != 3 {
+		t.Fatalf("transpose shape: %v", tr)
+	}
+	for _, arc := range [][2]NodeID{{1, 0}, {2, 0}, {0, 3}} {
+		if !tr.HasEdge(arc[0], arc[1]) {
+			t.Errorf("transpose missing arc %v", arc)
+		}
+	}
+	if tr.HasEdge(0, 1) {
+		t.Error("transpose kept a forward arc")
+	}
+	// transpose of an undirected graph is itself
+	u := Path(3)
+	if u.Transpose() != u {
+		t.Error("undirected transpose should be identity")
+	}
+}
+
+func TestDirectedWeakComponents(t *testing.T) {
+	// arcs 0→1, 2→1: weakly one component {0,1,2}, node 3 isolated.
+	b := NewDirectedBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 1)
+	g := b.MustBuild()
+	comp, count := Components(g)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("weak component split: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Error("isolated node merged")
+	}
+}

@@ -1,0 +1,87 @@
+package graphgen
+
+import (
+	"math/rand/v2"
+
+	"tesc/internal/graph"
+)
+
+// RemoveRandomEdges returns a copy of g with count uniformly chosen edges
+// removed (without replacement). If count >= NumEdges the empty-edge
+// graph on the same node set is returned. This implements the
+// edge-removal half of the paper's graph-density experiment (Figure 8(a)):
+// removing edges stretches distances and so breaks planted positive
+// correlations.
+func RemoveRandomEdges(g *graph.Graph, count int64, rng *rand.Rand) *graph.Graph {
+	edges := g.Edges()
+	if count >= int64(len(edges)) {
+		return graph.NewBuilder(g.NumNodes()).MustBuild()
+	}
+	// Partial Fisher-Yates: move `count` random edges to the tail, keep
+	// the head.
+	nKeep := int64(len(edges)) - count
+	for i := int64(len(edges)) - 1; i >= nKeep; i-- {
+		j := rng.Int64N(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	b := graph.NewBuilder(g.NumNodes())
+	for _, e := range edges[:nKeep] {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+// RemoveOrSame is RemoveRandomEdges that returns g itself when count is
+// zero, sparing the copy at the unmutated baseline point of Figure 8.
+func RemoveOrSame(g *graph.Graph, count int64, rng *rand.Rand) *graph.Graph {
+	if count <= 0 {
+		return g
+	}
+	return RemoveRandomEdges(g, count, rng)
+}
+
+// AddOrSame is AddRandomEdges that returns g itself when count is zero.
+func AddOrSame(g *graph.Graph, count int64, rng *rand.Rand) *graph.Graph {
+	if count <= 0 {
+		return g
+	}
+	return AddRandomEdges(g, count, rng)
+}
+
+// AddRandomEdges returns a copy of g with count new uniformly chosen
+// edges added (duplicates of existing edges are rejected and retried, so
+// exactly count new edges appear unless the graph saturates). This is the
+// edge-addition half of Figure 8(b): adding edges shrinks distances and
+// so breaks planted negative correlations.
+func AddRandomEdges(g *graph.Graph, count int64, rng *rand.Rand) *graph.Graph {
+	n := g.NumNodes()
+	maxNew := int64(n)*int64(n-1)/2 - g.NumEdges()
+	if count > maxNew {
+		count = maxNew
+	}
+	b := graph.NewBuilder(n)
+	g.ForEachEdge(func(u, v graph.NodeID) bool {
+		b.AddEdge(u, v)
+		return true
+	})
+	seen := make(map[uint64]bool, count)
+	var added int64
+	for added < count {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if seen[key] || g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		added++
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,237 @@
+// Package screen runs TESC over many event pairs at once — the workflow
+// behind the paper's case studies (§5.4), where the reported keyword and
+// alert pairs are the top findings of a sweep over an attributed graph's
+// event vocabulary.
+//
+// Screening adds two concerns the single-pair test does not have:
+// multiple-testing control (hundreds of null pairs at α = 0.05 yield
+// dozens of spurious hits; p-values are corrected with
+// Benjamini–Hochberg FDR by default) and throughput (pairs are tested
+// concurrently by a worker pool, each worker owning private BFS
+// machinery).
+package screen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tesc/internal/core"
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/stats"
+)
+
+// Correction selects the multiple-testing adjustment.
+type Correction int
+
+const (
+	// FDR applies Benjamini–Hochberg false-discovery-rate control
+	// (default).
+	FDR Correction = iota
+	// FWER applies the Bonferroni family-wise correction.
+	FWER
+	// None uses raw p-values (single-pair semantics).
+	None
+)
+
+// Config parameterizes a screening run.
+type Config struct {
+	// H is the vicinity level.
+	H int
+	// SampleSize is the per-test reference sample size (default 900).
+	SampleSize int
+	// Alpha is the significance level applied to adjusted p-values
+	// (default 0.05).
+	Alpha float64
+	// Alternative selects the tested direction for every pair.
+	Alternative stats.Alternative
+	// MinOccurrences skips events with fewer occurrences (default 1).
+	MinOccurrences int
+	// Correction selects the p-value adjustment (default FDR).
+	Correction Correction
+	// Workers bounds test concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Seed drives the per-pair reference sampling deterministically.
+	Seed uint64
+}
+
+// PairResult is one screened pair. Results are ordered by adjusted
+// p-value, then |Z| descending.
+type PairResult struct {
+	A, B        string
+	OccA, OccB  int
+	Tau         float64
+	Z           float64
+	P           float64 // raw p-value
+	AdjP        float64 // corrected p-value
+	Significant bool    // AdjP < Alpha
+	Skipped     string  // non-empty when the pair could not be tested
+}
+
+// Result is a completed screening run.
+type Result struct {
+	Pairs    []PairResult
+	Tested   int // pairs actually tested
+	Skipped  int // pairs skipped (degenerate reference populations, ...)
+	Rejected int // significant pairs after correction
+}
+
+// AllPairs builds the candidate list: every unordered pair of store
+// events with at least minOcc occurrences each.
+func AllPairs(store *events.Store, minOcc int) [][2]string {
+	var names []string
+	for _, name := range store.Names() {
+		if store.Count(name) >= minOcc {
+			names = append(names, name)
+		}
+	}
+	var pairs [][2]string
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			pairs = append(pairs, [2]string{names[i], names[j]})
+		}
+	}
+	return pairs
+}
+
+// Run screens the given pairs on g using occurrences from store.
+func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Result, error) {
+	if cfg.H < 1 {
+		return Result{}, fmt.Errorf("screen: H must be >= 1")
+	}
+	if cfg.SampleSize == 0 {
+		cfg.SampleSize = 900
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.05
+	}
+	if cfg.MinOccurrences < 1 {
+		cfg.MinOccurrences = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+
+	results := make([]PairResult, len(pairs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := range pairs {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sampler := &core.BatchBFSSampler{}
+			for i := range next {
+				results[i] = screenOne(g, store, pairs[i], cfg, sampler)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// correction over the tested pairs only
+	var tested []int
+	var ps []float64
+	for i := range results {
+		if results[i].Skipped == "" {
+			tested = append(tested, i)
+			ps = append(ps, results[i].P)
+		}
+	}
+	var adj []float64
+	switch cfg.Correction {
+	case FWER:
+		adj = stats.Bonferroni(ps)
+	case None:
+		adj = ps
+	default:
+		adj = stats.BenjaminiHochberg(ps)
+	}
+	out := Result{Pairs: results, Tested: len(tested), Skipped: len(results) - len(tested)}
+	for k, i := range tested {
+		results[i].AdjP = adj[k]
+		results[i].Significant = adj[k] < cfg.Alpha
+		if results[i].Significant {
+			out.Rejected++
+		}
+	}
+
+	sort.SliceStable(out.Pairs, func(a, b int) bool {
+		pa, pb := out.Pairs[a], out.Pairs[b]
+		if (pa.Skipped == "") != (pb.Skipped == "") {
+			return pa.Skipped == ""
+		}
+		if pa.AdjP != pb.AdjP {
+			return pa.AdjP < pb.AdjP
+		}
+		za, zb := abs(pa.Z), abs(pb.Z)
+		if za != zb {
+			return za > zb
+		}
+		if pa.A != pb.A {
+			return pa.A < pb.A
+		}
+		return pa.B < pb.B
+	})
+	return out, nil
+}
+
+func screenOne(g *graph.Graph, store *events.Store, pair [2]string, cfg Config, sampler core.Sampler) PairResult {
+	res := PairResult{
+		A: pair[0], B: pair[1],
+		OccA: store.Count(pair[0]), OccB: store.Count(pair[1]),
+	}
+	if res.OccA < cfg.MinOccurrences || res.OccB < cfg.MinOccurrences {
+		res.Skipped = "below occurrence threshold"
+		return res
+	}
+	p, err := core.NewProblem(g, store.Set(pair[0]), store.Set(pair[1]))
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	seed := pairSeed(cfg.Seed, pair[0], pair[1])
+	tr, err := core.Test(p, core.Options{
+		H:           cfg.H,
+		SampleSize:  cfg.SampleSize,
+		Sampler:     sampler,
+		Alternative: cfg.Alternative,
+		Alpha:       cfg.Alpha,
+		Rand:        rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	})
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	res.Tau, res.Z, res.P = tr.Tau, tr.Z, tr.P
+	return res
+}
+
+func pairSeed(seed uint64, a, b string) uint64 {
+	h := seed ^ 14695981039346656037
+	for _, s := range []string{a, "\x00", b} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

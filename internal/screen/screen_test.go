@@ -1,0 +1,176 @@
+package screen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+	"tesc/internal/stats"
+)
+
+// fixture: a community graph with one strongly attracting planted pair
+// among many independent noise events.
+func fixture(t *testing.T) (*graph.Graph, *events.Store) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(91, 1))
+	cfg := graphgen.PlantedPartitionConfig{Communities: 25, Size: 30, DegreeIn: 8, DegreeOut: 0.5}
+	g := graphgen.PlantedPartition(cfg, rng)
+	n := g.NumNodes()
+
+	b := events.NewBuilder(n)
+	// planted pair: co-located in 10 communities
+	for c := 0; c < 10; c++ {
+		base := c * 30
+		for i := 0; i < 5; i++ {
+			b.Add("signal-a", graph.NodeID(base+rng.IntN(30)))
+			b.Add("signal-b", graph.NodeID(base+rng.IntN(30)))
+		}
+	}
+	// noise events: uniform occurrences
+	for e := 0; e < 6; e++ {
+		name := "noise-" + string(rune('a'+e))
+		for i := 0; i < 40; i++ {
+			b.Add(name, graph.NodeID(rng.IntN(n)))
+		}
+	}
+	// a tiny event below thresholds
+	b.Add("rare", 3)
+	return g, b.Build()
+}
+
+func TestAllPairs(t *testing.T) {
+	_, store := fixture(t)
+	pairs := AllPairs(store, 1)
+	// 9 events → 36 pairs
+	if len(pairs) != 36 {
+		t.Fatalf("pairs = %d, want 36", len(pairs))
+	}
+	// with a threshold the rare event drops out: 8 events → 28 pairs
+	pairs = AllPairs(store, 5)
+	if len(pairs) != 28 {
+		t.Fatalf("pairs = %d, want 28", len(pairs))
+	}
+}
+
+func TestRunFindsPlantedPair(t *testing.T) {
+	g, store := fixture(t)
+	res, err := Run(g, store, AllPairs(store, 5), Config{
+		H:           2,
+		SampleSize:  200,
+		Alternative: stats.Greater,
+		Seed:        7,
+		Workers:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tested == 0 {
+		t.Fatal("nothing tested")
+	}
+	top := res.Pairs[0]
+	if !(top.A == "signal-a" && top.B == "signal-b") {
+		t.Errorf("top pair = %s vs %s (z=%.2f), want the planted signal", top.A, top.B, top.Z)
+	}
+	if !top.Significant {
+		t.Errorf("planted pair not significant after FDR: %+v", top)
+	}
+	// results sorted by adjusted p
+	for i := 1; i < res.Tested; i++ {
+		if res.Pairs[i].Skipped == "" && res.Pairs[i-1].Skipped == "" &&
+			res.Pairs[i].AdjP < res.Pairs[i-1].AdjP {
+			t.Fatal("results not sorted by adjusted p")
+		}
+	}
+}
+
+// FDR control: with only null pairs, the rejection count should be far
+// below the uncorrected expectation.
+func TestRunFDRControlsNulls(t *testing.T) {
+	rng := rand.New(rand.NewPCG(92, 1))
+	g := graphgen.ErdosRenyi(1500, 6000, rng)
+	b := events.NewBuilder(1500)
+	for e := 0; e < 12; e++ { // 66 null pairs
+		name := "n" + string(rune('a'+e))
+		for i := 0; i < 50; i++ {
+			b.Add(name, graph.NodeID(rng.IntN(1500)))
+		}
+	}
+	store := b.Build()
+	res, err := Run(g, store, AllPairs(store, 1), Config{
+		H: 1, SampleSize: 150, Alternative: stats.Greater, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected > 2 {
+		t.Errorf("FDR rejected %d of %d null pairs", res.Rejected, res.Tested)
+	}
+	// raw testing would reject more often than corrected
+	raw, err := Run(g, store, AllPairs(store, 1), Config{
+		H: 1, SampleSize: 150, Alternative: stats.Greater, Seed: 3, Correction: None,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Rejected < res.Rejected {
+		t.Errorf("raw rejections %d below corrected %d", raw.Rejected, res.Rejected)
+	}
+}
+
+func TestRunSkipsAndErrors(t *testing.T) {
+	g, store := fixture(t)
+	// min occurrences excludes the rare event pairings
+	res, err := Run(g, store, AllPairs(store, 1), Config{
+		H: 1, SampleSize: 100, MinOccurrences: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped == 0 {
+		t.Error("expected skipped pairs for the rare event")
+	}
+	for _, p := range res.Pairs {
+		if (p.A == "rare" || p.B == "rare") && p.Skipped == "" {
+			t.Errorf("rare pair tested despite threshold: %+v", p)
+		}
+	}
+	// invalid config
+	if _, err := Run(g, store, nil, Config{H: 0}); err == nil {
+		t.Error("H=0 accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, store := fixture(t)
+	cfg := Config{H: 1, SampleSize: 100, Seed: 42, Workers: 3}
+	a, err := Run(g, store, AllPairs(store, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, store, AllPairs(store, 5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Fatalf("run not deterministic at %d: %+v vs %+v", i, a.Pairs[i], b.Pairs[i])
+		}
+	}
+}
+
+func TestBonferroniMode(t *testing.T) {
+	g, store := fixture(t)
+	fdr, err := Run(g, store, AllPairs(store, 5), Config{H: 2, SampleSize: 150, Alternative: stats.Greater, Seed: 7, Correction: FDR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwer, err := Run(g, store, AllPairs(store, 5), Config{H: 2, SampleSize: 150, Alternative: stats.Greater, Seed: 7, Correction: FWER})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwer.Rejected > fdr.Rejected {
+		t.Errorf("Bonferroni rejected more (%d) than BH (%d)", fwer.Rejected, fdr.Rejected)
+	}
+}

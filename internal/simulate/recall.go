@@ -1,0 +1,73 @@
+package simulate
+
+import (
+	"math/rand/v2"
+
+	"tesc/internal/core"
+	"tesc/internal/graph"
+	"tesc/internal/stats"
+)
+
+// RecallOptions configures a recall evaluation run (§5.2: "We use recall
+// as the evaluation metric, defined as the number of correctly detected
+// event pairs divided by the total number of event pairs"; one-tailed
+// tests at α = 0.05, n = 900 reference nodes).
+type RecallOptions struct {
+	H          int
+	SampleSize int
+	Alpha      float64
+	Sampler    core.Sampler
+	Rand       *rand.Rand
+}
+
+// RecallResult summarizes an evaluation batch.
+type RecallResult struct {
+	Pairs    int
+	Detected int
+	Errors   int // pairs whose test failed outright (degenerate samples)
+}
+
+// Recall returns Detected/Pairs.
+func (r RecallResult) Recall() float64 {
+	if r.Pairs == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Pairs)
+}
+
+// EvaluateRecall runs a one-tailed TESC test on every pair and counts
+// detections with the planted sign. Pairs that error (e.g. a noise level
+// that leaves too few references) count as misses.
+func EvaluateRecall(g *graph.Graph, pairs []EventPair, opts RecallOptions) RecallResult {
+	var out RecallResult
+	out.Pairs = len(pairs)
+	for _, pair := range pairs {
+		alt := stats.Greater
+		if !pair.Positive {
+			alt = stats.Less
+		}
+		p, err := core.NewProblem(g,
+			graph.NewNodeSet(g.NumNodes(), pair.Va),
+			graph.NewNodeSet(g.NumNodes(), pair.Vb))
+		if err != nil {
+			out.Errors++
+			continue
+		}
+		res, err := core.Test(p, core.Options{
+			H:           opts.H,
+			SampleSize:  opts.SampleSize,
+			Sampler:     opts.Sampler,
+			Alternative: alt,
+			Alpha:       opts.Alpha,
+			Rand:        opts.Rand,
+		})
+		if err != nil {
+			out.Errors++
+			continue
+		}
+		if res.Significant {
+			out.Detected++
+		}
+	}
+	return out
+}

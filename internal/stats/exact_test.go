@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMahonianSmall(t *testing.T) {
+	// n=3: 6 permutations with inversion counts 0,1,1,2,2,3.
+	pmf := mahonian(3)
+	want := []float64{1.0 / 6, 2.0 / 6, 2.0 / 6, 1.0 / 6}
+	if len(pmf) != len(want) {
+		t.Fatalf("pmf = %v", pmf)
+	}
+	for k := range want {
+		if !almostEqual(pmf[k], want[k], 1e-15) {
+			t.Fatalf("pmf = %v, want %v", pmf, want)
+		}
+	}
+}
+
+func TestMahonianSumsToOne(t *testing.T) {
+	for _, n := range []int{2, 5, 10, 30, 60, MaxExactN} {
+		pmf := mahonian(n)
+		var s float64
+		for _, p := range pmf {
+			s += p
+		}
+		if !almostEqual(s, 1, 1e-9) {
+			t.Errorf("n=%d: pmf sums to %.12f", n, s)
+		}
+		// symmetry: reversing a permutation maps k inversions to n0-k
+		for k := 0; k < len(pmf)/2; k++ {
+			if !almostEqual(pmf[k], pmf[len(pmf)-1-k], 1e-12) {
+				t.Errorf("n=%d: pmf not symmetric at %d", n, k)
+				break
+			}
+		}
+	}
+}
+
+func TestExactNullPValueKnown(t *testing.T) {
+	// n=3, numerator=3 (perfect concordance): P = 1/6 one-tailed.
+	p, err := ExactNullPValue(3, 3, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p, 1.0/6, 1e-15) {
+		t.Errorf("p = %g, want 1/6", p)
+	}
+	// two-sided doubles it
+	p2, _ := ExactNullPValue(3, 3, TwoSided)
+	if !almostEqual(p2, 2.0/6, 1e-15) {
+		t.Errorf("two-sided p = %g, want 1/3", p2)
+	}
+	// numerator = -3: Less tail = 1/6, Greater tail = 1
+	pl, _ := ExactNullPValue(3, -3, Less)
+	if !almostEqual(pl, 1.0/6, 1e-15) {
+		t.Errorf("Less p = %g", pl)
+	}
+	pg, _ := ExactNullPValue(3, -3, Greater)
+	if !almostEqual(pg, 1, 1e-15) {
+		t.Errorf("Greater p at minimum = %g, want 1", pg)
+	}
+	// numerator 0 (even n0 required): n=4, n0=6, numerator 0
+	p0, err := ExactNullPValue(4, 0, TwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 != 1 {
+		t.Errorf("p at numerator 0 = %g, want 1", p0)
+	}
+}
+
+func TestExactNullPValueErrors(t *testing.T) {
+	if _, err := ExactNullPValue(1, 0, Greater); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ExactNullPValue(MaxExactN+1, 0, Greater); err == nil {
+		t.Error("n too large accepted")
+	}
+	if _, err := ExactNullPValue(3, 5, Greater); err == nil {
+		t.Error("numerator out of range accepted")
+	}
+	if _, err := ExactNullPValue(3, 2, Greater); err == nil {
+		t.Error("impossible parity accepted (n0=3 is odd)")
+	}
+}
+
+// The exact p-value must converge to the normal approximation as n grows.
+func TestExactMatchesNormalApproximation(t *testing.T) {
+	for _, n := range []int{30, 60, 100} {
+		n0 := int64(n) * int64(n-1) / 2
+		// pick a numerator near 2σ with the right parity
+		sigma := math.Sqrt(NumeratorVariance(n, nil, nil))
+		num := int64(2 * sigma)
+		if (n0-num)%2 != 0 {
+			num++
+		}
+		exact, err := ExactNullPValue(n, num, Greater)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := PValueZ(float64(num)/sigma, Greater)
+		if math.Abs(exact-approx) > 0.01 {
+			t.Errorf("n=%d: exact %.4f vs normal %.4f", n, exact, approx)
+		}
+	}
+}
+
+// Monte-Carlo cross-check of the exact distribution.
+func TestExactNullMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 1))
+	const n, reps = 8, 20000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	// empirical P(numerator >= 10)
+	const threshold = 10
+	count := 0
+	for rep := 0; rep < reps; rep++ {
+		perm := rng.Perm(n)
+		for i, p := range perm {
+			y[i] = float64(p)
+		}
+		if Kendall(x, y).Numerator() >= threshold {
+			count++
+		}
+	}
+	want, err := ExactNullPValue(n, threshold, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(count) / reps
+	sigma := math.Sqrt(want * (1 - want) / reps)
+	if math.Abs(got-want) > 5*sigma {
+		t.Errorf("MC tail %.4f vs exact %.4f (±%.4f)", got, want, 5*sigma)
+	}
+}
+
+func TestExactKendall(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 1, 4, 3, 5}
+	r, p, err := ExactKendall(x, y, Greater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 5 || p <= 0 || p >= 1 {
+		t.Errorf("r=%+v p=%g", r, p)
+	}
+	// ties rejected
+	_, _, err = ExactKendall([]float64{1, 1, 2}, []float64{1, 2, 3}, Greater)
+	if err == nil {
+		t.Error("tied sample accepted by exact test")
+	}
+}

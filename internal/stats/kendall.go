@@ -1,0 +1,231 @@
+// Package stats implements the rank-correlation statistics underlying the
+// TESC test: Kendall's τ (naive quadratic and O(n log n) variants, plus a
+// weighted variant for the importance-sampling estimator of Eq. 8), the
+// tie-corrected null variance of the τ numerator (paper Eq. 5/6), normal
+// tail probabilities, Kendall's τ_b for the Transaction Correlation
+// baseline, and Spearman's ρ as the alternative rank statistic §8
+// mentions.
+//
+// Everything here is pure computation over float slices; no graph types
+// leak in. The TESC core feeds event-density vectors to these functions.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TauResult carries every quantity of a Kendall rank-correlation test
+// between two paired samples x and y of common length n.
+type TauResult struct {
+	N          int     // number of paired observations
+	Concordant int64   // # pairs (i<j) with (xi-xj)(yi-yj) > 0
+	Discordant int64   // # pairs with (xi-xj)(yi-yj) < 0
+	TiesX      int64   // # pairs tied in x only
+	TiesY      int64   // # pairs tied in y only
+	TiesBoth   int64   // # pairs tied in both x and y
+	Tau        float64 // (C-D) / (n(n-1)/2), the paper's Eq. 3/4 normalization
+	VarNum     float64 // Var(C-D) under H0, tie-corrected (Eq. 6)
+	Z          float64 // (C-D)/sqrt(VarNum) (Eq. 7)
+}
+
+// Numerator returns C − D, the numerator of Eq. 4.
+func (r TauResult) Numerator() int64 { return r.Concordant - r.Discordant }
+
+// TotalPairs returns n(n−1)/2.
+func (r TauResult) TotalPairs() int64 { return int64(r.N) * int64(r.N-1) / 2 }
+
+// PValue returns the p-value of the test for the given alternative.
+func (r TauResult) PValue(alt Alternative) float64 { return PValueZ(r.Z, alt) }
+
+// Significant reports whether the test rejects H0 ("x and y independent")
+// at level alpha for the given alternative.
+func (r TauResult) Significant(alpha float64, alt Alternative) bool {
+	return r.PValue(alt) < alpha
+}
+
+// String summarizes the result.
+func (r TauResult) String() string {
+	return fmt.Sprintf("tau=%.4f z=%.2f (n=%d, C=%d, D=%d)",
+		r.Tau, r.Z, r.N, r.Concordant, r.Discordant)
+}
+
+// KendallNaive computes the Kendall τ test by enumerating all pairs in
+// O(n²). It is the differential-testing oracle for Kendall and the
+// reference implementation of Definition 4's concordance function
+// aggregated by Eq. 3: concordance +1, discordance −1, ties 0.
+func KendallNaive(x, y []float64) TauResult {
+	n := mustSameLen(x, y)
+	var r TauResult
+	r.N = n
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				r.TiesBoth++
+			case dx == 0:
+				r.TiesX++
+			case dy == 0:
+				r.TiesY++
+			case dx*dy > 0:
+				r.Concordant++
+			default:
+				r.Discordant++
+			}
+		}
+	}
+	finishTau(&r, TieSizes(x), TieSizes(y))
+	return r
+}
+
+// Kendall computes the same TauResult as KendallNaive in O(n log n) using
+// Knight's algorithm: sort by (x, y), count pairwise ties from run
+// lengths, and count discordant pairs as y-inversions via merge sort.
+func Kendall(x, y []float64) TauResult {
+	n := mustSameLen(x, y)
+	var r TauResult
+	r.N = n
+	if n < 2 {
+		finishTau(&r, nil, nil)
+		return r
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if x[ia] != x[ib] {
+			return x[ia] < x[ib]
+		}
+		return y[ia] < y[ib]
+	})
+
+	// Pair-tie counts from run lengths in the sorted order.
+	pairs := func(c int64) int64 { return c * (c - 1) / 2 }
+	var tiesXpairs, tiesBothPairs int64 // pairs tied in x (incl. both), both
+	runX, runXY := int64(1), int64(1)
+	ys := make([]float64, n)
+	ys[0] = y[idx[0]]
+	for i := 1; i < n; i++ {
+		ys[i] = y[idx[i]]
+		if x[idx[i]] == x[idx[i-1]] {
+			runX++
+			if y[idx[i]] == y[idx[i-1]] {
+				runXY++
+			} else {
+				tiesBothPairs += pairs(runXY)
+				runXY = 1
+			}
+		} else {
+			tiesXpairs += pairs(runX)
+			tiesBothPairs += pairs(runXY)
+			runX, runXY = 1, 1
+		}
+	}
+	tiesXpairs += pairs(runX)
+	tiesBothPairs += pairs(runXY)
+
+	var tiesYpairs int64 // pairs tied in y (incl. both)
+	sortedY := append([]float64(nil), y...)
+	sort.Float64s(sortedY)
+	runY := int64(1)
+	for i := 1; i < n; i++ {
+		if sortedY[i] == sortedY[i-1] {
+			runY++
+		} else {
+			tiesYpairs += pairs(runY)
+			runY = 1
+		}
+	}
+	tiesYpairs += pairs(runY)
+
+	swaps := countInversions(ys)
+
+	n0 := pairs(int64(n))
+	// Discordant pairs are exactly the y-inversions among pairs not tied
+	// in x (within an x-run, ys is ascending, contributing no inversions).
+	r.Discordant = swaps
+	r.TiesBoth = tiesBothPairs
+	r.TiesX = tiesXpairs - tiesBothPairs
+	r.TiesY = tiesYpairs - tiesBothPairs
+	r.Concordant = n0 - r.TiesX - r.TiesY - r.TiesBoth - r.Discordant
+
+	finishTau(&r, TieSizes(x), TieSizes(y))
+	return r
+}
+
+// finishTau fills Tau, VarNum and Z from the pair counts and tie-group
+// sizes.
+func finishTau(r *TauResult, tiesX, tiesY []int64) {
+	n0 := r.TotalPairs()
+	if n0 > 0 {
+		r.Tau = float64(r.Numerator()) / float64(n0)
+	}
+	r.VarNum = NumeratorVariance(r.N, tiesX, tiesY)
+	r.Z = ZFromNumerator(float64(r.Numerator()), r.VarNum)
+}
+
+// countInversions counts pairs i<j with ys[i] > ys[j] via bottom-up merge
+// sort, destroying ys.
+func countInversions(ys []float64) int64 {
+	n := len(ys)
+	buf := make([]float64, n)
+	var inv int64
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n-width; lo += 2 * width {
+			mid := lo + width
+			hi := mid + width
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if ys[i] <= ys[j] {
+					buf[k] = ys[i]
+					i++
+				} else {
+					buf[k] = ys[j]
+					j++
+					inv += int64(mid - i)
+				}
+				k++
+			}
+			copy(buf[k:], ys[i:mid])
+			copy(buf[k+mid-i:], ys[j:hi])
+			copy(ys[lo:hi], buf[lo:hi])
+		}
+	}
+	return inv
+}
+
+// TieSizes returns the sizes of the tie groups of v (groups of equal
+// values), including singleton groups. These are the u_i / v_i of Eq. 6.
+func TieSizes(v []float64) []int64 {
+	if len(v) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	var sizes []int64
+	run := int64(1)
+	for i := 1; i < len(s); i++ {
+		if s[i] == s[i-1] {
+			run++
+		} else {
+			sizes = append(sizes, run)
+			run = 1
+		}
+	}
+	return append(sizes, run)
+}
+
+func mustSameLen(x, y []float64) int {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: paired samples of different lengths %d and %d", len(x), len(y)))
+	}
+	return len(x)
+}

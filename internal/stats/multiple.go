@@ -1,0 +1,59 @@
+package stats
+
+import "sort"
+
+// Screening every event pair of a real attributed graph (the workflow
+// behind the paper's Tables 1–5, which report the top findings of such
+// sweeps) multiplies the false-positive risk: at α = 0.05, five hundred
+// independent null pairs yield ~25 spurious "correlations". This file
+// provides the two standard corrections.
+
+// BenjaminiHochberg returns BH(1995) step-up adjusted p-values
+// controlling the false discovery rate: reject H0_i at level q whenever
+// the adjusted value is ≤ q. The output preserves input order; inputs
+// outside [0, 1] are clamped.
+func BenjaminiHochberg(ps []float64) []float64 {
+	m := len(ps)
+	if m == 0 {
+		return nil
+	}
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+
+	adj := make([]float64, m)
+	minSoFar := 1.0
+	for rank := m - 1; rank >= 0; rank-- {
+		i := idx[rank]
+		v := clamp01(ps[i]) * float64(m) / float64(rank+1)
+		if v < minSoFar {
+			minSoFar = v
+		}
+		adj[i] = minSoFar
+	}
+	return adj
+}
+
+// Bonferroni returns min(1, m·p) for each p — family-wise error control,
+// more conservative than BH.
+func Bonferroni(ps []float64) []float64 {
+	m := len(ps)
+	out := make([]float64, m)
+	for i, p := range ps {
+		out[i] = clamp01(clamp01(p) * float64(m))
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

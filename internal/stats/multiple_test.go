@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestBenjaminiHochbergKnown(t *testing.T) {
+	// classic worked example
+	ps := []float64{0.01, 0.04, 0.03, 0.005}
+	adj := BenjaminiHochberg(ps)
+	// sorted: 0.005, 0.01, 0.03, 0.04 → raw adj: .02, .02, .04, .04
+	want := []float64{0.02, 0.04, 0.04, 0.02}
+	for i := range want {
+		if !almostEqual(adj[i], want[i], 1e-12) {
+			t.Fatalf("adj = %v, want %v", adj, want)
+		}
+	}
+}
+
+func TestBenjaminiHochbergProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 1))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.IntN(50)
+		ps := make([]float64, m)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		adj := BenjaminiHochberg(ps)
+		for i := range adj {
+			if adj[i] < ps[i]-1e-12 {
+				t.Fatalf("adjusted below raw at %d: %g < %g", i, adj[i], ps[i])
+			}
+			if adj[i] > 1 {
+				t.Fatalf("adjusted above 1: %g", adj[i])
+			}
+		}
+		// monotone: same order as raw p-values
+		idx := make([]int, m)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+		for k := 1; k < m; k++ {
+			if adj[idx[k]] < adj[idx[k-1]]-1e-12 {
+				t.Fatalf("adjusted p-values not monotone in raw order")
+			}
+		}
+	}
+	if BenjaminiHochberg(nil) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestBonferroni(t *testing.T) {
+	adj := Bonferroni([]float64{0.01, 0.3, 0.6})
+	want := []float64{0.03, 0.9, 1}
+	for i := range want {
+		if !almostEqual(adj[i], want[i], 1e-12) {
+			t.Fatalf("adj = %v, want %v", adj, want)
+		}
+	}
+	// clamping of bad inputs
+	adj2 := Bonferroni([]float64{-0.5, 2})
+	if adj2[0] != 0 || adj2[1] != 1 {
+		t.Errorf("clamped = %v", adj2)
+	}
+}
+
+// BH must dominate Bonferroni (less conservative).
+func TestBHDominatesBonferroni(t *testing.T) {
+	rng := rand.New(rand.NewPCG(82, 1))
+	ps := make([]float64, 40)
+	for i := range ps {
+		ps[i] = rng.Float64() * 0.2
+	}
+	bh := BenjaminiHochberg(ps)
+	bf := Bonferroni(ps)
+	for i := range ps {
+		if bh[i] > bf[i]+1e-12 {
+			t.Fatalf("BH %g exceeds Bonferroni %g at %d", bh[i], bf[i], i)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import "math"
+
+// NullVariance returns the variance of the sampled statistic t(a,b)
+// (Eq. 4) under the null hypothesis when no ties are present:
+//
+//	σ² = 2(2n+5) / (9 n (n−1))          (paper Eq. 5)
+//
+// A good normal approximation of t's null distribution holds for n > 30.
+func NullVariance(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	nf := float64(n)
+	return 2 * (2*nf + 5) / (9 * nf * (nf - 1))
+}
+
+// NumeratorVariance returns Var(Σ c(ri,rj)) — the variance of the
+// numerator of Eq. 4 under the null hypothesis with tie corrections
+// (paper Eq. 6). tiesX and tiesY are the tie-group sizes (u_i and v_i) of
+// the two samples; singleton groups contribute nothing and may be
+// included or omitted freely.
+//
+// When all group sizes equal 1 this reduces to Eq. 5 multiplied by
+// [n(n−1)/2]², as the paper notes. Larger ties always shrink the
+// variance (tested as a property).
+func NumeratorVariance(n int, tiesX, tiesY []int64) float64 {
+	if n < 2 {
+		return 0
+	}
+	nf := float64(n)
+
+	var sumU1, sumU2, sumU3 float64 // Σu(u-1)(2u+5), Σu(u-1)(u-2), Σu(u-1)
+	for _, u := range tiesX {
+		uf := float64(u)
+		sumU1 += uf * (uf - 1) * (2*uf + 5)
+		sumU2 += uf * (uf - 1) * (uf - 2)
+		sumU3 += uf * (uf - 1)
+	}
+	var sumV1, sumV2, sumV3 float64
+	for _, v := range tiesY {
+		vf := float64(v)
+		sumV1 += vf * (vf - 1) * (2*vf + 5)
+		sumV2 += vf * (vf - 1) * (vf - 2)
+		sumV3 += vf * (vf - 1)
+	}
+
+	term1 := (nf*(nf-1)*(2*nf+5) - sumU1 - sumV1) / 18
+	var term2 float64
+	if n > 2 {
+		term2 = sumU2 * sumV2 / (9 * nf * (nf - 1) * (nf - 2))
+	}
+	term3 := sumU3 * sumV3 / (2 * nf * (nf - 1))
+	return term1 + term2 + term3
+}
+
+// ZFromNumerator returns numerator / sqrt(varNum), the z-score of Eq. 7
+// expressed on the un-normalized numerator (the paper notes the common
+// normalization cancels). A zero variance — e.g. every observation tied —
+// yields z = 0: such a sample carries no evidence either way.
+func ZFromNumerator(numerator, varNum float64) float64 {
+	if varNum <= 0 {
+		return 0
+	}
+	return numerator / math.Sqrt(varNum)
+}
+
+// TauVarianceUpperBound returns the 2(1−τ²)/n bound on Var(t) quoted in
+// §3.1 (from Kendall & Gibbons), the reason a fixed modest sample size n
+// suffices regardless of the reference population size N.
+func TauVarianceUpperBound(n int, tau float64) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return 2 * (1 - tau*tau) / float64(n)
+}
+
+// TauConfidenceInterval returns a conservative (1−alpha) confidence
+// interval for the population τ around the sampled estimate t, using the
+// §3.1 variance bound Var(t) ≤ 2(1−t²)/n and the normal approximation.
+// The interval is clamped to [−1, 1]. It is conservative because the
+// bound dominates the true sampling variance for every population size N.
+func TauConfidenceInterval(t float64, n int, alpha float64) (lo, hi float64) {
+	if n < 2 || alpha <= 0 || alpha >= 1 {
+		return -1, 1
+	}
+	half := NormalQuantile(1-alpha/2) * math.Sqrt(TauVarianceUpperBound(n, t))
+	lo, hi = t-half, t+half
+	if lo < -1 {
+		lo = -1
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

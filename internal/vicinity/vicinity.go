@@ -1,0 +1,230 @@
+// Package vicinity precomputes and maintains the per-node vicinity-size
+// index |V^h_v| that the paper's rejection and importance samplers
+// require (§4.2: "|V^h_v|'s (h = 1, ..., hm) can be pre-computed offline
+// by doing a hm-hop BFS from each node in the graph. The space cost is
+// only O(|V|) for each vicinity level").
+//
+// Construction runs one bounded-depth BFS per node, fanned out over a
+// goroutine pool; each worker owns a private BFS engine so the scan is
+// embarrassingly parallel. The index also supports the incremental
+// maintenance the paper alludes to ("once we obtain the index, it can be
+// efficiently updated as the graph changes"): an edge flip only perturbs
+// the h-vicinities of nodes within h hops of its endpoints.
+package vicinity
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tesc/internal/graph"
+)
+
+// Index stores |V^h_v| for every node v and level h = 1..MaxLevel.
+type Index struct {
+	g        *graph.Graph
+	maxLevel int
+	sizes    [][]int32 // sizes[h-1][v] = |V^h_v|
+}
+
+// Options configures index construction.
+type Options struct {
+	// Workers is the goroutine-pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Build computes the index for levels 1..maxLevel over g.
+func Build(g *graph.Graph, maxLevel int, opts Options) (*Index, error) {
+	if maxLevel < 1 {
+		return nil, fmt.Errorf("vicinity: maxLevel must be >= 1, got %d", maxLevel)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumNodes()
+	idx := &Index{g: g, maxLevel: maxLevel}
+	idx.sizes = make([][]int32, maxLevel)
+	for h := range idx.sizes {
+		idx.sizes[h] = make([]int32, n)
+	}
+
+	var wg sync.WaitGroup
+	const chunk = 1024
+	next := make(chan int)
+	go func() {
+		for lo := 0; lo < n; lo += chunk {
+			next <- lo
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bfs := graph.NewBFS(g)
+			counts := make([]int32, maxLevel+1)
+			for lo := range next {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for v := lo; v < hi; v++ {
+					idx.computeNode(bfs, graph.NodeID(v), counts)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return idx, nil
+}
+
+// computeNode runs one maxLevel-hop BFS from v and fills sizes[*][v].
+// counts is scratch of length maxLevel+1.
+func (idx *Index) computeNode(bfs *graph.BFS, v graph.NodeID, counts []int32) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	bfs.Run([]graph.NodeID{v}, idx.maxLevel, func(_ graph.NodeID, d int) {
+		counts[d]++
+	})
+	cum := int32(0)
+	for h := 0; h <= idx.maxLevel; h++ {
+		cum += counts[h]
+		if h >= 1 {
+			idx.sizes[h-1][v] = cum
+		}
+	}
+}
+
+// BuildForNodes computes the index entries for the given nodes only;
+// entries of all other nodes are left at zero and must not be queried.
+// The samplers only consult |V^h_v| for event nodes (§4.2), so a partial
+// index over Va∪b suffices for a single test and costs |Va∪b| BFS
+// traversals instead of |V| — the shortcut the efficiency experiments
+// (Figure 9) use on the 20M-node graph, where full offline construction
+// is a one-time cost the paper excludes from sampling time.
+func BuildForNodes(g *graph.Graph, nodes []graph.NodeID, maxLevel int, opts Options) (*Index, error) {
+	if maxLevel < 1 {
+		return nil, fmt.Errorf("vicinity: maxLevel must be >= 1, got %d", maxLevel)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := &Index{g: g, maxLevel: maxLevel}
+	idx.sizes = make([][]int32, maxLevel)
+	for h := range idx.sizes {
+		idx.sizes[h] = make([]int32, g.NumNodes())
+	}
+	var wg sync.WaitGroup
+	const chunk = 256
+	next := make(chan int)
+	go func() {
+		for lo := 0; lo < len(nodes); lo += chunk {
+			next <- lo
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bfs := graph.NewBFS(g)
+			counts := make([]int32, maxLevel+1)
+			for lo := range next {
+				hi := lo + chunk
+				if hi > len(nodes) {
+					hi = len(nodes)
+				}
+				for _, v := range nodes[lo:hi] {
+					idx.computeNode(bfs, v, counts)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return idx, nil
+}
+
+// MaxLevel returns the largest level the index covers.
+func (idx *Index) MaxLevel() int { return idx.maxLevel }
+
+// Graph returns the graph the index was built over.
+func (idx *Index) Graph() *graph.Graph { return idx.g }
+
+// Size returns |V^h_v|. It panics if h is outside [1, MaxLevel].
+func (idx *Index) Size(v graph.NodeID, h int) int {
+	idx.checkLevel(h)
+	return int(idx.sizes[h-1][v])
+}
+
+// Sizes returns the full |V^h_·| column for level h. The slice aliases
+// internal storage and must not be modified.
+func (idx *Index) Sizes(h int) []int32 {
+	idx.checkLevel(h)
+	return idx.sizes[h-1]
+}
+
+// SumSizes returns Nsum = Σ_{v∈nodes} |V^h_v| (§4.2), the normalizer of
+// the weighted event-node distribution.
+func (idx *Index) SumSizes(nodes []graph.NodeID, h int) float64 {
+	idx.checkLevel(h)
+	col := idx.sizes[h-1]
+	var sum float64
+	for _, v := range nodes {
+		sum += float64(col[v])
+	}
+	return sum
+}
+
+// Weights returns the |V^h_v| values of the given nodes as float64s, the
+// weight vector for alias-table construction.
+func (idx *Index) Weights(nodes []graph.NodeID, h int) []float64 {
+	idx.checkLevel(h)
+	col := idx.sizes[h-1]
+	out := make([]float64, len(nodes))
+	for i, v := range nodes {
+		out[i] = float64(col[v])
+	}
+	return out
+}
+
+// UpdateAfterEdgeChange recomputes the index entries invalidated by
+// adding or removing the single edge {u, w}: exactly the nodes whose
+// maxLevel-vicinity contains u or w, i.e. nodes within maxLevel hops of
+// either endpoint in the *new* graph g (for removals the old graph's
+// reach must be covered too, so pass the union graph's endpoints —
+// callers that flip one edge at a time can simply call this with both the
+// old and new graphs' BFS reach by invoking it on the new graph; distances
+// to other nodes only shrink on addition and grow on removal, and the
+// affected set is within maxLevel of an endpoint under whichever graph
+// still has the longer reach).
+//
+// The index must be rebound to the new graph first via Rebind.
+func (idx *Index) UpdateAfterEdgeChange(u, w graph.NodeID) {
+	bfs := graph.NewBFS(idx.g)
+	var dirty []graph.NodeID
+	dirty = bfs.SetVicinity([]graph.NodeID{u, w}, idx.maxLevel, dirty)
+	counts := make([]int32, idx.maxLevel+1)
+	for _, v := range dirty {
+		idx.computeNode(bfs, v, counts)
+	}
+}
+
+// Rebind points the index at a structurally updated graph with the same
+// node count (e.g. one edge added or removed). Entries are NOT
+// recomputed; call UpdateAfterEdgeChange for each flipped edge.
+func (idx *Index) Rebind(g *graph.Graph) error {
+	if g.NumNodes() != idx.g.NumNodes() {
+		return fmt.Errorf("vicinity: rebind node count %d != %d", g.NumNodes(), idx.g.NumNodes())
+	}
+	idx.g = g
+	return nil
+}
+
+func (idx *Index) checkLevel(h int) {
+	if h < 1 || h > idx.maxLevel {
+		panic(fmt.Sprintf("vicinity: level %d outside [1, %d]", h, idx.maxLevel))
+	}
+}

@@ -1,0 +1,158 @@
+package vicinity
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+)
+
+func TestBuildErrors(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := Build(g, 0, Options{}); err == nil {
+		t.Error("maxLevel 0 should fail")
+	}
+}
+
+func TestIndexMatchesDirectBFS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 1))
+	g := graphgen.ErdosRenyi(300, 900, rng)
+	idx, err := Build(g, 3, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := graph.NewBFS(g)
+	for v := 0; v < g.NumNodes(); v++ {
+		for h := 1; h <= 3; h++ {
+			want := bfs.VicinitySize(graph.NodeID(v), h)
+			if got := idx.Size(graph.NodeID(v), h); got != want {
+				t.Fatalf("Size(%d, %d) = %d, want %d", v, h, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexPathGraph(t *testing.T) {
+	g := graph.Path(10)
+	idx, err := Build(g, 2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// middle node: |V^1| = 3, |V^2| = 5; end node: |V^1| = 2, |V^2| = 3
+	if idx.Size(5, 1) != 3 || idx.Size(5, 2) != 5 {
+		t.Errorf("middle sizes = %d,%d", idx.Size(5, 1), idx.Size(5, 2))
+	}
+	if idx.Size(0, 1) != 2 || idx.Size(0, 2) != 3 {
+		t.Errorf("end sizes = %d,%d", idx.Size(0, 1), idx.Size(0, 2))
+	}
+	if idx.MaxLevel() != 2 {
+		t.Errorf("MaxLevel = %d", idx.MaxLevel())
+	}
+	if idx.Graph() != g {
+		t.Error("Graph() identity")
+	}
+}
+
+func TestIndexLevelBoundsPanic(t *testing.T) {
+	g := graph.Path(4)
+	idx, _ := Build(g, 2, Options{})
+	for _, h := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("level %d should panic", h)
+				}
+			}()
+			idx.Size(0, h)
+		}()
+	}
+}
+
+func TestSumSizesAndWeights(t *testing.T) {
+	g := graph.Path(5)
+	idx, _ := Build(g, 1, Options{})
+	nodes := []graph.NodeID{0, 2, 4}
+	// |V^1| = 2, 3, 2
+	if got := idx.SumSizes(nodes, 1); got != 7 {
+		t.Errorf("SumSizes = %g, want 7", got)
+	}
+	w := idx.Weights(nodes, 1)
+	if len(w) != 3 || w[0] != 2 || w[1] != 3 || w[2] != 2 {
+		t.Errorf("Weights = %v", w)
+	}
+	col := idx.Sizes(1)
+	if len(col) != 5 || col[2] != 3 {
+		t.Errorf("Sizes column = %v", col)
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(62, 1))
+	g := graphgen.ErdosRenyi(200, 600, rng)
+	one, _ := Build(g, 2, Options{Workers: 1})
+	many, _ := Build(g, 2, Options{Workers: 8})
+	for h := 1; h <= 2; h++ {
+		a, b := one.Sizes(h), many.Sizes(h)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("h=%d node %d: 1-worker %d != 8-worker %d", h, v, a[v], b[v])
+			}
+		}
+	}
+}
+
+func TestUpdateAfterEdgeChange(t *testing.T) {
+	// Start with a path, add a chord, verify affected entries match a
+	// fresh rebuild.
+	g := graph.Path(12)
+	idx, _ := Build(g, 2, Options{})
+
+	b := graph.NewBuilder(12)
+	g.ForEachEdge(func(u, v graph.NodeID) bool { b.AddEdge(u, v); return true })
+	b.AddEdge(2, 9)
+	g2 := b.MustBuild()
+
+	if err := idx.Rebind(g2); err != nil {
+		t.Fatal(err)
+	}
+	idx.UpdateAfterEdgeChange(2, 9)
+
+	fresh, _ := Build(g2, 2, Options{})
+	for v := 0; v < 12; v++ {
+		for h := 1; h <= 2; h++ {
+			if idx.Size(graph.NodeID(v), h) != fresh.Size(graph.NodeID(v), h) {
+				t.Fatalf("after update, Size(%d,%d) = %d, fresh = %d",
+					v, h, idx.Size(graph.NodeID(v), h), fresh.Size(graph.NodeID(v), h))
+			}
+		}
+	}
+}
+
+func TestBuildForNodes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 1))
+	g := graphgen.ErdosRenyi(150, 450, rng)
+	nodes := []graph.NodeID{3, 77, 149, 42}
+	partial, err := BuildForNodes(g, nodes, 2, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := Build(g, 2, Options{})
+	for _, v := range nodes {
+		for h := 1; h <= 2; h++ {
+			if partial.Size(v, h) != full.Size(v, h) {
+				t.Fatalf("partial Size(%d,%d) = %d, full = %d", v, h, partial.Size(v, h), full.Size(v, h))
+			}
+		}
+	}
+	if _, err := BuildForNodes(g, nodes, 0, Options{}); err == nil {
+		t.Error("maxLevel 0 should fail")
+	}
+}
+
+func TestRebindNodeCountMismatch(t *testing.T) {
+	idx, _ := Build(graph.Path(5), 1, Options{})
+	if err := idx.Rebind(graph.Path(6)); err == nil {
+		t.Error("rebind with different node count should fail")
+	}
+}

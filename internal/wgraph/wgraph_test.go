@@ -1,0 +1,303 @@
+package wgraph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"tesc/internal/stats"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, 0.5)
+	b.AddEdge(2, 2, 1) // self loop dropped
+	g := b.MustBuild()
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("g: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	ns, ws := g.Neighbors(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Fatalf("neighbors(1) = %v", ns)
+	}
+	if ws[0] != 1.5 || ws[1] != 0.5 {
+		t.Fatalf("weights(1) = %v", ws)
+	}
+	if g.Degree(3) != 0 {
+		t.Error("isolated node degree")
+	}
+}
+
+func TestBuilderParallelEdgesKeepSmallest(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 0, 7)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	_, ws := g.Neighbors(0)
+	if ws[0] != 2 {
+		t.Fatalf("kept weight %g, want 2", ws[0])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 5, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive weight should panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 1, 0)
+}
+
+// weighted path 0 -1.0- 1 -1.0- 2 -3.0- 3
+func weightedPath() *Graph {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 3)
+	return b.MustBuild()
+}
+
+func TestDijkstraBall(t *testing.T) {
+	g := weightedPath()
+	d := NewDijkstra(g)
+	dists := map[NodeID]float64{}
+	d.Ball([]NodeID{0}, 2.5, func(v NodeID, dist float64) { dists[v] = dist })
+	want := map[NodeID]float64{0: 0, 1: 1, 2: 2}
+	if len(dists) != len(want) {
+		t.Fatalf("ball = %v", dists)
+	}
+	for v, dd := range want {
+		if dists[v] != dd {
+			t.Fatalf("dist(%d) = %g, want %g", v, dists[v], dd)
+		}
+	}
+	// radius large enough reaches node 3 at distance 5
+	if size := d.BallSize(0, 5); size != 4 {
+		t.Errorf("BallSize(0,5) = %d", size)
+	}
+	if size := d.BallSize(0, 4.99); size != 3 {
+		t.Errorf("BallSize(0,4.99) = %d", size)
+	}
+}
+
+func TestDijkstraShortcuts(t *testing.T) {
+	// triangle with a long direct edge and a short two-hop route
+	b := NewBuilder(3)
+	b.AddEdge(0, 2, 10)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.MustBuild()
+	d := NewDijkstra(g)
+	var got float64 = -1
+	d.Ball([]NodeID{0}, 20, func(v NodeID, dist float64) {
+		if v == 2 {
+			got = dist
+		}
+	})
+	if got != 2 {
+		t.Errorf("dist(0,2) = %g, want 2 via relaxation", got)
+	}
+}
+
+func TestDijkstraMultiSource(t *testing.T) {
+	g := weightedPath()
+	d := NewDijkstra(g)
+	count := 0
+	d.Ball([]NodeID{0, 3}, 1, func(NodeID, float64) { count++ })
+	// from 0: {0,1}; from 3: {3} (edge 2-3 weighs 3)
+	if count != 3 {
+		t.Errorf("multi-source ball size = %d, want 3", count)
+	}
+	// engine reuse across epochs
+	if d.BallSize(1, 1) != 3 {
+		t.Error("reused engine wrong")
+	}
+}
+
+func TestDijkstraVisitOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 1))
+	b := NewBuilder(100)
+	for i := 0; i < 300; i++ {
+		u, v := NodeID(rng.IntN(100)), NodeID(rng.IntN(100))
+		if u != v {
+			b.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	g := b.MustBuild()
+	d := NewDijkstra(g)
+	prev := -1.0
+	d.Ball([]NodeID{0}, 3, func(_ NodeID, dist float64) {
+		if dist < prev {
+			t.Fatalf("visit order not nondecreasing: %g after %g", dist, prev)
+		}
+		prev = dist
+	})
+}
+
+// Unit weights must reproduce the unweighted h-hop vicinity.
+func TestUnitWeightsMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewPCG(62, 1))
+	const n = 150
+	b := NewBuilder(n)
+	type edge struct{ u, v NodeID }
+	var edges []edge
+	for i := 0; i < 400; i++ {
+		u, v := NodeID(rng.IntN(n)), NodeID(rng.IntN(n))
+		if u != v {
+			b.AddEdge(u, v, 1)
+			edges = append(edges, edge{u, v})
+		}
+	}
+	g := b.MustBuild()
+	d := NewDijkstra(g)
+	// BFS reimplementation over the same edges
+	adj := make([][]NodeID, n)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e.v)
+		adj[e.v] = append(adj[e.v], e.u)
+	}
+	bfsBall := func(s NodeID, h int) int {
+		depth := map[NodeID]int{s: 0}
+		queue := []NodeID{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if depth[v] == h {
+				continue
+			}
+			for _, u := range adj[v] {
+				if _, ok := depth[u]; !ok {
+					depth[u] = depth[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		return len(depth)
+	}
+	for trial := 0; trial < 25; trial++ {
+		s := NodeID(rng.IntN(n))
+		h := 1 + rng.IntN(3)
+		if got, want := d.BallSize(s, float64(h)), bfsBall(s, h); got != want {
+			t.Fatalf("unit-weight ball(%d, %d) = %d, BFS = %d", s, h, got, want)
+		}
+	}
+}
+
+func TestWeightedTESCValidation(t *testing.T) {
+	g := weightedPath()
+	if _, err := Test(g, []NodeID{0}, []NodeID{1}, Options{Radius: 0}); err == nil {
+		t.Error("radius 0 accepted")
+	}
+	if _, err := Test(g, nil, nil, Options{Radius: 1}); err == nil {
+		t.Error("no events accepted")
+	}
+	if _, err := Test(g, []NodeID{99}, nil, Options{Radius: 1}); err == nil {
+		t.Error("out-of-range occurrence accepted")
+	}
+	if _, err := Test(g, []NodeID{0}, []NodeID{1}, Options{Radius: 1, SampleSize: 1}); err == nil {
+		t.Error("sample size 1 accepted")
+	}
+}
+
+// Planted attraction/repulsion on a weighted community graph.
+func TestWeightedTESCEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 1))
+	const communities, size = 20, 25
+	n := communities * size
+	b := NewBuilder(n)
+	// short intra-community edges, long inter-community edges
+	for c := 0; c < communities; c++ {
+		base := c * size
+		for i := 0; i < 4*size; i++ {
+			u := NodeID(base + rng.IntN(size))
+			v := NodeID(base + rng.IntN(size))
+			if u != v {
+				b.AddEdge(u, v, 0.5+rng.Float64()*0.5)
+			}
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		u := NodeID(rng.IntN(n))
+		v := NodeID(rng.IntN(n))
+		if u != v {
+			b.AddEdge(u, v, 5+rng.Float64())
+		}
+	}
+	g := b.MustBuild()
+
+	// attraction: both events in the same communities, with a
+	// co-varying intensity ramp (community c holds c+1 occurrences of
+	// each event — the density gradients TESC aggregates)
+	var va, vb []NodeID
+	for c := 0; c < 8; c++ {
+		base := c * size
+		for i := 0; i <= c; i++ {
+			va = append(va, NodeID(base+rng.IntN(size)))
+			vb = append(vb, NodeID(base+rng.IntN(size)))
+		}
+	}
+	res, err := Test(g, va, vb, Options{
+		Radius: 2, SampleSize: 200,
+		Alternative: stats.Greater,
+		Rand:        rand.New(rand.NewPCG(1, 1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant || res.Z <= 0 {
+		t.Errorf("weighted attraction missed: %+v", res)
+	}
+	if res.Population < res.N {
+		t.Errorf("population %d below sample %d", res.Population, res.N)
+	}
+
+	// repulsion: far communities
+	var vc []NodeID
+	for c := 12; c < 20; c++ {
+		base := c * size
+		for i := 0; i < 4; i++ {
+			vc = append(vc, NodeID(base+rng.IntN(size)))
+		}
+	}
+	res2, err := Test(g, va, vc, Options{
+		Radius: 2, SampleSize: 200,
+		Alternative: stats.Less,
+		Rand:        rand.New(rand.NewPCG(2, 2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Significant || res2.Z >= 0 {
+		t.Errorf("weighted repulsion missed: %+v", res2)
+	}
+}
+
+// Radius sensitivity: a radius below the shortest edge makes every ball
+// a singleton, so densities are 0/1 indicators of the node itself.
+func TestWeightedTESCTinyRadius(t *testing.T) {
+	g := weightedPath()
+	res, err := Test(g, []NodeID{0, 1}, []NodeID{2, 3}, Options{
+		Radius: 0.5, SampleSize: 4,
+		Alternative: stats.Less,
+		Rand:        rand.New(rand.NewPCG(3, 3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Population != 4 {
+		t.Errorf("population = %d, want the 4 event nodes themselves", res.Population)
+	}
+	if math.Abs(res.Tau) > 1 {
+		t.Errorf("tau out of range: %g", res.Tau)
+	}
+}

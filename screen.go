@@ -1,0 +1,111 @@
+package tesc
+
+import (
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/screen"
+)
+
+// EventSet maps event names to their occurrence node lists — the input
+// of the screening API.
+type EventSet map[string][]int
+
+// ScreenOptions configures a multi-pair screening run (see Screen).
+type ScreenOptions struct {
+	// H is the vicinity level (required, ≥ 1).
+	H int
+	// SampleSize is the per-pair reference sample size (default 900).
+	SampleSize int
+	// Alpha is applied to *corrected* p-values (default 0.05).
+	Alpha float64
+	// Tail selects the tested direction for every pair.
+	Tail Tail
+	// MinOccurrences skips events with fewer occurrences (default 1).
+	MinOccurrences int
+	// Bonferroni switches from the default Benjamini–Hochberg FDR
+	// control to the family-wise Bonferroni correction.
+	Bonferroni bool
+	// Workers bounds concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Seed makes the run deterministic (0 = fixed default).
+	Seed uint64
+}
+
+// ScreenedPair is one tested pair, ordered by corrected p-value.
+type ScreenedPair struct {
+	A, B        string
+	OccA, OccB  int
+	Tau, Z      float64
+	P           float64 // raw p-value
+	AdjP        float64 // corrected p-value
+	Significant bool    // AdjP < Alpha
+	Skipped     string  // non-empty when the pair was not tested
+}
+
+// ScreenResult summarizes a screening run.
+type ScreenResult struct {
+	Pairs    []ScreenedPair
+	Tested   int
+	Skipped  int
+	Rejected int // significant after correction
+}
+
+// Screen tests every unordered pair of the given events for structural
+// correlation, with multiple-testing correction — the sweep behind the
+// paper's §5.4 case studies. Results come back ordered by corrected
+// p-value; pairs sharing no information (degenerate reference
+// populations, occurrence counts below MinOccurrences) are skipped, not
+// failed.
+func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
+	b := events.NewBuilder(g.NumNodes())
+	for name, nodes := range ev {
+		for _, v := range nodes {
+			b.Add(name, graph.NodeID(v))
+		}
+	}
+	store := b.Build()
+
+	cfg := screen.Config{
+		H:              opts.H,
+		SampleSize:     opts.SampleSize,
+		Alpha:          opts.Alpha,
+		Alternative:    opts.Tail.alternative(),
+		MinOccurrences: opts.MinOccurrences,
+		Workers:        opts.Workers,
+		Seed:           opts.Seed,
+	}
+	if opts.Bonferroni {
+		cfg.Correction = screen.FWER
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5c4ee
+	}
+	res, err := screen.Run(g.g, store, screen.AllPairs(store, max(1, opts.MinOccurrences)), cfg)
+	if err != nil {
+		return ScreenResult{}, err
+	}
+	out := ScreenResult{
+		Tested:   res.Tested,
+		Skipped:  res.Skipped,
+		Rejected: res.Rejected,
+		Pairs:    make([]ScreenedPair, len(res.Pairs)),
+	}
+	for i, p := range res.Pairs {
+		out.Pairs[i] = ScreenedPair{
+			A: p.A, B: p.B,
+			OccA: p.OccA, OccB: p.OccB,
+			Tau: p.Tau, Z: p.Z,
+			P: p.P, AdjP: p.AdjP,
+			Significant: p.Significant,
+			Skipped:     p.Skipped,
+		}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

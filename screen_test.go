@@ -1,0 +1,65 @@
+package tesc
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestScreenFacade(t *testing.T) {
+	g := RandomCommunityGraph(25, 30, 8, 0.5, 46)
+	rng := rand.New(rand.NewPCG(47, 1))
+
+	ev := EventSet{}
+	// planted attracting pair in shared communities
+	var sa, sb []int
+	for c := 0; c < 10; c++ {
+		base := c * 30
+		for i := 0; i < 5; i++ {
+			sa = append(sa, base+rng.IntN(30))
+			sb = append(sb, base+rng.IntN(30))
+		}
+	}
+	ev["signal-a"] = sa
+	ev["signal-b"] = sb
+	for e := 0; e < 4; e++ {
+		var occ []int
+		for i := 0; i < 40; i++ {
+			occ = append(occ, rng.IntN(g.NumNodes()))
+		}
+		ev["noise-"+string(rune('a'+e))] = occ
+	}
+
+	res, err := Screen(g, ev, ScreenOptions{
+		H:          2,
+		SampleSize: 200,
+		Tail:       PositiveTail,
+		Workers:    3,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tested != 15 { // 6 events → 15 pairs
+		t.Fatalf("tested = %d, want 15", res.Tested)
+	}
+	top := res.Pairs[0]
+	if top.A != "signal-a" || top.B != "signal-b" || !top.Significant {
+		t.Errorf("top pair = %+v, want the planted signal", top)
+	}
+
+	// Bonferroni is at least as conservative
+	bonf, err := Screen(g, ev, ScreenOptions{
+		H: 2, SampleSize: 200, Tail: PositiveTail, Seed: 5, Bonferroni: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bonf.Rejected > res.Rejected {
+		t.Errorf("Bonferroni rejected more (%d) than FDR (%d)", bonf.Rejected, res.Rejected)
+	}
+
+	// invalid H propagates
+	if _, err := Screen(g, ev, ScreenOptions{H: 0}); err == nil {
+		t.Error("H=0 accepted")
+	}
+}

@@ -1,0 +1,380 @@
+// Package tesc measures Two-Event Structural Correlations on graphs.
+//
+// It is a from-scratch Go implementation of Guan, Yan & Kaplan,
+// "Measuring Two-Event Structural Correlations on Graphs" (PVLDB 5(11),
+// 2012): given two events occurring on the nodes of a graph — product
+// purchases in a social network, alert types in a computer network — the
+// TESC test decides whether the events attract or repulse each other in
+// the graph's structure, with rigorous statistical significance.
+//
+// # Quick start
+//
+//	g, err := tesc.BuildGraph(numNodes, edges)
+//	res, err := tesc.Correlation(g, occurrencesOfA, occurrencesOfB, tesc.Options{H: 1})
+//	if res.Significant && res.Z > 0 { /* the events attract */ }
+//
+// The test samples reference nodes from the joint vicinity of the two
+// events, measures both events' densities around every reference node,
+// and aggregates pairwise concordance of the density changes with
+// Kendall's τ; under the independence null hypothesis τ is asymptotically
+// normal, giving z-scores and p-values without randomization.
+//
+// Four reference-node sampling strategies are available (Options.Method):
+// Batch BFS enumerates the reference population exactly; importance
+// sampling and whole-graph sampling avoid the enumeration and scale to
+// graphs with tens of millions of nodes; rejection sampling is mainly of
+// theoretical interest. Importance and rejection sampling need a
+// precomputed vicinity-size index (Graph.BuildVicinityIndex).
+package tesc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"tesc/internal/baseline"
+	"tesc/internal/core"
+	"tesc/internal/graph"
+	"tesc/internal/graphio"
+	"tesc/internal/stats"
+	"tesc/internal/vicinity"
+)
+
+// Graph is an immutable undirected graph. Node IDs are dense integers
+// 0..NumNodes-1.
+type Graph struct {
+	g *graph.Graph
+}
+
+// BuildGraph constructs a graph with n nodes from an undirected edge
+// list. Duplicate edges and self-loops are dropped.
+func BuildGraph(n int, edges [][2]int) (*Graph, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			return nil, fmt.Errorf("tesc: edge (%d,%d) outside node range [0,%d)", e[0], e[1], n)
+		}
+		b.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// ReadGraph parses a whitespace-separated edge list ("u v" per line, '#'
+// comments, optional "# nodes N" header).
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := graphio.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// WriteGraph writes the graph in the ReadGraph edge-list format.
+func (g *Graph) WriteGraph(w io.Writer) error { return graphio.WriteEdgeList(w, g.g) }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return g.g.NumEdges() }
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return g.g.Degree(graph.NodeID(v)) }
+
+// Neighbors returns the sorted neighbor IDs of node v.
+func (g *Graph) Neighbors(v int) []int {
+	ns := g.g.Neighbors(graph.NodeID(v))
+	out := make([]int, len(ns))
+	for i, u := range ns {
+		out[i] = int(u)
+	}
+	return out
+}
+
+// Internal exposes the internal representation for the repository's own
+// benchmark and experiment drivers. Not part of the stable API.
+func (g *Graph) Internal() *graph.Graph { return g.g }
+
+// VicinityIndex holds precomputed per-node vicinity sizes |V^h_v|,
+// required by the Importance and Rejection sampling methods. Build once
+// per graph and reuse across tests (§4.2 of the paper: the index is an
+// offline, O(|V|)-space structure).
+type VicinityIndex struct {
+	idx *vicinity.Index
+}
+
+// BuildVicinityIndex precomputes |V^h_v| for h = 1..maxLevel using the
+// given number of worker goroutines (0 = GOMAXPROCS).
+func (g *Graph) BuildVicinityIndex(maxLevel, workers int) (*VicinityIndex, error) {
+	idx, err := vicinity.Build(g.g, maxLevel, vicinity.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &VicinityIndex{idx: idx}, nil
+}
+
+// Method selects a reference-node sampling strategy.
+type Method int
+
+const (
+	// BatchBFS (Algorithm 1) enumerates the full reference population
+	// with one multi-source BFS, then samples uniformly. Best when the
+	// population is small; cost grows with |V^h_{a∪b}|.
+	BatchBFS Method = iota
+	// Importance (Algorithm 2) draws reference nodes through random
+	// event-node vicinities and corrects the bias with the weighted
+	// estimator t̃ (Eq. 8). Cost depends on the sample size n, not the
+	// population. Requires Options.Index.
+	Importance
+	// WholeGraph (Algorithm 3) tests uniformly random nodes for
+	// eligibility. Efficient only when the reference population covers
+	// much of the graph (large events and/or vicinity level).
+	WholeGraph
+	// Rejection (Procedure RejectSamp) yields exactly uniform reference
+	// nodes at the cost of two BFS per draw plus rejections. Included for
+	// completeness. Requires Options.Index.
+	Rejection
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case BatchBFS:
+		return "batch-bfs"
+	case Importance:
+		return "importance"
+	case WholeGraph:
+		return "whole-graph"
+	case Rejection:
+		return "rejection"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Tail selects the alternative hypothesis of the test.
+type Tail int
+
+const (
+	// BothTails tests for any correlation (two-sided).
+	BothTails Tail = iota
+	// PositiveTail tests for attraction only (one-sided, the paper's
+	// positive-correlation experiments).
+	PositiveTail
+	// NegativeTail tests for repulsion only.
+	NegativeTail
+)
+
+func (t Tail) alternative() stats.Alternative {
+	switch t {
+	case PositiveTail:
+		return stats.Greater
+	case NegativeTail:
+		return stats.Less
+	default:
+		return stats.TwoSided
+	}
+}
+
+// Options configures a TESC test. Zero values select the paper's
+// defaults where meaningful: SampleSize 900, Alpha 0.05, BatchBFS
+// sampling, two-sided alternative. H must be set explicitly (≥ 1).
+type Options struct {
+	// H is the vicinity level; the paper studies h = 1, 2, 3.
+	H int
+	// SampleSize is the number of reference nodes (default 900).
+	SampleSize int
+	// Method selects the sampling strategy (default BatchBFS).
+	Method Method
+	// ImportanceBatch, when Method == Importance, draws this many
+	// reference nodes per event-node BFS (§5.2.2; the paper uses 3 for
+	// h=2 and 6 for h=3). 0 or 1 disables batching.
+	ImportanceBatch int
+	// Index is the vicinity index required by Importance and Rejection.
+	Index *VicinityIndex
+	// Tail selects the alternative hypothesis (default BothTails).
+	Tail Tail
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+	// Seed makes the run deterministic; 0 selects a fixed default seed,
+	// so identical calls always agree.
+	Seed uint64
+	// UseSpearman switches the rank statistic from Kendall's τ (the
+	// paper's measure) to Spearman's ρ, the alternative its §8 mentions.
+	// Incompatible with Method == Importance.
+	UseSpearman bool
+	// IntensityA and IntensityB optionally weight each occurrence (§6's
+	// event-intensity extension, e.g. how often an author used a
+	// keyword). When non-nil they must have length NumNodes, be zero
+	// outside the corresponding occurrence list, and positive on it.
+	IntensityA, IntensityB []float64
+}
+
+// Result reports a TESC test.
+type Result struct {
+	// Tau is the estimated correlation in [-1, 1] (Kendall's τ of the
+	// two events' reference densities; the weighted estimator t̃ for the
+	// Importance method).
+	Tau float64
+	// Z is the significance score: under independence Z is standard
+	// normal, so |Z| > 2.33 means one-tailed p < 0.01.
+	Z float64
+	// P is the p-value under the configured Tail.
+	P float64
+	// Significant is P < Alpha.
+	Significant bool
+	// Verdict is "positive", "negative" or "independent".
+	Verdict string
+	// N is the number of distinct reference nodes used.
+	N int
+	// Sampler names the strategy that produced the reference sample.
+	Sampler string
+	// Population is the enumerated reference population size |V^h_{a∪b}|
+	// when the sampler materialized it (BatchBFS), -1 otherwise.
+	Population int
+	// SamplerBFS counts the h-hop BFS traversals spent selecting
+	// reference nodes; DensityBFS those spent computing densities
+	// (always N). Together they characterize a method's cost (§4.4).
+	SamplerBFS int64
+	DensityBFS int64
+}
+
+// ErrNoEventNodes is returned when both events have no occurrences.
+var ErrNoEventNodes = errors.New("tesc: both events have no occurrences")
+
+// Correlation runs the TESC hypothesis test between the two events whose
+// occurrence node lists are va and vb.
+func Correlation(g *Graph, va, vb []int, opts Options) (Result, error) {
+	if opts.H < 1 {
+		return Result{}, fmt.Errorf("tesc: Options.H must be >= 1 (the vicinity level)")
+	}
+	sa, err := toNodeSet(g, va)
+	if err != nil {
+		return Result{}, err
+	}
+	sb, err := toNodeSet(g, vb)
+	if err != nil {
+		return Result{}, err
+	}
+	problem, err := core.NewProblem(g.g, sa, sb)
+	if err != nil {
+		if errors.Is(err, core.ErrNoEventNodes) {
+			return Result{}, ErrNoEventNodes
+		}
+		return Result{}, err
+	}
+	if opts.IntensityA != nil || opts.IntensityB != nil {
+		if err := problem.SetIntensities(opts.IntensityA, opts.IntensityB); err != nil {
+			return Result{}, err
+		}
+	}
+
+	copts := core.Options{
+		H:           opts.H,
+		SampleSize:  opts.SampleSize,
+		Alternative: opts.Tail.alternative(),
+		Alpha:       opts.Alpha,
+	}
+	if opts.UseSpearman {
+		copts.Statistic = core.SpearmanRho
+	}
+	if copts.SampleSize == 0 {
+		copts.SampleSize = 900
+	}
+	if copts.Alpha == 0 {
+		copts.Alpha = 0.05
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x7e5c
+	}
+	copts.Rand = rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+
+	sampler, err := makeSampler(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	copts.Sampler = sampler
+
+	res, err := core.Test(problem, copts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Tau:         res.Tau,
+		Z:           res.Z,
+		P:           res.P,
+		Significant: res.Significant,
+		Verdict:     res.Verdict(),
+		N:           res.N,
+		Sampler:     res.SamplerName,
+		Population:  res.SamplerStats.Population,
+		SamplerBFS:  res.SamplerStats.BFSCount,
+		DensityBFS:  res.DensityBFS,
+	}, nil
+}
+
+func makeSampler(opts Options) (core.Sampler, error) {
+	switch opts.Method {
+	case BatchBFS:
+		return &core.BatchBFSSampler{}, nil
+	case Importance:
+		if opts.Index == nil {
+			return nil, fmt.Errorf("tesc: Importance sampling requires Options.Index (see Graph.BuildVicinityIndex)")
+		}
+		return &core.ImportanceSampler{Index: opts.Index.idx, BatchSize: opts.ImportanceBatch}, nil
+	case WholeGraph:
+		return &core.WholeGraphSampler{}, nil
+	case Rejection:
+		if opts.Index == nil {
+			return nil, fmt.Errorf("tesc: Rejection sampling requires Options.Index (see Graph.BuildVicinityIndex)")
+		}
+		return &core.RejectionSampler{Index: opts.Index.idx}, nil
+	default:
+		return nil, fmt.Errorf("tesc: unknown method %v", opts.Method)
+	}
+}
+
+// TCResult reports the Transaction Correlation baseline: nodes treated
+// as isolated transactions, association measured by Kendall's τ_b over
+// the binary event indicators (the comparison columns of the paper's
+// Tables 1–4).
+type TCResult struct {
+	TauB float64
+	Z    float64
+	P    float64 // two-sided
+}
+
+// TransactionCorrelation computes the TC baseline between two events.
+func TransactionCorrelation(g *Graph, va, vb []int) (TCResult, error) {
+	sa, err := toNodeSet(g, va)
+	if err != nil {
+		return TCResult{}, err
+	}
+	sb, err := toNodeSet(g, vb)
+	if err != nil {
+		return TCResult{}, err
+	}
+	r, err := baseline.TransactionCorrelation(sa, sb)
+	if err != nil {
+		return TCResult{}, err
+	}
+	return TCResult{TauB: r.TauB, Z: r.Z, P: r.PValue(stats.TwoSided)}, nil
+}
+
+func toNodeSet(g *Graph, nodes []int) (*graph.NodeSet, error) {
+	n := g.NumNodes()
+	ids := make([]graph.NodeID, len(nodes))
+	for i, v := range nodes {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("tesc: node %d outside [0,%d)", v, n)
+		}
+		ids[i] = graph.NodeID(v)
+	}
+	return graph.NewNodeSet(n, ids), nil
+}
