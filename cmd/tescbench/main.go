@@ -10,6 +10,14 @@
 // Output is aligned text: one block per figure/table, directly
 // comparable with the published plots (see EXPERIMENTS.md for the
 // committed outputs and the paper-vs-measured discussion).
+//
+// With -serve, tescbench instead load-tests a running tescd daemon:
+// it registers a synthetic graph with a planted attracting event pair,
+// then fires concurrent correlate queries and reports queries/sec and
+// latency percentiles.
+//
+//	tescd &
+//	tescbench -serve http://localhost:8537 -serve-requests 500 -serve-concurrency 16
 package main
 
 import (
@@ -33,8 +41,35 @@ func main() {
 		reps       = flag.Int("reps", def.Reps, "repetitions for timing points (paper: 50)")
 		seed       = flag.Uint64("seed", def.Seed, "random seed")
 		workers    = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
+
+		serve      = flag.String("serve", "", "load-test a running tescd daemon at this base URL instead of running experiments")
+		serveReqs  = flag.Int("serve-requests", 200, "number of correlate queries in -serve mode")
+		serveConc  = flag.Int("serve-concurrency", 8, "concurrent clients in -serve mode")
+		serveNodes = flag.Int("serve-nodes", 20000, "synthetic graph size in -serve mode")
+		serveOcc   = flag.Int("serve-occurrences", 100, "occurrences per synthetic event in -serve mode")
+		serveH     = flag.Int("serve-h", 1, "vicinity level in -serve mode")
+		serveMeth  = flag.String("serve-method", "importance", "sampling method in -serve mode (batch-bfs | importance | whole-graph | rejection)")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		err := runServe(serveConfig{
+			BaseURL:     *serve,
+			Requests:    *serveReqs,
+			Concurrency: *serveConc,
+			Nodes:       *serveNodes,
+			Occurrences: *serveOcc,
+			H:           *serveH,
+			SampleSize:  *sample,
+			Method:      *serveMeth,
+			Seed:        *seed,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.Config{
 		DBLPScale:       *dblpScale,

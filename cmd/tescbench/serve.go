@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tesc"
+	"tesc/internal/simulate"
+)
+
+// serveConfig parameterizes the -serve load-generation mode, which
+// measures a running tescd daemon end-to-end: register a synthetic
+// graph and a planted event pair, then fire concurrent correlate
+// queries and report throughput and latency percentiles. This makes
+// the amortization argument observable: the first query pays the
+// vicinity-index build, every later query rides the cache.
+type serveConfig struct {
+	BaseURL     string
+	Requests    int
+	Concurrency int
+	Nodes       int
+	Occurrences int
+	H           int
+	SampleSize  int
+	Method      string
+	Seed        uint64
+}
+
+// runServe drives the daemon at cfg.BaseURL.
+func runServe(cfg serveConfig, w io.Writer) error {
+	if cfg.Requests < 1 {
+		return fmt.Errorf("-serve-requests must be >= 1, got %d", cfg.Requests)
+	}
+	if cfg.Concurrency < 1 {
+		return fmt.Errorf("-serve-concurrency must be >= 1, got %d", cfg.Concurrency)
+	}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// 1. synthesize the workload: the DBLP coauthorship surrogate (the
+	// recall experiments' graph) with one planted attracting pair
+	// (§5.2 methodology).
+	g := tesc.RandomCoauthorshipGraph(float64(cfg.Nodes)/100000, cfg.Seed)
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xda3e39cb94b95bdb))
+	pair, err := simulate.PositivePair(g.Internal(), simulate.Config{H: cfg.H, Occurrences: cfg.Occurrences}, rng)
+	if err != nil {
+		return fmt.Errorf("generating event pair: %w", err)
+	}
+	va := make([]int, len(pair.Va))
+	for i, v := range pair.Va {
+		va[i] = int(v)
+	}
+	vb := make([]int, len(pair.Vb))
+	for i, v := range pair.Vb {
+		vb[i] = int(v)
+	}
+
+	// 2. register graph + events with a unique name per run.
+	graphName := fmt.Sprintf("bench-%d", cfg.Seed)
+	var edges strings.Builder
+	if err := g.WriteGraph(&edges); err != nil {
+		return err
+	}
+	if err := postJSON(client, base+"/v1/graphs",
+		map[string]any{"name": graphName, "edge_list": edges.String()}, nil); err != nil {
+		return fmt.Errorf("registering graph: %w", err)
+	}
+	defer func() {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/graphs/"+graphName, nil)
+		if resp, err := client.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	if err := postJSON(client, base+"/v1/graphs/"+graphName+"/events",
+		map[string]any{"events": map[string][]int{"bench-a": va, "bench-b": vb}}, nil); err != nil {
+		return fmt.Errorf("registering events: %w", err)
+	}
+
+	correlate := func(seed uint64) (elapsed time.Duration, verdict string, err error) {
+		body := map[string]any{
+			"a": "bench-a", "b": "bench-b",
+			"h":           cfg.H,
+			"sample_size": cfg.SampleSize,
+			"method":      cfg.Method,
+			"seed":        seed,
+		}
+		var res struct {
+			Verdict string `json:"verdict"`
+		}
+		start := time.Now()
+		if err := postJSON(client, base+"/v1/graphs/"+graphName+"/correlate", body, &res); err != nil {
+			return 0, "", err
+		}
+		return time.Since(start), res.Verdict, nil
+	}
+
+	// 3. warmup: the first query pays the index build (importance and
+	// rejection methods); time it separately.
+	warmStart := time.Now()
+	if _, _, err := correlate(cfg.Seed); err != nil {
+		return fmt.Errorf("warmup query: %w", err)
+	}
+	warmup := time.Since(warmStart)
+
+	// 4. the timed run.
+	latencies := make([]time.Duration, cfg.Requests)
+	verdicts := make([]string, cfg.Requests)
+	errs := make([]error, cfg.Requests)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.Requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	wallStart := time.Now()
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				latencies[i], verdicts[i], errs[i] = correlate(cfg.Seed + 1 + uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == cfg.Requests {
+		return fmt.Errorf("all %d requests failed, first error: %w", failed, errs[0])
+	}
+	positives := 0
+	ok := make([]time.Duration, 0, cfg.Requests)
+	for i, err := range errs {
+		if err == nil {
+			ok = append(ok, latencies[i])
+			if verdicts[i] == "positive" {
+				positives++
+			}
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(ok)-1))
+		return ok[idx]
+	}
+
+	fmt.Fprintf(w, "== tescd load generation (%s) ==\n", base)
+	fmt.Fprintf(w, "graph: %d nodes, %d edges; events: %d + %d occurrences; h=%d n=%d method=%s\n",
+		g.NumNodes(), g.NumEdges(), len(va), len(vb), cfg.H, cfg.SampleSize, cfg.Method)
+	fmt.Fprintf(w, "warmup (incl. index build):   %12v\n", warmup.Round(time.Microsecond))
+	fmt.Fprintf(w, "requests: %d  concurrency: %d  failed: %d\n", cfg.Requests, cfg.Concurrency, failed)
+	fmt.Fprintf(w, "throughput:                   %12.1f queries/sec\n", float64(len(ok))/wall.Seconds())
+	fmt.Fprintf(w, "latency p50 / p95 / p99:      %v / %v / %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Fprintf(w, "planted-positive recall:      %12.1f%%\n", 100*float64(positives)/float64(len(ok)))
+	return nil
+}
+
+// postJSON posts body as JSON and decodes the response into out (when
+// non-nil), surfacing the service's error message on non-2xx codes.
+func postJSON(client *http.Client, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,124 @@
+// Command tescd is a long-running TESC query service. It amortizes the
+// expensive offline steps — loading a graph, building the vicinity-size
+// index — across many cheap online queries: graphs are registered once
+// and queried over HTTP/JSON, vicinity indexes are cached per
+// (graph, h) with single-flight construction, and all-pairs screening
+// sweeps run as asynchronous jobs with progress polling.
+//
+// Usage:
+//
+//	tescd -addr :8537
+//	tescd -load social=graph.txt -load-events social=events.txt
+//	tescd -cache 16 -workers 8
+//
+// See docs/API.md for the endpoint reference, e.g.:
+//
+//	curl -X POST localhost:8537/v1/graphs \
+//	     -d '{"name":"social","path":"graph.txt"}'
+//	curl -X POST localhost:8537/v1/graphs/social/correlate \
+//	     -d '{"a":"wireless","b":"sensor","h":1,"method":"importance"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"tesc"
+	"tesc/internal/graphio"
+	"tesc/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8537", "HTTP listen address")
+		cache   = flag.Int("cache", 8, "vicinity-index cache capacity (indexes, across all graphs and levels)")
+		workers = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "disable request logging")
+	)
+	var loads, eventLoads []string
+	flag.Func("load", "preload a graph at startup as name=edgelist-path (repeatable)", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Func("load-events", "preload events at startup as graphname=events-path (repeatable)", func(v string) error {
+		eventLoads = append(eventLoads, v)
+		return nil
+	})
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tescd: ", log.LstdFlags)
+	cfg := server.Config{
+		IndexCacheCapacity: *cache,
+		IndexWorkers:       *workers,
+	}
+	if !*quiet {
+		cfg.Log = logger
+	}
+	srv := server.New(cfg)
+
+	if err := preload(srv, loads, eventLoads, logger); err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// preload registers -load graphs and -load-events occurrence files
+// before the listener starts, so the daemon comes up warm.
+func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger) error {
+	for _, spec := range loads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-load %q: want name=path", spec)
+		}
+		f, err := graphio.OpenMaybeGzip(path)
+		if err != nil {
+			return fmt.Errorf("-load %s: %w", name, err)
+		}
+		g, err := tesc.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-load %s: %w", name, err)
+		}
+		if _, err := srv.Registry().Register(name, g); err != nil {
+			return fmt.Errorf("-load %s: %w", name, err)
+		}
+		logger.Printf("loaded graph %q: %d nodes, %d edges", name, g.NumNodes(), g.NumEdges())
+	}
+	for _, spec := range eventLoads {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-load-events %q: want graphname=path", spec)
+		}
+		entry, found := srv.Registry().Get(name)
+		if !found {
+			return fmt.Errorf("-load-events %s: graph not loaded (use -load %s=...)", name, name)
+		}
+		f, err := graphio.OpenMaybeGzip(path)
+		if err != nil {
+			return fmt.Errorf("-load-events %s: %w", name, err)
+		}
+		store, err := graphio.ReadEvents(f, entry.Graph().NumNodes())
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("-load-events %s: %w", name, err)
+		}
+		// AddStore preserves the file's intensity column (§6).
+		if err := entry.AddStore(store); err != nil {
+			return fmt.Errorf("-load-events %s: %w", name, err)
+		}
+		logger.Printf("loaded %d events for graph %q", store.NumEvents(), name)
+	}
+	return nil
+}

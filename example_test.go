@@ -42,18 +42,24 @@ func ExampleTransactionCorrelation() {
 	// Output: tau_b = 1
 }
 
-// Importance sampling needs a vicinity index, built once per graph.
+// Importance sampling (§4.2, Algorithm 2) needs the |V^h_v| vicinity
+// index. Build it once per graph — an offline step — then reuse it
+// across any number of tests at levels up to maxLevel.
 func ExampleGraph_BuildVicinityIndex() {
 	g := tesc.RandomCommunityGraph(10, 20, 6, 1, 1)
-	idx, err := g.BuildVicinityIndex(2, 0)
+	idx, err := g.BuildVicinityIndex(2, 0) // maxLevel 2, GOMAXPROCS workers
 	if err != nil {
 		panic(err)
 	}
-	_, err = tesc.Correlation(g, []int{0, 1, 2}, []int{3, 4, 5}, tesc.Options{
+	// Two events planted in the same community attract.
+	res, err := tesc.Correlation(g, []int{0, 1, 2}, []int{3, 4, 5}, tesc.Options{
 		H:      2,
 		Method: tesc.Importance,
 		Index:  idx,
 	})
-	fmt.Println(err == nil)
-	// Output: true
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sampler: %s, verdict: %s\n", res.Sampler, res.Verdict)
+	// Output: sampler: importance, verdict: positive
 }

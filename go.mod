@@ -1,0 +1,3 @@
+module tesc
+
+go 1.24

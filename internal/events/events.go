@@ -10,6 +10,7 @@ package events
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"tesc/internal/graph"
 )
@@ -22,6 +23,7 @@ type Store struct {
 	byName map[string]int
 	occ    [][]graph.NodeID // event index → sorted occurrence nodes
 	weight []map[graph.NodeID]float64
+	setsMu sync.Mutex       // guards sets: Set is called from screen workers
 	sets   []*graph.NodeSet // lazily built, nil until first use
 	byNode map[graph.NodeID][]int
 }
@@ -167,12 +169,16 @@ func (s *Store) Occurrences(name string) []graph.NodeID {
 func (s *Store) Count(name string) int { return len(s.Occurrences(name)) }
 
 // Set returns the occurrence NodeSet of the event (Va), or an empty set
-// if the event is unknown. Sets are cached after first construction.
+// if the event is unknown. Sets are cached after first construction; the
+// cache is synchronized, so Set is safe to call from concurrent
+// screening workers.
 func (s *Store) Set(name string) *graph.NodeSet {
 	i, ok := s.byName[name]
 	if !ok {
 		return graph.NewNodeSet(s.n, nil)
 	}
+	s.setsMu.Lock()
+	defer s.setsMu.Unlock()
 	if s.sets[i] == nil {
 		s.sets[i] = graph.NewNodeSet(s.n, s.occ[i])
 	}

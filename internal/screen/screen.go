@@ -56,6 +56,11 @@ type Config struct {
 	Workers int
 	// Seed drives the per-pair reference sampling deterministically.
 	Seed uint64
+	// Progress, when non-nil, is called after each pair finishes with
+	// the number of completed pairs and the total. Calls are
+	// serialized; keep the callback cheap — it runs on the worker pool's
+	// critical path (used by the tescd daemon for job polling).
+	Progress func(done, total int)
 }
 
 // PairResult is one screened pair. Results are ordered by adjusted
@@ -121,6 +126,8 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 
 	results := make([]PairResult, len(pairs))
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
 	next := make(chan int)
 	go func() {
 		for i := range pairs {
@@ -135,6 +142,12 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 			sampler := &core.BatchBFSSampler{}
 			for i := range next {
 				results[i] = screenOne(g, store, pairs[i], cfg, sampler)
+				if cfg.Progress != nil {
+					progressMu.Lock()
+					completed++
+					cfg.Progress(completed, len(pairs))
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

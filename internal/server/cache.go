@@ -1,0 +1,156 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"tesc"
+)
+
+// IndexKey identifies one cached vicinity index: the paper's offline
+// |V^h_v| structure is per-graph and per-maximum-level (§4.2). The
+// graph is identified by its registry entry, not its name, so deleting
+// a graph and re-registering a different one under the same name can
+// never serve the old graph's index.
+type IndexKey struct {
+	Entry    *GraphEntry
+	MaxLevel int
+}
+
+// IndexCache is an LRU cache of vicinity indexes with single-flight
+// construction: concurrent Get calls for the same key block on one
+// build instead of each running the full O(|V|) BFS scan. Because an
+// index covers all levels 1..MaxLevel, a query for level h is also
+// served by any cached index of the same graph with MaxLevel ≥ h.
+// Entries are evicted least-recently-used once Capacity is exceeded;
+// a failed build is not cached, so the next Get retries.
+type IndexCache struct {
+	capacity int
+	builds   atomic.Int64
+
+	// build constructs the index; overridable by tests to count or
+	// stall construction.
+	build func(g *tesc.Graph, maxLevel, workers int) (*tesc.VicinityIndex, error)
+
+	mu      sync.Mutex
+	entries map[IndexKey]*cacheEntry
+	lru     *list.List // front = most recently used; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	key   IndexKey
+	elem  *list.Element
+	ready chan struct{} // closed when idx/err are set
+	done  bool          // set under IndexCache.mu once the build finished
+	idx   *tesc.VicinityIndex
+	err   error
+}
+
+// NewIndexCache returns a cache holding at most capacity indexes
+// (capacity < 1 means 1).
+func NewIndexCache(capacity int) *IndexCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &IndexCache{
+		capacity: capacity,
+		build: func(g *tesc.Graph, maxLevel, workers int) (*tesc.VicinityIndex, error) {
+			return g.BuildVicinityIndex(maxLevel, workers)
+		},
+		entries: make(map[IndexKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns a vicinity index covering maxLevel for the graph entry,
+// building one with the given worker count on a miss. Exactly one
+// build runs per key regardless of how many goroutines ask
+// concurrently; the others wait for that build to finish. A completed
+// index of the same graph with a higher MaxLevel is reused instead of
+// building a redundant lower-level one.
+func (c *IndexCache) Get(e *GraphEntry, maxLevel, workers int) (*tesc.VicinityIndex, error) {
+	key := IndexKey{Entry: e, MaxLevel: maxLevel}
+
+	c.mu.Lock()
+	if ce, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(ce.elem)
+		c.mu.Unlock()
+		<-ce.ready
+		return ce.idx, ce.err
+	}
+	// A deeper completed index of the same graph covers this level
+	// (done is only written under c.mu, so the read is safe here).
+	for k, ce := range c.entries {
+		if k.Entry == e && k.MaxLevel > maxLevel && ce.done && ce.err == nil {
+			c.lru.MoveToFront(ce.elem)
+			c.mu.Unlock()
+			return ce.idx, nil
+		}
+	}
+	ce := &cacheEntry{key: key, ready: make(chan struct{})}
+	ce.elem = c.lru.PushFront(ce)
+	c.entries[key] = ce
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.builds.Add(1)
+	ce.idx, ce.err = c.build(e.Graph(), maxLevel, workers)
+	close(ce.ready)
+
+	c.mu.Lock()
+	ce.done = true
+	if ce.err != nil {
+		// Drop the failed entry unless it was already evicted or
+		// replaced while building.
+		if cur, ok := c.entries[key]; ok && cur == ce {
+			c.removeLocked(ce)
+		}
+	}
+	c.mu.Unlock()
+	return ce.idx, ce.err
+}
+
+// EvictGraph drops every cached index of the graph entry (all levels).
+// Called when a graph is deregistered. An insert racing with the
+// eviction leaves a harmless orphan: its key's entry pointer can never
+// be resolved again, so it is never served and ages out of the LRU.
+func (c *IndexCache) EvictGraph(e *GraphEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, ce := range c.entries {
+		if key.Entry == e {
+			c.removeLocked(ce)
+		}
+	}
+}
+
+// Len returns the number of cached (or in-flight) indexes.
+func (c *IndexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Builds returns the number of index constructions the cache has
+// started — the cache's effectiveness metric (and the single-flight
+// test's witness).
+func (c *IndexCache) Builds() int64 { return c.builds.Load() }
+
+// evictLocked trims the LRU list to capacity. An evicted in-flight
+// entry keeps building for its current waiters; it is simply no longer
+// findable, so a later Get rebuilds.
+func (c *IndexCache) evictLocked() {
+	for len(c.entries) > c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			return
+		}
+		c.removeLocked(oldest.Value.(*cacheEntry))
+	}
+}
+
+func (c *IndexCache) removeLocked(ce *cacheEntry) {
+	c.lru.Remove(ce.elem)
+	delete(c.entries, ce.key)
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tesc"
+)
+
+func testGraph(t *testing.T) *tesc.Graph {
+	t.Helper()
+	g, err := tesc.BuildGraph(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testEntry registers a fresh graph under name and returns its entry.
+func testEntry(t *testing.T, r *Registry, name string) *GraphEntry {
+	t.Helper()
+	e, err := r.Register(name, testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestCacheSingleFlight is the contention witness the service depends
+// on: many concurrent queries for the same (graph, h) must trigger
+// exactly one vicinity.Build.
+func TestCacheSingleFlight(t *testing.T) {
+	e := testEntry(t, NewRegistry(), "g")
+	c := NewIndexCache(4)
+
+	// Stall construction until every goroutine has called Get, so the
+	// test provably overlaps all requests with the in-flight build.
+	const goroutines = 32
+	var entered sync.WaitGroup
+	entered.Add(1) // released once all Gets are issued
+	inner := c.build
+	var concurrentCalls atomic.Int64
+	c.build = func(g *tesc.Graph, maxLevel, workers int) (*tesc.VicinityIndex, error) {
+		concurrentCalls.Add(1)
+		entered.Wait()
+		return inner(g, maxLevel, workers)
+	}
+
+	var issued sync.WaitGroup
+	results := make([]*tesc.VicinityIndex, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		issued.Add(1)
+		go func(i int) {
+			defer issued.Done()
+			results[i], errs[i] = c.Get(e, 2, 1)
+		}(i)
+	}
+	// Let every goroutine either start the build or queue behind it,
+	// then release. (The single builder is blocked in entered.Wait();
+	// all others block on the ready channel.)
+	for c.Len() == 0 {
+		runtime.Gosched()
+	}
+	entered.Done()
+	issued.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("Get %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("Get %d returned a different index instance", i)
+		}
+	}
+	if got := c.Builds(); got != 1 {
+		t.Fatalf("Builds() = %d, want exactly 1 under contention", got)
+	}
+	if got := concurrentCalls.Load(); got != 1 {
+		t.Fatalf("build hook called %d times, want 1", got)
+	}
+
+	// A later Get for the same key is a pure cache hit.
+	if _, err := c.Get(e, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Builds(); got != 1 {
+		t.Fatalf("Builds() after warm hit = %d, want 1", got)
+	}
+	// A lower level is covered by the deeper cached index: no build.
+	idx, err := c.Get(e, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != results[0] {
+		t.Fatal("level-1 query must reuse the cached level-2 index")
+	}
+	if got := c.Builds(); got != 1 {
+		t.Fatalf("Builds() after lower-level reuse = %d, want 1", got)
+	}
+	// A deeper level than anything cached builds.
+	if _, err := c.Get(e, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Builds(); got != 2 {
+		t.Fatalf("Builds() after deeper level = %d, want 2", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	r := NewRegistry()
+	a, b, x := testEntry(t, r, "a"), testEntry(t, r, "b"), testEntry(t, r, "x")
+	c := NewIndexCache(2)
+	mustGet := func(e *GraphEntry) {
+		t.Helper()
+		if _, err := c.Get(e, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(a) // keys: {a}
+	mustGet(b) // keys: {a, b}
+	mustGet(a) // touch a, so b is now LRU
+	mustGet(x) // evicts b; keys: {a, x}
+	if got := c.Builds(); got != 3 {
+		t.Fatalf("Builds() = %d, want 3", got)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	mustGet(a) // still cached: no new build
+	if got := c.Builds(); got != 3 {
+		t.Fatalf("Builds() after touching a = %d, want 3 (a must not be evicted)", got)
+	}
+	mustGet(b) // was evicted: rebuilds
+	if got := c.Builds(); got != 4 {
+		t.Fatalf("Builds() after re-requesting b = %d, want 4 (b was evicted)", got)
+	}
+}
+
+func TestCacheFailedBuildNotCached(t *testing.T) {
+	e := testEntry(t, NewRegistry(), "g")
+	c := NewIndexCache(4)
+	inner := c.build
+	fail := true
+	boom := errors.New("boom")
+	c.build = func(g *tesc.Graph, maxLevel, workers int) (*tesc.VicinityIndex, error) {
+		if fail {
+			return nil, boom
+		}
+		return inner(g, maxLevel, workers)
+	}
+	if _, err := c.Get(e, 1, 1); !errors.Is(err, boom) {
+		t.Fatalf("Get = %v, want boom", err)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len() after failed build = %d, want 0", got)
+	}
+	fail = false
+	if _, err := c.Get(e, 1, 1); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+	if got := c.Builds(); got != 2 {
+		t.Fatalf("Builds() = %d, want 2 (failure must not be cached)", got)
+	}
+}
+
+func TestCacheEvictGraph(t *testing.T) {
+	r := NewRegistry()
+	a, b := testEntry(t, r, "a"), testEntry(t, r, "b")
+	c := NewIndexCache(8)
+	for _, e := range []*GraphEntry{a, b} {
+		if _, err := c.Get(e, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(e, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.EvictGraph(a)
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len() after EvictGraph = %d, want 2 (only b's entries)", got)
+	}
+	if _, err := c.Get(b, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Builds(); got != 4 {
+		t.Fatalf("Builds() = %d, want 4 (b still cached)", got)
+	}
+	if _, err := c.Get(a, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Builds(); got != 5 {
+		t.Fatalf("Builds() = %d, want 5 (a was evicted)", got)
+	}
+}
+
+// TestCacheNameReuseIsolation guards the delete/re-register race fix:
+// an index cached for a deleted graph must never serve a new graph
+// registered under the same name, because keys are entry pointers.
+func TestCacheNameReuseIsolation(t *testing.T) {
+	r := NewRegistry()
+	old := testEntry(t, r, "g")
+	c := NewIndexCache(4)
+	oldIdx, err := c.Get(old, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Remove("g"); !ok {
+		t.Fatal("Remove failed")
+	}
+	// Simulate a stale in-flight insert: the old entry's index stays
+	// cached (EvictGraph not called, worst case). Re-register "g".
+	fresh := testEntry(t, r, "g")
+	freshIdx, err := c.Get(fresh, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshIdx == oldIdx {
+		t.Fatal("new graph under a reused name was served the old graph's index")
+	}
+	if got := c.Builds(); got != 2 {
+		t.Fatalf("Builds() = %d, want 2 (fresh entry must build its own index)", got)
+	}
+}

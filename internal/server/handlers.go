@@ -1,0 +1,434 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"tesc"
+	"tesc/internal/graphio"
+)
+
+// ---- wire types -----------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type registerGraphRequest struct {
+	// Name is the registry key for all later queries.
+	Name string `json:"name"`
+	// EdgeList is an inline whitespace edge list ("u v" per line,
+	// optional "# nodes N" header) — the tesc.ReadGraph format.
+	EdgeList string `json:"edge_list,omitempty"`
+	// Path loads the edge list from a server-side file instead
+	// (gzip-transparent). Exactly one of EdgeList and Path must be set.
+	Path string `json:"path,omitempty"`
+}
+
+type graphInfo struct {
+	Name    string    `json:"name"`
+	Nodes   int       `json:"nodes"`
+	Edges   int64     `json:"edges"`
+	Events  int       `json:"events"`
+	Created time.Time `json:"created"`
+}
+
+type registerEventsRequest struct {
+	// Events maps event names to occurrence node IDs.
+	Events map[string][]int `json:"events"`
+}
+
+type registerEventsResponse struct {
+	Graph  string `json:"graph"`
+	Events int    `json:"events"` // distinct events now registered
+}
+
+type correlateRequest struct {
+	// A and B name registered events; alternatively NodesA/NodesB give
+	// explicit occurrence lists for ad-hoc queries.
+	A      string `json:"a,omitempty"`
+	B      string `json:"b,omitempty"`
+	NodesA []int  `json:"nodes_a,omitempty"`
+	NodesB []int  `json:"nodes_b,omitempty"`
+
+	// The remaining fields mirror tesc.Options.
+	H               int     `json:"h"`
+	SampleSize      int     `json:"sample_size,omitempty"`
+	Method          string  `json:"method,omitempty"`
+	ImportanceBatch int     `json:"importance_batch,omitempty"`
+	Tail            string  `json:"tail,omitempty"`
+	Alpha           float64 `json:"alpha,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+	UseSpearman     bool    `json:"use_spearman,omitempty"`
+}
+
+type correlateResponse struct {
+	Tau         float64 `json:"tau"`
+	Z           float64 `json:"z"`
+	P           float64 `json:"p"`
+	Significant bool    `json:"significant"`
+	Verdict     string  `json:"verdict"`
+	N           int     `json:"n"`
+	Sampler     string  `json:"sampler"`
+	Population  int     `json:"population"`
+	SamplerBFS  int64   `json:"sampler_bfs"`
+	DensityBFS  int64   `json:"density_bfs"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+type screenRequest struct {
+	// The fields mirror tesc.ScreenOptions.
+	H              int     `json:"h"`
+	SampleSize     int     `json:"sample_size,omitempty"`
+	Alpha          float64 `json:"alpha,omitempty"`
+	Tail           string  `json:"tail,omitempty"`
+	MinOccurrences int     `json:"min_occurrences,omitempty"`
+	Bonferroni     bool    `json:"bonferroni,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+}
+
+type screenResponse struct {
+	JobID string `json:"job_id"`
+}
+
+// ---- helpers --------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// entry resolves the {name} path value to a registered graph, writing a
+// 404 on failure.
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*GraphEntry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return nil, false
+	}
+	return e, true
+}
+
+func parseMethod(s string) (tesc.Method, error) {
+	switch s {
+	case "", "batch-bfs":
+		return tesc.BatchBFS, nil
+	case "importance":
+		return tesc.Importance, nil
+	case "whole-graph":
+		return tesc.WholeGraph, nil
+	case "rejection":
+		return tesc.Rejection, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q (batch-bfs | importance | whole-graph | rejection)", s)
+	}
+}
+
+func parseTail(s string) (tesc.Tail, error) {
+	switch s {
+	case "", "both":
+		return tesc.BothTails, nil
+	case "positive":
+		return tesc.PositiveTail, nil
+	case "negative":
+		return tesc.NegativeTail, nil
+	default:
+		return 0, fmt.Errorf("unknown tail %q (both | positive | negative)", s)
+	}
+}
+
+func (e *GraphEntry) info() graphInfo {
+	return graphInfo{
+		Name:    e.Name(),
+		Nodes:   e.Graph().NumNodes(),
+		Edges:   e.Graph().NumEdges(),
+		Events:  e.NumEvents(),
+		Created: e.Created(),
+	}
+}
+
+// ---- handlers -------------------------------------------------------
+
+// handleRegisterGraph implements POST /v1/graphs.
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req registerGraphRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "name is required")
+		return
+	}
+	if (req.EdgeList == "") == (req.Path == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of edge_list and path must be set")
+		return
+	}
+	var (
+		g   *tesc.Graph
+		err error
+	)
+	if req.EdgeList != "" {
+		g, err = tesc.ReadGraph(strings.NewReader(req.EdgeList))
+	} else {
+		var f interface {
+			Read([]byte) (int, error)
+			Close() error
+		}
+		f, err = graphio.OpenMaybeGzip(req.Path)
+		if err == nil {
+			g, err = tesc.ReadGraph(f)
+			_ = f.Close()
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "loading graph: %v", err)
+		return
+	}
+	e, err := s.registry.Register(req.Name, g)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, e.info())
+}
+
+// handleListGraphs implements GET /v1/graphs.
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	names := s.registry.Names()
+	out := make([]graphInfo, 0, len(names))
+	for _, name := range names {
+		if e, ok := s.registry.Get(name); ok {
+			out = append(out, e.info())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetGraph implements GET /v1/graphs/{name}.
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info())
+}
+
+// handleDeleteGraph implements DELETE /v1/graphs/{name}. Cached
+// vicinity indexes of the graph are evicted with it.
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.registry.Remove(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		return
+	}
+	s.cache.EvictGraph(e)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRegisterEvents implements POST /v1/graphs/{name}/events.
+func (s *Server) handleRegisterEvents(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req registerEventsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, "events must be non-empty")
+		return
+	}
+	if err := e.AddEvents(req.Events); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: e.NumEvents()})
+}
+
+// handleCorrelate implements POST /v1/graphs/{name}/correlate: one TESC
+// test with per-request options, reusing the graph and (for the
+// index-backed samplers) the cached vicinity index.
+func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req correlateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.H < 1 {
+		writeError(w, http.StatusBadRequest, "h must be >= 1")
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tail, err := parseTail(req.Tail)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	va, vb, code, err := resolveEventPair(e, &req)
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+
+	opts := tesc.Options{
+		H:               req.H,
+		SampleSize:      req.SampleSize,
+		Method:          method,
+		ImportanceBatch: req.ImportanceBatch,
+		Tail:            tail,
+		Alpha:           req.Alpha,
+		Seed:            req.Seed,
+		UseSpearman:     req.UseSpearman,
+	}
+	if method == tesc.Importance || method == tesc.Rejection {
+		idx, err := s.cache.Get(e, req.H, s.indexWorkers)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "building vicinity index: %v", err)
+			return
+		}
+		opts.Index = idx
+	}
+
+	start := time.Now()
+	res, err := tesc.Correlation(e.Graph(), va, vb, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, correlateResponse{
+		Tau:         res.Tau,
+		Z:           res.Z,
+		P:           res.P,
+		Significant: res.Significant,
+		Verdict:     res.Verdict,
+		N:           res.N,
+		Sampler:     res.Sampler,
+		Population:  res.Population,
+		SamplerBFS:  res.SamplerBFS,
+		DensityBFS:  res.DensityBFS,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// resolveEventPair turns a correlate request into two occurrence
+// lists, from registered event names or inline node lists. The
+// returned code distinguishes malformed requests (400) from unknown
+// events (404).
+func resolveEventPair(e *GraphEntry, req *correlateRequest) (va, vb []int, code int, err error) {
+	switch {
+	case req.A != "" && req.NodesA != nil:
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("set either a or nodes_a, not both")
+	case req.B != "" && req.NodesB != nil:
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("set either b or nodes_b, not both")
+	}
+	va = req.NodesA
+	if req.A != "" {
+		if va, err = e.Occurrences(req.A); err != nil {
+			return nil, nil, http.StatusNotFound, err
+		}
+	}
+	vb = req.NodesB
+	if req.B != "" {
+		if vb, err = e.Occurrences(req.B); err != nil {
+			return nil, nil, http.StatusNotFound, err
+		}
+	}
+	if va == nil || vb == nil {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("both events must be given (a/nodes_a and b/nodes_b)")
+	}
+	return va, vb, 0, nil
+}
+
+// handleScreen implements POST /v1/graphs/{name}/screen: an
+// asynchronous all-pairs screening sweep over the graph's registered
+// events. Returns 202 with a job ID for progress polling.
+func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req screenRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.H < 1 {
+		writeError(w, http.StatusBadRequest, "h must be >= 1")
+		return
+	}
+	tail, err := parseTail(req.Tail)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ev := e.EventSet()
+	if len(ev) < 2 {
+		writeError(w, http.StatusUnprocessableEntity, "screening needs at least 2 registered events, have %d", len(ev))
+		return
+	}
+	g := e.Graph()
+	opts := tesc.ScreenOptions{
+		H:              req.H,
+		SampleSize:     req.SampleSize,
+		Alpha:          req.Alpha,
+		Tail:           tail,
+		MinOccurrences: req.MinOccurrences,
+		Bonferroni:     req.Bonferroni,
+		Workers:        req.Workers,
+		Seed:           req.Seed,
+	}
+	job := s.jobs.Start(e.Name(), func(progress func(done, total int)) (tesc.ScreenResult, error) {
+		opts.Progress = progress
+		return tesc.Screen(g, ev, opts)
+	})
+	writeJSON(w, http.StatusAccepted, screenResponse{JobID: job.ID})
+}
+
+// handleGetJob implements GET /v1/jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"graphs":      len(s.registry.Names()),
+		"indexes":     s.cache.Len(),
+		"index_built": s.cache.Builds(),
+	})
+}

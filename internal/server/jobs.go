@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tesc"
+)
+
+// JobStatus is the lifecycle state of an asynchronous screening job.
+type JobStatus string
+
+const (
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is one asynchronous screening run. Screening sweeps test O(|Q|²)
+// pairs (§5.4) and can run for minutes on real vocabularies, so the
+// service returns a job ID immediately and lets clients poll progress.
+type Job struct {
+	ID    string
+	Graph string
+
+	mu       sync.Mutex
+	status   JobStatus
+	done     int
+	total    int
+	result   *tesc.ScreenResult
+	err      string
+	created  time.Time
+	finished time.Time
+}
+
+// ScreenedPairView is one screened pair, shaped for JSON.
+type ScreenedPairView struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	OccA        int     `json:"occ_a"`
+	OccB        int     `json:"occ_b"`
+	Tau         float64 `json:"tau"`
+	Z           float64 `json:"z"`
+	P           float64 `json:"p"`
+	AdjP        float64 `json:"adj_p"`
+	Significant bool    `json:"significant"`
+	Skipped     string  `json:"skipped,omitempty"`
+}
+
+// ScreenResultView is a completed screening run, shaped for JSON.
+type ScreenResultView struct {
+	Pairs    []ScreenedPairView `json:"pairs"`
+	Tested   int                `json:"tested"`
+	Skipped  int                `json:"skipped"`
+	Rejected int                `json:"rejected"`
+}
+
+func screenResultView(r *tesc.ScreenResult) *ScreenResultView {
+	if r == nil {
+		return nil
+	}
+	v := &ScreenResultView{
+		Pairs:    make([]ScreenedPairView, len(r.Pairs)),
+		Tested:   r.Tested,
+		Skipped:  r.Skipped,
+		Rejected: r.Rejected,
+	}
+	for i, p := range r.Pairs {
+		v.Pairs[i] = ScreenedPairView{
+			A: p.A, B: p.B,
+			OccA: p.OccA, OccB: p.OccB,
+			Tau: p.Tau, Z: p.Z,
+			P: p.P, AdjP: p.AdjP,
+			Significant: p.Significant,
+			Skipped:     p.Skipped,
+		}
+	}
+	return v
+}
+
+// JobView is an immutable snapshot of a job, shaped for JSON.
+type JobView struct {
+	ID       string            `json:"id"`
+	Graph    string            `json:"graph"`
+	Status   JobStatus         `json:"status"`
+	Done     int               `json:"done"`
+	Total    int               `json:"total"`
+	Error    string            `json:"error,omitempty"`
+	Result   *ScreenResultView `json:"result,omitempty"`
+	Created  time.Time         `json:"created"`
+	Finished *time.Time        `json:"finished,omitempty"`
+}
+
+// Snapshot returns a consistent view of the job.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		Graph:   j.Graph,
+		Status:  j.status,
+		Done:    j.done,
+		Total:   j.total,
+		Error:   j.err,
+		Result:  screenResultView(j.result),
+		Created: j.created,
+	}
+	if !j.finished.IsZero() {
+		f := j.finished
+		v.Finished = &f
+	}
+	return v
+}
+
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+// maxFinishedJobs bounds how many finished jobs are retained for
+// polling. A screening result holds one record per tested pair —
+// O(|Q|²) for real vocabularies — so an unbounded map would grow the
+// daemon's memory with every sweep. Running jobs are never pruned.
+const maxFinishedJobs = 64
+
+// Jobs tracks asynchronous screening jobs by ID.
+type Jobs struct {
+	mu    sync.Mutex
+	seq   int
+	jobs  map[string]*Job
+	order []string // insertion order, for pruning oldest finished first
+}
+
+// NewJobs returns an empty job tracker.
+func NewJobs() *Jobs {
+	return &Jobs{jobs: make(map[string]*Job)}
+}
+
+// pruneLocked evicts the oldest finished jobs beyond maxFinishedJobs.
+func (js *Jobs) pruneLocked() {
+	finished := 0
+	for _, id := range js.order {
+		if j, ok := js.jobs[id]; ok && j.isFinished() {
+			finished++
+		}
+	}
+	if finished <= maxFinishedJobs {
+		return
+	}
+	kept := js.order[:0]
+	for _, id := range js.order {
+		j, ok := js.jobs[id]
+		if !ok {
+			continue
+		}
+		if finished > maxFinishedJobs && j.isFinished() {
+			delete(js.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	js.order = kept
+}
+
+func (j *Job) isFinished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status != JobRunning
+}
+
+// Start registers a new job for the named graph and runs fn in a fresh
+// goroutine. fn receives the job's progress sink, suitable for
+// ScreenOptions.Progress.
+func (js *Jobs) Start(graphName string, fn func(progress func(done, total int)) (tesc.ScreenResult, error)) *Job {
+	js.mu.Lock()
+	js.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", js.seq),
+		Graph:   graphName,
+		status:  JobRunning,
+		created: time.Now(),
+	}
+	js.jobs[j.ID] = j
+	js.order = append(js.order, j.ID)
+	js.pruneLocked()
+	js.mu.Unlock()
+
+	go func() {
+		res, err := fn(j.setProgress)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.finished = time.Now()
+		if err != nil {
+			j.status = JobFailed
+			j.err = err.Error()
+			return
+		}
+		j.status = JobDone
+		j.result = &res
+	}()
+	return j
+}
+
+// Get returns the job with the given ID, or false.
+func (js *Jobs) Get(id string) (*Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	return j, ok
+}
+
+// IDs returns all known job IDs, unordered.
+func (js *Jobs) IDs() []string {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]string, 0, len(js.jobs))
+	for id := range js.jobs {
+		out = append(out, id)
+	}
+	return out
+}

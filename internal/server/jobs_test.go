@@ -1,0 +1,86 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tesc"
+)
+
+func waitFinished(t *testing.T, js *Jobs, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, ok := js.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared while running", id)
+		}
+		v := j.Snapshot()
+		if v.Status != JobRunning {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after 10s", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJobLifecycleAndFailure(t *testing.T) {
+	js := NewJobs()
+	ok := js.Start("g", func(progress func(done, total int)) (tesc.ScreenResult, error) {
+		progress(1, 2)
+		progress(2, 2)
+		return tesc.ScreenResult{Tested: 2}, nil
+	})
+	v := waitFinished(t, js, ok.ID)
+	if v.Status != JobDone || v.Done != 2 || v.Total != 2 || v.Result == nil || v.Result.Tested != 2 {
+		t.Fatalf("done job snapshot = %+v", v)
+	}
+	if v.Finished == nil {
+		t.Fatal("done job must carry a finished timestamp")
+	}
+
+	bad := js.Start("g", func(progress func(done, total int)) (tesc.ScreenResult, error) {
+		return tesc.ScreenResult{}, errors.New("kaput")
+	})
+	v = waitFinished(t, js, bad.ID)
+	if v.Status != JobFailed || v.Error != "kaput" || v.Result != nil {
+		t.Fatalf("failed job snapshot = %+v", v)
+	}
+}
+
+// TestJobsPruneFinished bounds daemon memory: finished jobs beyond
+// maxFinishedJobs are evicted oldest-first, running jobs never are.
+func TestJobsPruneFinished(t *testing.T) {
+	js := NewJobs()
+	noop := func(progress func(done, total int)) (tesc.ScreenResult, error) {
+		return tesc.ScreenResult{}, nil
+	}
+	var first *Job
+	for i := 0; i < maxFinishedJobs+10; i++ {
+		j := js.Start("g", noop)
+		if first == nil {
+			first = j
+		}
+		waitFinished(t, js, j.ID)
+	}
+	// One more Start triggers pruning of the overflow.
+	release := make(chan struct{})
+	running := js.Start("g", func(progress func(done, total int)) (tesc.ScreenResult, error) {
+		<-release
+		return tesc.ScreenResult{}, nil
+	})
+	if got := len(js.IDs()); got > maxFinishedJobs+1 {
+		t.Fatalf("%d jobs retained, want <= %d finished + 1 running", got, maxFinishedJobs)
+	}
+	if _, ok := js.Get(first.ID); ok {
+		t.Fatalf("oldest finished job %s must have been pruned", first.ID)
+	}
+	if _, ok := js.Get(running.ID); !ok {
+		t.Fatal("running job must never be pruned")
+	}
+	close(release)
+	waitFinished(t, js, running.ID)
+}

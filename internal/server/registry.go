@@ -1,0 +1,192 @@
+// Package server implements tescd, a long-running HTTP/JSON service for
+// TESC queries. It amortizes the two expensive offline steps the paper
+// separates from query time — loading the graph and building the
+// vicinity-size index (§4.2) — across many cheap online correlation
+// queries: graphs are loaded once into a named registry, vicinity
+// indexes are built on demand and kept in an LRU cache with
+// single-flight construction, and screening sweeps run as asynchronous
+// jobs with progress polling.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tesc"
+	"tesc/internal/events"
+	"tesc/internal/graph"
+)
+
+// GraphEntry is one registered graph plus its accumulated event
+// occurrences. All methods are safe for concurrent use.
+type GraphEntry struct {
+	name    string
+	graph   *tesc.Graph
+	created time.Time
+
+	mu      sync.RWMutex
+	builder *events.Builder
+	store   *events.Store // frozen snapshot, rebuilt after each AddEvents
+}
+
+// Name returns the registry name of the graph.
+func (e *GraphEntry) Name() string { return e.name }
+
+// Graph returns the immutable graph.
+func (e *GraphEntry) Graph() *tesc.Graph { return e.graph }
+
+// Created returns the registration time.
+func (e *GraphEntry) Created() time.Time { return e.created }
+
+// AddEvents records event occurrences (event name → node IDs). Node IDs
+// outside the graph's range are rejected before anything is recorded.
+// Repeated registrations of the same occurrence accumulate intensity,
+// matching events.Builder semantics.
+func (e *GraphEntry) AddEvents(ev map[string][]int) error {
+	n := e.graph.NumNodes()
+	for name, nodes := range ev {
+		if name == "" {
+			return fmt.Errorf("empty event name")
+		}
+		for _, v := range nodes {
+			if v < 0 || v >= n {
+				return fmt.Errorf("event %q: node %d outside [0,%d)", name, v, n)
+			}
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, nodes := range ev {
+		for _, v := range nodes {
+			e.builder.Add(name, graph.NodeID(v))
+		}
+	}
+	e.store = e.builder.Build()
+	return nil
+}
+
+// AddStore replays a parsed event store into the entry, preserving
+// per-occurrence intensities (§6's event-intensity extension, e.g. the
+// optional third column of the graphio events format). The store's
+// node universe must match the graph.
+func (e *GraphEntry) AddStore(store *events.Store) error {
+	if store.Universe() != e.graph.NumNodes() {
+		return fmt.Errorf("event universe %d does not match graph nodes %d", store.Universe(), e.graph.NumNodes())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, name := range store.Names() {
+		for _, v := range store.Occurrences(name) {
+			e.builder.AddWeighted(name, v, store.Intensity(name, v))
+		}
+	}
+	e.store = e.builder.Build()
+	return nil
+}
+
+// Store returns the current immutable event snapshot.
+func (e *GraphEntry) Store() *events.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store
+}
+
+// Occurrences returns the occurrence node IDs of the named event, or an
+// error naming the event when it is unknown.
+func (e *GraphEntry) Occurrences(name string) ([]int, error) {
+	store := e.Store()
+	if !store.Has(name) {
+		return nil, fmt.Errorf("unknown event %q", name)
+	}
+	occ := store.Occurrences(name)
+	out := make([]int, len(occ))
+	for i, v := range occ {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// EventSet snapshots all registered events as the public screening
+// input type.
+func (e *GraphEntry) EventSet() tesc.EventSet {
+	store := e.Store()
+	out := make(tesc.EventSet, store.NumEvents())
+	for _, name := range store.Names() {
+		occ := store.Occurrences(name)
+		nodes := make([]int, len(occ))
+		for i, v := range occ {
+			nodes[i] = int(v)
+		}
+		out[name] = nodes
+	}
+	return out
+}
+
+// NumEvents returns the number of distinct registered events.
+func (e *GraphEntry) NumEvents() int { return e.Store().NumEvents() }
+
+// Registry is a named collection of loaded graphs. It is the unit of
+// amortization: a graph is parsed and indexed once, then serves any
+// number of queries.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*GraphEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*GraphEntry)}
+}
+
+// Register adds a graph under a unique name.
+func (r *Registry) Register(name string, g *tesc.Graph) (*GraphEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty graph name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return nil, fmt.Errorf("graph %q already registered", name)
+	}
+	e := &GraphEntry{
+		name:    name,
+		graph:   g,
+		created: time.Now(),
+		builder: events.NewBuilder(g.NumNodes()),
+	}
+	e.store = e.builder.Build()
+	r.graphs[name] = e
+	return e, nil
+}
+
+// Get returns the entry for name, or false.
+func (r *Registry) Get(name string) (*GraphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.graphs[name]
+	return e, ok
+}
+
+// Remove deletes the named graph, returning the removed entry so the
+// caller can release resources keyed on it (cached indexes).
+func (r *Registry) Remove(name string) (*GraphEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	delete(r.graphs, name)
+	return e, ok
+}
+
+// Names returns the registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"time"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Addr is the listen address (default ":8537").
+	Addr string
+	// IndexCacheCapacity bounds the number of cached vicinity indexes
+	// across all (graph, maxLevel) keys (default 8). Each index costs
+	// O(|V|) space per level (§4.2), so the bound caps daemon memory.
+	IndexCacheCapacity int
+	// IndexWorkers is the goroutine-pool size for index construction
+	// (0 = GOMAXPROCS).
+	IndexWorkers int
+	// Log receives request-level diagnostics; nil disables logging.
+	Log *log.Logger
+}
+
+// Server is the tescd HTTP service: a graph registry, a vicinity-index
+// cache, and an asynchronous screening-job tracker behind a JSON API.
+type Server struct {
+	registry     *Registry
+	cache        *IndexCache
+	jobs         *Jobs
+	indexWorkers int
+	logger       *log.Logger
+	mux          *http.ServeMux
+}
+
+// New assembles a server from the config.
+func New(cfg Config) *Server {
+	if cfg.IndexCacheCapacity == 0 {
+		cfg.IndexCacheCapacity = 8
+	}
+	s := &Server{
+		registry:     NewRegistry(),
+		cache:        NewIndexCache(cfg.IndexCacheCapacity),
+		jobs:         NewJobs(),
+		indexWorkers: cfg.IndexWorkers,
+		logger:       cfg.Log,
+		mux:          http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.handleRegisterEvents)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.handleCorrelate)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.handleScreen)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Registry exposes the graph registry (for preloading at startup).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Cache exposes the vicinity-index cache (for warmup and metrics).
+func (s *Server) Cache() *IndexCache { return s.cache }
+
+// Handler returns the service's HTTP handler, for embedding or tests.
+func (s *Server) Handler() http.Handler {
+	if s.logger == nil {
+		return s.mux
+	}
+	return logRequests(s.logger, s.mux)
+}
+
+// ListenAndServe runs the service at addr until the context is
+// canceled, then shuts down gracefully (in-flight requests get 5s).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	if addr == "" {
+		addr = ":8537"
+	}
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}
+
+// logRequests wraps h with one log line per request.
+func logRequests(logger *log.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

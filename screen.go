@@ -12,23 +12,38 @@ type EventSet map[string][]int
 
 // ScreenOptions configures a multi-pair screening run (see Screen).
 type ScreenOptions struct {
-	// H is the vicinity level (required, ≥ 1).
+	// H is the vicinity level of every test (required, ≥ 1); §5.4's
+	// case studies screen at h = 1 and 2.
 	H int
-	// SampleSize is the per-pair reference sample size (default 900).
+	// SampleSize is the per-pair reference sample size (default 900,
+	// the sample size §5.2.1 fixes for the accuracy experiments).
 	SampleSize int
-	// Alpha is applied to *corrected* p-values (default 0.05).
+	// Alpha is the significance level applied to *corrected* p-values
+	// (default 0.05, the level used throughout §5).
 	Alpha float64
-	// Tail selects the tested direction for every pair.
+	// Tail selects the tested direction for every pair; §5.4's keyword
+	// and alert sweeps test the positive (attraction) tail.
 	Tail Tail
-	// MinOccurrences skips events with fewer occurrences (default 1).
+	// MinOccurrences skips events with fewer occurrences (default 1),
+	// mirroring §5.4's restriction to frequent keywords — tiny events
+	// give degenerate reference populations.
 	MinOccurrences int
 	// Bonferroni switches from the default Benjamini–Hochberg FDR
-	// control to the family-wise Bonferroni correction.
+	// control to the family-wise Bonferroni correction. Multiple-testing
+	// control is this package's addition: §5.4 reports top-ranked pairs,
+	// and hundreds of null pairs at α = 0.05 would yield spurious hits.
 	Bonferroni bool
-	// Workers bounds concurrency (0 = GOMAXPROCS).
+	// Workers bounds concurrency (0 = GOMAXPROCS). Each worker owns
+	// private BFS machinery, so screening parallelizes like §4.2's
+	// offline index construction.
 	Workers int
-	// Seed makes the run deterministic (0 = fixed default).
+	// Seed makes the run deterministic (0 = fixed default); each pair
+	// derives an independent stream from it.
 	Seed uint64
+	// Progress, when non-nil, is called after each pair finishes with
+	// the number of completed pairs and the total. Calls are
+	// serialized. The tescd daemon uses it for screening-job polling.
+	Progress func(done, total int)
 }
 
 // ScreenedPair is one tested pair, ordered by corrected p-value.
@@ -73,6 +88,7 @@ func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
 		MinOccurrences: opts.MinOccurrences,
 		Workers:        opts.Workers,
 		Seed:           opts.Seed,
+		Progress:       opts.Progress,
 	}
 	if opts.Bonferroni {
 		cfg.Correction = screen.FWER

@@ -122,22 +122,22 @@ func (g *Graph) BuildVicinityIndex(maxLevel, workers int) (*VicinityIndex, error
 type Method int
 
 const (
-	// BatchBFS (Algorithm 1) enumerates the full reference population
-	// with one multi-source BFS, then samples uniformly. Best when the
-	// population is small; cost grows with |V^h_{a∪b}|.
+	// BatchBFS (§4.1, Algorithm 1) enumerates the full reference
+	// population with one multi-source BFS, then samples uniformly.
+	// Best when the population is small; cost grows with |V^h_{a∪b}|.
 	BatchBFS Method = iota
-	// Importance (Algorithm 2) draws reference nodes through random
-	// event-node vicinities and corrects the bias with the weighted
-	// estimator t̃ (Eq. 8). Cost depends on the sample size n, not the
-	// population. Requires Options.Index.
+	// Importance (§4.2, Algorithm 2) draws reference nodes through
+	// random event-node vicinities and corrects the bias with the
+	// weighted estimator t̃ (Eq. 8). Cost depends on the sample size n,
+	// not the population. Requires Options.Index.
 	Importance
-	// WholeGraph (Algorithm 3) tests uniformly random nodes for
+	// WholeGraph (§4.3, Algorithm 3) tests uniformly random nodes for
 	// eligibility. Efficient only when the reference population covers
 	// much of the graph (large events and/or vicinity level).
 	WholeGraph
-	// Rejection (Procedure RejectSamp) yields exactly uniform reference
-	// nodes at the cost of two BFS per draw plus rejections. Included for
-	// completeness. Requires Options.Index.
+	// Rejection (§4.2, procedure RejectSamp) yields exactly uniform
+	// reference nodes at the cost of two BFS per draw plus rejections.
+	// Included for completeness. Requires Options.Index.
 	Rejection
 )
 
@@ -185,28 +185,38 @@ func (t Tail) alternative() stats.Alternative {
 // defaults where meaningful: SampleSize 900, Alpha 0.05, BatchBFS
 // sampling, two-sided alternative. H must be set explicitly (≥ 1).
 type Options struct {
-	// H is the vicinity level; the paper studies h = 1, 2, 3.
+	// H is the vicinity level defining V^h_v, the set of nodes within h
+	// hops (§2, Definition 1); the paper studies h = 1, 2, 3 throughout
+	// §5's experiments.
 	H int
-	// SampleSize is the number of reference nodes (default 900).
+	// SampleSize is the number of reference nodes drawn from the joint
+	// vicinity V^h_{a∪b} (default 900, the sample size §5.2.1 fixes
+	// after its convergence study).
 	SampleSize int
-	// Method selects the sampling strategy (default BatchBFS).
+	// Method selects the reference-node sampling strategy of §4
+	// (default BatchBFS, the exact-enumeration Algorithm 1).
 	Method Method
 	// ImportanceBatch, when Method == Importance, draws this many
 	// reference nodes per event-node BFS (§5.2.2; the paper uses 3 for
 	// h=2 and 6 for h=3). 0 or 1 disables batching.
 	ImportanceBatch int
-	// Index is the vicinity index required by Importance and Rejection.
+	// Index is the precomputed |V^h_v| index of §4.2, required by the
+	// Importance and Rejection methods (see Graph.BuildVicinityIndex).
 	Index *VicinityIndex
-	// Tail selects the alternative hypothesis (default BothTails).
+	// Tail selects the alternative hypothesis (default BothTails);
+	// §5.2's recall experiments run one-tailed tests matching the
+	// planted sign.
 	Tail Tail
-	// Alpha is the significance level (default 0.05).
+	// Alpha is the significance level of the hypothesis test
+	// (default 0.05, the level §5 uses throughout).
 	Alpha float64
 	// Seed makes the run deterministic; 0 selects a fixed default seed,
-	// so identical calls always agree.
+	// so identical calls always agree — the property that lets §5-style
+	// experiments be replayed exactly.
 	Seed uint64
 	// UseSpearman switches the rank statistic from Kendall's τ (the
-	// paper's measure) to Spearman's ρ, the alternative its §8 mentions.
-	// Incompatible with Method == Importance.
+	// paper's measure, §3) to Spearman's ρ, the alternative its §8
+	// mentions. Incompatible with Method == Importance.
 	UseSpearman bool
 	// IntensityA and IntensityB optionally weight each occurrence (§6's
 	// event-intensity extension, e.g. how often an author used a
