@@ -1,9 +1,16 @@
-// Command tescd is a long-running TESC query service. It amortizes the
-// expensive offline steps — loading a graph, building the vicinity-size
-// index — across many cheap online queries: graphs are registered once
-// and queried over HTTP/JSON, vicinity indexes are cached per
-// (graph, h) with single-flight construction, and all-pairs screening
-// sweeps run as asynchronous jobs with progress polling.
+// Command tescd is a long-running TESC query service for evolving
+// graphs. It amortizes the expensive offline steps — loading a graph,
+// building the vicinity-size index — across many cheap online queries:
+// graphs are registered once and queried over HTTP/JSON, vicinity
+// indexes are cached per (graph, h) with single-flight construction,
+// and all-pairs screening sweeps run as asynchronous jobs with
+// progress polling.
+//
+// Registered graphs mutate live: edge batches and event add/removes
+// publish epoch snapshots (every query sees one consistent version),
+// and cached vicinity indexes are repaired incrementally across edge
+// mutations — bounded BFS around the flipped edges, per the §4.2
+// locality argument — instead of being rebuilt.
 //
 // Usage:
 //
@@ -17,6 +24,8 @@
 //	     -d '{"name":"social","path":"graph.txt"}'
 //	curl -X POST localhost:8537/v1/graphs/social/correlate \
 //	     -d '{"a":"wireless","b":"sensor","h":1,"method":"importance"}'
+//	curl -X POST localhost:8537/v1/graphs/social/edges \
+//	     -d '{"insert":[[0,10]],"delete":[[4,5]]}'
 package main
 
 import (

@@ -16,9 +16,15 @@ import (
 )
 
 // Store is an immutable event-occurrence index over a fixed node
-// universe. Build one with a Builder.
+// universe. Build one with a Builder. A live system mutates the
+// builder and re-freezes: every Build stamps the snapshot with the
+// builder's monotonically increasing epoch, so concurrent readers can
+// tell (and report) exactly which version of the event data a
+// computation used while in-flight work keeps its consistent older
+// snapshot.
 type Store struct {
-	n      int // node universe size
+	n      int    // node universe size
+	epoch  uint64 // builder generation this snapshot was frozen at
 	names  []string
 	byName map[string]int
 	occ    [][]graph.NodeID // event index → sorted occurrence nodes
@@ -28,10 +34,14 @@ type Store struct {
 	byNode map[graph.NodeID][]int
 }
 
-// Builder accumulates event occurrences.
+// Builder accumulates event occurrences. It is the mutable side of the
+// store: add or remove occurrences freely, then freeze a consistent
+// snapshot with Build. The builder is not safe for concurrent use; the
+// snapshots it produces are immutable and freely shareable.
 type Builder struct {
-	n   int
-	occ map[string]map[graph.NodeID]float64
+	n     int
+	epoch uint64
+	occ   map[string]map[graph.NodeID]float64
 }
 
 // NewBuilder returns a builder over a universe of n nodes.
@@ -68,10 +78,47 @@ func (b *Builder) AddAll(name string, vs []graph.NodeID) {
 	}
 }
 
+// Remove deletes the occurrence of the event on node v (whatever its
+// accumulated intensity), reporting whether it existed. Removing the
+// last occurrence removes the event itself.
+func (b *Builder) Remove(name string, v graph.NodeID) bool {
+	m := b.occ[name]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[v]; !ok {
+		return false
+	}
+	delete(m, v)
+	if len(m) == 0 {
+		delete(b.occ, name)
+	}
+	return true
+}
+
+// RemoveEvent deletes every occurrence of the event, reporting whether
+// it existed.
+func (b *Builder) RemoveEvent(name string) bool {
+	if _, ok := b.occ[name]; !ok {
+		return false
+	}
+	delete(b.occ, name)
+	return true
+}
+
+// Has reports whether the builder currently holds any occurrence of the
+// event.
+func (b *Builder) Has(name string) bool {
+	_, ok := b.occ[name]
+	return ok
+}
+
 // Build freezes the builder into a Store.
 func (b *Builder) Build() *Store {
+	b.epoch++
 	s := &Store{
 		n:      b.n,
+		epoch:  b.epoch,
 		byName: make(map[string]int, len(b.occ)),
 		byNode: make(map[graph.NodeID][]int),
 	}
@@ -141,6 +188,15 @@ func (s *Store) Weighted(name string) bool {
 
 // Universe returns the node universe size.
 func (s *Store) Universe() int { return s.n }
+
+// Epoch returns the builder generation this snapshot was frozen at:
+// snapshots from the same builder carry strictly increasing epochs, so
+// readers can order successive event-store versions. It versions the
+// event data only — it is independent of (and generally disagrees
+// with) server.Snapshot.Epoch, which also advances on graph edge
+// mutations; serving-tier consumers should report that combined epoch,
+// not this one.
+func (s *Store) Epoch() uint64 { return s.epoch }
 
 // NumEvents returns the number of distinct events.
 func (s *Store) NumEvents() int { return len(s.names) }

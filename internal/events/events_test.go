@@ -159,3 +159,67 @@ func TestEmptyStore(t *testing.T) {
 		t.Error("empty store sets should be empty")
 	}
 }
+
+func TestRemoveAndEpoch(t *testing.T) {
+	b := NewBuilder(10)
+	b.Add("wireless", 1)
+	b.Add("wireless", 3)
+	b.Add("sensor", 5)
+	s1 := b.Build()
+	if s1.Epoch() != 1 {
+		t.Fatalf("first snapshot epoch = %d, want 1", s1.Epoch())
+	}
+
+	if !b.Remove("wireless", 3) {
+		t.Error("removing an existing occurrence should report true")
+	}
+	if b.Remove("wireless", 3) {
+		t.Error("removing it twice should report false")
+	}
+	if b.Remove("gpu", 0) {
+		t.Error("removing an unknown event should report false")
+	}
+	s2 := b.Build()
+	if s2.Epoch() != 2 {
+		t.Fatalf("second snapshot epoch = %d, want 2", s2.Epoch())
+	}
+	if got := s2.Count("wireless"); got != 1 {
+		t.Errorf("after removal Count(wireless) = %d, want 1", got)
+	}
+	// The older snapshot is untouched: in-flight readers keep their view.
+	if got := s1.Count("wireless"); got != 2 {
+		t.Errorf("older snapshot Count(wireless) = %d, want 2", got)
+	}
+
+	// Removing the last occurrence removes the event.
+	if !b.Remove("wireless", 1) {
+		t.Error("removing the last occurrence should report true")
+	}
+	if b.Has("wireless") {
+		t.Error("event should vanish with its last occurrence")
+	}
+	if !b.RemoveEvent("sensor") {
+		t.Error("RemoveEvent on an existing event should report true")
+	}
+	if b.RemoveEvent("sensor") {
+		t.Error("RemoveEvent twice should report false")
+	}
+	s3 := b.Build()
+	if s3.NumEvents() != 0 {
+		t.Errorf("after removals NumEvents = %d, want 0", s3.NumEvents())
+	}
+	if s3.Epoch() <= s2.Epoch() {
+		t.Errorf("epochs must strictly increase: %d then %d", s2.Epoch(), s3.Epoch())
+	}
+}
+
+func TestRemoveThenReAdd(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddWeighted("kw", 2, 3.5)
+	b.Remove("kw", 2)
+	b.Add("kw", 2)
+	s := b.Build()
+	if got := s.Intensity("kw", 2); got != 1 {
+		t.Errorf("re-added occurrence intensity = %g, want 1 (removal clears accumulation)", got)
+	}
+}

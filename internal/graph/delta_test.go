@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// rebuildWith returns g with the staged changes applied through the
+// forgiving Builder — the oracle Compact is checked against.
+func rebuildWith(g *Graph, changes []EdgeChange) *Graph {
+	present := make(map[[2]NodeID]bool)
+	g.ForEachEdge(func(u, v NodeID) bool {
+		present[[2]NodeID{u, v}] = true
+		return true
+	})
+	norm := func(u, v NodeID) [2]NodeID {
+		if !g.directed && u > v {
+			u, v = v, u
+		}
+		return [2]NodeID{u, v}
+	}
+	for _, c := range changes {
+		if c.Insert {
+			present[norm(c.U, c.V)] = true
+		} else {
+			delete(present, norm(c.U, c.V))
+		}
+	}
+	var b *Builder
+	if g.directed {
+		b = NewDirectedBuilder(g.NumNodes())
+	} else {
+		b = NewBuilder(g.NumNodes())
+	}
+	for e := range present {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+func graphsEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("nodes: got %d, want %d", got.NumNodes(), want.NumNodes())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges: got %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	for v := 0; v < want.NumNodes(); v++ {
+		g, w := got.Neighbors(NodeID(v)), want.Neighbors(NodeID(v))
+		if len(g) != len(w) {
+			t.Fatalf("node %d: degree %d, want %d", v, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("node %d: neighbors %v, want %v", v, g, w)
+			}
+		}
+	}
+}
+
+func TestDeltaInsertDelete(t *testing.T) {
+	g := Path(6) // 0-1-2-3-4-5
+	d := NewDelta(g)
+
+	if ok, _ := d.InsertEdge(0, 1); ok {
+		t.Error("inserting an existing edge should be a no-op")
+	}
+	if ok, _ := d.InsertEdge(0, 5); !ok {
+		t.Error("inserting a new edge should take effect")
+	}
+	if !d.HasEdge(0, 5) || !d.HasEdge(5, 0) {
+		t.Error("inserted edge not visible (both orientations)")
+	}
+	if ok, _ := d.DeleteEdge(2, 3); !ok {
+		t.Error("deleting an existing edge should take effect")
+	}
+	if d.HasEdge(2, 3) || d.HasEdge(3, 2) {
+		t.Error("deleted edge still visible")
+	}
+	if got, want := d.NumEdges(), int64(5); got != want {
+		t.Errorf("NumEdges = %d, want %d", got, want)
+	}
+	if got := d.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+
+	// Cancelling pairs collapse.
+	if ok, _ := d.DeleteEdge(0, 5); !ok {
+		t.Error("deleting the staged insertion should take effect")
+	}
+	if ok, _ := d.InsertEdge(3, 2); !ok {
+		t.Error("re-inserting the staged deletion should take effect")
+	}
+	if got := d.Pending(); got != 0 {
+		t.Errorf("Pending after cancellation = %d, want 0", got)
+	}
+	if d.Compact() != g {
+		t.Error("Compact with an empty overlay should return the base graph")
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	d := NewDelta(Path(4))
+	if _, err := d.InsertEdge(0, 4); err == nil {
+		t.Error("out-of-range endpoint should fail")
+	}
+	if _, err := d.InsertEdge(2, 2); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if _, err := d.DeleteEdge(-1, 2); err == nil {
+		t.Error("negative endpoint should fail")
+	}
+}
+
+func TestDeltaCompactRandomized(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		rng := rand.New(rand.NewPCG(11, 7))
+		n := 60
+		var b *Builder
+		if directed {
+			b = NewDirectedBuilder(n)
+		} else {
+			b = NewBuilder(n)
+		}
+		for i := 0; i < 150; i++ {
+			b.AddEdge(NodeID(rng.IntN(n)), NodeID(rng.IntN(n)))
+		}
+		g := b.MustBuild()
+
+		d := NewDelta(g)
+		var applied []EdgeChange
+		for step := 0; step < 400; step++ {
+			u, v := NodeID(rng.IntN(n)), NodeID(rng.IntN(n))
+			if u == v {
+				continue
+			}
+			c := EdgeChange{U: u, V: v, Insert: rng.IntN(2) == 0}
+			eff, err := d.Apply([]EdgeChange{c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applied = append(applied, eff...)
+			if want := d.HasEdge(u, v); want != c.Insert && len(eff) > 0 {
+				t.Fatalf("directed=%v step %d: HasEdge(%d,%d) = %v after %+v", directed, step, u, v, want, c)
+			}
+			// Compact at irregular intervals; the snapshot must match a
+			// from-scratch rebuild, and the delta keeps working on it.
+			if step%97 == 96 {
+				snap := d.Compact()
+				graphsEqual(t, snap, rebuildWith(g, applied))
+			}
+		}
+		snap := d.Compact()
+		graphsEqual(t, snap, rebuildWith(g, applied))
+		if snap.NumEdges() != d.NumEdges() {
+			t.Fatalf("directed=%v: snapshot edges %d != delta edges %d", directed, snap.NumEdges(), d.NumEdges())
+		}
+	}
+}

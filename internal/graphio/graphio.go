@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -89,6 +90,17 @@ func (g *gzipWriteCloser) Close() error {
 // ignored. Node count is max ID + 1 unless an optional header line
 // "# nodes N" raises it.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	return ReadEdgeListMax(r, graph.MaxNodes)
+}
+
+// ReadEdgeListMax is ReadEdgeList with an explicit cap on the node
+// universe: any node ID or "# nodes N" header at or above maxNodes is
+// rejected before anything is allocated for it. The node count drives
+// the graph's O(n) allocations, so a caller handing the parser
+// untrusted input (the tescd inline edge_list endpoint, the fuzz
+// harness) caps it to keep a three-byte line like "0 2000000000" from
+// ballooning into gigabytes.
+func ReadEdgeListMax(r io.Reader, maxNodes int) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	b := graph.NewGrowingBuilder()
@@ -103,6 +115,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		if strings.HasPrefix(line, "#") {
 			var n int
 			if _, err := fmt.Sscanf(line, "# nodes %d", &n); err == nil {
+				if n > maxNodes {
+					return nil, fmt.Errorf("graphio: line %d: declared %d nodes, cap is %d", lineNo, n, maxNodes)
+				}
 				declared = n
 			}
 			continue
@@ -121,6 +136,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		}
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graphio: line %d: negative node id", lineNo)
+		}
+		if u >= int64(maxNodes) || v >= int64(maxNodes) {
+			return nil, fmt.Errorf("graphio: line %d: node id %d at or above cap %d", lineNo, max(u, v), maxNodes)
 		}
 		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
 	}
@@ -192,7 +210,10 @@ func ReadEvents(r io.Reader, universe int) (*events.Store, error) {
 		}
 		if len(fields) >= 3 {
 			w, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil || w <= 0 {
+			// Intensities must be positive and finite: NaN compares
+			// false to everything (so a plain w <= 0 check passes it)
+			// and ±Inf would poison every downstream weighted sum.
+			if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
 				return nil, fmt.Errorf("graphio: line %d: bad intensity %q", lineNo, fields[2])
 			}
 			b.AddWeighted(name, graph.NodeID(v), w)

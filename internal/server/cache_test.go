@@ -56,7 +56,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		issued.Add(1)
 		go func(i int) {
 			defer issued.Done()
-			results[i], errs[i] = c.Get(e, 2, 1)
+			results[i], errs[i] = c.Get(e, e.Snapshot(), 2, 1)
 		}(i)
 	}
 	// Let every goroutine either start the build or queue behind it,
@@ -84,14 +84,14 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 
 	// A later Get for the same key is a pure cache hit.
-	if _, err := c.Get(e, 2, 1); err != nil {
+	if _, err := c.Get(e, e.Snapshot(), 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Builds(); got != 1 {
 		t.Fatalf("Builds() after warm hit = %d, want 1", got)
 	}
 	// A lower level is covered by the deeper cached index: no build.
-	idx, err := c.Get(e, 1, 1)
+	idx, err := c.Get(e, e.Snapshot(), 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		t.Fatalf("Builds() after lower-level reuse = %d, want 1", got)
 	}
 	// A deeper level than anything cached builds.
-	if _, err := c.Get(e, 3, 1); err != nil {
+	if _, err := c.Get(e, e.Snapshot(), 3, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Builds(); got != 2 {
@@ -116,7 +116,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := NewIndexCache(2)
 	mustGet := func(e *GraphEntry) {
 		t.Helper()
-		if _, err := c.Get(e, 1, 1); err != nil {
+		if _, err := c.Get(e, e.Snapshot(), 1, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -152,14 +152,14 @@ func TestCacheFailedBuildNotCached(t *testing.T) {
 		}
 		return inner(g, maxLevel, workers)
 	}
-	if _, err := c.Get(e, 1, 1); !errors.Is(err, boom) {
+	if _, err := c.Get(e, e.Snapshot(), 1, 1); !errors.Is(err, boom) {
 		t.Fatalf("Get = %v, want boom", err)
 	}
 	if got := c.Len(); got != 0 {
 		t.Fatalf("Len() after failed build = %d, want 0", got)
 	}
 	fail = false
-	if _, err := c.Get(e, 1, 1); err != nil {
+	if _, err := c.Get(e, e.Snapshot(), 1, 1); err != nil {
 		t.Fatalf("Get after recovery: %v", err)
 	}
 	if got := c.Builds(); got != 2 {
@@ -172,10 +172,10 @@ func TestCacheEvictGraph(t *testing.T) {
 	a, b := testEntry(t, r, "a"), testEntry(t, r, "b")
 	c := NewIndexCache(8)
 	for _, e := range []*GraphEntry{a, b} {
-		if _, err := c.Get(e, 1, 1); err != nil {
+		if _, err := c.Get(e, e.Snapshot(), 1, 1); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Get(e, 2, 1); err != nil {
+		if _, err := c.Get(e, e.Snapshot(), 2, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -183,13 +183,13 @@ func TestCacheEvictGraph(t *testing.T) {
 	if got := c.Len(); got != 2 {
 		t.Fatalf("Len() after EvictGraph = %d, want 2 (only b's entries)", got)
 	}
-	if _, err := c.Get(b, 1, 1); err != nil {
+	if _, err := c.Get(b, b.Snapshot(), 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Builds(); got != 4 {
 		t.Fatalf("Builds() = %d, want 4 (b still cached)", got)
 	}
-	if _, err := c.Get(a, 1, 1); err != nil {
+	if _, err := c.Get(a, a.Snapshot(), 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Builds(); got != 5 {
@@ -204,7 +204,7 @@ func TestCacheNameReuseIsolation(t *testing.T) {
 	r := NewRegistry()
 	old := testEntry(t, r, "g")
 	c := NewIndexCache(4)
-	oldIdx, err := c.Get(old, 1, 1)
+	oldIdx, err := c.Get(old, old.Snapshot(), 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestCacheNameReuseIsolation(t *testing.T) {
 	// Simulate a stale in-flight insert: the old entry's index stays
 	// cached (EvictGraph not called, worst case). Re-register "g".
 	fresh := testEntry(t, r, "g")
-	freshIdx, err := c.Get(fresh, 1, 1)
+	freshIdx, err := c.Get(fresh, fresh.Snapshot(), 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,5 +223,79 @@ func TestCacheNameReuseIsolation(t *testing.T) {
 	}
 	if got := c.Builds(); got != 2 {
 		t.Fatalf("Builds() = %d, want 2 (fresh entry must build its own index)", got)
+	}
+}
+
+// TestCacheStaleSnapshotSingleFlight pins the mutation-race path: when
+// the cache has been refreshed past a reader's snapshot, lagging
+// readers of that dead version share one side build instead of a
+// thundering herd of private rebuilds, and the result is never cached.
+func TestCacheStaleSnapshotSingleFlight(t *testing.T) {
+	r := NewRegistry()
+	e := testEntry(t, r, "g")
+	c := NewIndexCache(4)
+
+	before := e.Snapshot()
+	if _, err := c.Get(e, before, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, applied, err := e.MutateEdges([]tesc.EdgeChange{{U: 0, V: 3, Insert: true}},
+		func(old, next Snapshot, ap []tesc.EdgeChange) { c.Refresh(e, old, next, ap, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 {
+		t.Fatalf("applied %d changes, want 1", len(applied))
+	}
+	buildsBefore := c.Builds()
+
+	// Stall the build so all stale readers provably overlap it.
+	const readers = 16
+	inner := c.build
+	var calls atomic.Int64
+	release := make(chan struct{})
+	c.build = func(g *tesc.Graph, maxLevel, workers int) (*tesc.VicinityIndex, error) {
+		calls.Add(1)
+		<-release
+		return inner(g, maxLevel, workers)
+	}
+	var wg sync.WaitGroup
+	results := make([]*tesc.VicinityIndex, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Get(e, before, 2, 1)
+		}(i)
+	}
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("stale Get %d: %v", i, errs[i])
+		}
+		if !results[i].BuiltFor(before.Graph) {
+			t.Fatalf("stale Get %d returned an index for the wrong snapshot", i)
+		}
+		if results[i] != results[0] {
+			t.Fatalf("stale Get %d did not share the single-flight build", i)
+		}
+	}
+	if got := c.Builds() - buildsBefore; got != 1 {
+		t.Fatalf("stale readers triggered %d builds, want 1", got)
+	}
+
+	// The dead version never entered the cache: a current-version Get
+	// still serves the refreshed index without building.
+	if _, err := c.Get(e, e.Snapshot(), 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Builds() - buildsBefore; got != 1 {
+		t.Fatalf("current-version Get rebuilt (total extra builds %d), want the refreshed index served", got)
 	}
 }

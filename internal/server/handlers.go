@@ -33,17 +33,47 @@ type graphInfo struct {
 	Nodes   int       `json:"nodes"`
 	Edges   int64     `json:"edges"`
 	Events  int       `json:"events"`
+	Epoch   uint64    `json:"epoch"`
 	Created time.Time `json:"created"`
 }
 
 type registerEventsRequest struct {
-	// Events maps event names to occurrence node IDs.
-	Events map[string][]int `json:"events"`
+	// Events maps event names to occurrence node IDs to add.
+	Events map[string][]int `json:"events,omitempty"`
+	// Remove maps event names to occurrence node IDs to delete; an
+	// empty list removes the whole event. Additions and removals in one
+	// request form a single mutation (one epoch).
+	Remove map[string][]int `json:"remove,omitempty"`
 }
 
 type registerEventsResponse struct {
 	Graph  string `json:"graph"`
 	Events int    `json:"events"` // distinct events now registered
+	Epoch  uint64 `json:"epoch"`
+}
+
+type mutateEdgesRequest struct {
+	// Insert and Delete list edge mutations as [u, v] pairs, applied in
+	// order: insertions first, then deletions. No-ops (inserting a
+	// present edge, deleting an absent one) are skipped and reported.
+	Insert [][2]int `json:"insert,omitempty"`
+	Delete [][2]int `json:"delete,omitempty"`
+}
+
+type mutateEdgesResponse struct {
+	Graph    string `json:"graph"`
+	Epoch    uint64 `json:"epoch"`
+	Nodes    int    `json:"nodes"`
+	Edges    int64  `json:"edges"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Skipped  int    `json:"skipped"` // requested changes that were no-ops
+	// IndexesRefreshed counts the cached vicinity indexes migrated to
+	// the new graph by incremental repair (not rebuilt);
+	// NodesRecomputed the index entries repaired across them — the
+	// observable locality of the update.
+	IndexesRefreshed int `json:"indexes_refreshed"`
+	NodesRecomputed  int `json:"nodes_recomputed"`
 }
 
 type correlateRequest struct {
@@ -77,6 +107,10 @@ type correlateResponse struct {
 	SamplerBFS  int64   `json:"sampler_bfs"`
 	DensityBFS  int64   `json:"density_bfs"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Epoch identifies the snapshot the whole query ran against: the
+	// graph, the event occurrences and the vicinity index all belong to
+	// this one version even if mutations landed mid-query.
+	Epoch uint64 `json:"epoch"`
 }
 
 type screenRequest struct {
@@ -94,6 +128,11 @@ type screenRequest struct {
 type screenResponse struct {
 	JobID string `json:"job_id"`
 }
+
+// maxInlineNodes caps the node universe of graphs registered through an
+// inline edge_list body (16M nodes ≈ 128MB of offsets). Larger graphs
+// load through the server-side path field.
+const maxInlineNodes = 1 << 24
 
 // ---- helpers --------------------------------------------------------
 
@@ -158,11 +197,13 @@ func parseTail(s string) (tesc.Tail, error) {
 }
 
 func (e *GraphEntry) info() graphInfo {
+	snap := e.Snapshot()
 	return graphInfo{
 		Name:    e.Name(),
-		Nodes:   e.Graph().NumNodes(),
-		Edges:   e.Graph().NumEdges(),
-		Events:  e.NumEvents(),
+		Nodes:   snap.Graph.NumNodes(),
+		Edges:   snap.Graph.NumEdges(),
+		Events:  snap.Store.NumEvents(),
+		Epoch:   snap.Epoch,
 		Created: e.Created(),
 	}
 }
@@ -188,7 +229,10 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if req.EdgeList != "" {
-		g, err = tesc.ReadGraph(strings.NewReader(req.EdgeList))
+		// Inline bodies are untrusted: cap the universe so a one-line
+		// request can't demand an O(n) allocation in the gigabytes.
+		// Server-side -load/path graphs stay uncapped.
+		g, err = tesc.ReadGraphMax(strings.NewReader(req.EdgeList), maxInlineNodes)
 	} else {
 		var f interface {
 			Read([]byte) (int, error)
@@ -256,15 +300,92 @@ func (s *Server) handleRegisterEvents(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if len(req.Events) == 0 {
-		writeError(w, http.StatusBadRequest, "events must be non-empty")
+	if len(req.Events) == 0 && len(req.Remove) == 0 {
+		writeError(w, http.StatusBadRequest, "events or remove must be non-empty")
 		return
 	}
-	if err := e.AddEvents(req.Events); err != nil {
+	if err := e.MutateEvents(req.Events, req.Remove); err != nil {
+		code := http.StatusBadRequest
+		if strings.HasPrefix(err.Error(), "unknown event") {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	snap := e.Snapshot()
+	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: snap.Store.NumEvents(), Epoch: snap.Epoch})
+}
+
+// handleDeleteEvent implements DELETE /v1/graphs/{name}/events/{event}:
+// removes the event and all its occurrences.
+func (s *Server) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	event := r.PathValue("event")
+	if err := e.RemoveEvents(map[string][]int{event: nil}); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	snap := e.Snapshot()
+	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: snap.Store.NumEvents(), Epoch: snap.Epoch})
+}
+
+// handleMutateEdges implements POST /v1/graphs/{name}/edges: a live
+// edge-mutation batch. The entry publishes a fresh snapshot and every
+// cached vicinity index of the graph is migrated by incremental repair
+// — bounded BFS around the flipped edges (§4.2's locality) — before the
+// new version becomes visible, so index-backed queries keep hitting the
+// cache across mutations instead of paying a full O(|V|·BFS) rebuild.
+func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req mutateEdgesRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Insert) == 0 && len(req.Delete) == 0 {
+		writeError(w, http.StatusBadRequest, "insert or delete must be non-empty")
+		return
+	}
+	changes := make([]tesc.EdgeChange, 0, len(req.Insert)+len(req.Delete))
+	for _, p := range req.Insert {
+		changes = append(changes, tesc.EdgeChange{U: p[0], V: p[1], Insert: true})
+	}
+	for _, p := range req.Delete {
+		changes = append(changes, tesc.EdgeChange{U: p[0], V: p[1], Insert: false})
+	}
+
+	var migrated, recomputed int
+	snap, applied, err := e.MutateEdges(changes, func(old, next Snapshot, applied []tesc.EdgeChange) {
+		migrated, recomputed = s.cache.Refresh(e, old, next, applied, s.indexWorkers)
+	})
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: e.NumEvents()})
+	var inserted, deleted int
+	for _, c := range applied {
+		if c.Insert {
+			inserted++
+		} else {
+			deleted++
+		}
+	}
+	writeJSON(w, http.StatusOK, mutateEdgesResponse{
+		Graph:            e.Name(),
+		Epoch:            snap.Epoch,
+		Nodes:            snap.Graph.NumNodes(),
+		Edges:            snap.Graph.NumEdges(),
+		Inserted:         inserted,
+		Deleted:          deleted,
+		Skipped:          len(changes) - len(applied),
+		IndexesRefreshed: migrated,
+		NodesRecomputed:  recomputed,
+	})
 }
 
 // handleCorrelate implements POST /v1/graphs/{name}/correlate: one TESC
@@ -293,7 +414,11 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	va, vb, code, err := resolveEventPair(e, &req)
+	// Bind the whole query to one snapshot: occurrences, graph and
+	// vicinity index all come from the same epoch even if mutations
+	// land while the query runs.
+	snap := e.Snapshot()
+	va, vb, code, err := resolveEventPair(snap, &req)
 	if err != nil {
 		writeError(w, code, "%v", err)
 		return
@@ -310,7 +435,7 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		UseSpearman:     req.UseSpearman,
 	}
 	if method == tesc.Importance || method == tesc.Rejection {
-		idx, err := s.cache.Get(e, req.H, s.indexWorkers)
+		idx, err := s.cache.Get(e, snap, req.H, s.indexWorkers)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "building vicinity index: %v", err)
 			return
@@ -319,7 +444,7 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := tesc.Correlation(e.Graph(), va, vb, opts)
+	res, err := tesc.Correlation(snap.Graph, va, vb, opts)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -336,14 +461,15 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		SamplerBFS:  res.SamplerBFS,
 		DensityBFS:  res.DensityBFS,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Epoch:       snap.Epoch,
 	})
 }
 
 // resolveEventPair turns a correlate request into two occurrence
-// lists, from registered event names or inline node lists. The
-// returned code distinguishes malformed requests (400) from unknown
-// events (404).
-func resolveEventPair(e *GraphEntry, req *correlateRequest) (va, vb []int, code int, err error) {
+// lists, from events registered in the snapshot or inline node lists.
+// The returned code distinguishes malformed requests (400) from
+// unknown events (404).
+func resolveEventPair(snap Snapshot, req *correlateRequest) (va, vb []int, code int, err error) {
 	switch {
 	case req.A != "" && req.NodesA != nil:
 		return nil, nil, http.StatusBadRequest, fmt.Errorf("set either a or nodes_a, not both")
@@ -352,13 +478,13 @@ func resolveEventPair(e *GraphEntry, req *correlateRequest) (va, vb []int, code 
 	}
 	va = req.NodesA
 	if req.A != "" {
-		if va, err = e.Occurrences(req.A); err != nil {
+		if va, err = storeOccurrences(snap.Store, req.A); err != nil {
 			return nil, nil, http.StatusNotFound, err
 		}
 	}
 	vb = req.NodesB
 	if req.B != "" {
-		if vb, err = e.Occurrences(req.B); err != nil {
+		if vb, err = storeOccurrences(snap.Store, req.B); err != nil {
 			return nil, nil, http.StatusNotFound, err
 		}
 	}
@@ -389,12 +515,15 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ev := e.EventSet()
+	// One snapshot for the whole sweep: a long screening job keeps its
+	// consistent graph + event view while mutations continue to land.
+	snap := e.Snapshot()
+	ev := eventSetOf(snap.Store)
 	if len(ev) < 2 {
 		writeError(w, http.StatusUnprocessableEntity, "screening needs at least 2 registered events, have %d", len(ev))
 		return
 	}
-	g := e.Graph()
+	g := snap.Graph
 	opts := tesc.ScreenOptions{
 		H:              req.H,
 		SampleSize:     req.SampleSize,
@@ -426,9 +555,11 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 // handleHealth implements GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"graphs":      len(s.registry.Names()),
-		"indexes":     s.cache.Len(),
-		"index_built": s.cache.Builds(),
+		"status":                 "ok",
+		"graphs":                 len(s.registry.Names()),
+		"indexes":                s.cache.Len(),
+		"index_built":            s.cache.Builds(),
+		"index_refreshed":        s.cache.Refreshes(),
+		"index_nodes_recomputed": s.cache.NodesRecomputed(),
 	})
 }

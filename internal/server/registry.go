@@ -1,11 +1,21 @@
 // Package server implements tescd, a long-running HTTP/JSON service for
-// TESC queries. It amortizes the two expensive offline steps the paper
-// separates from query time — loading the graph and building the
-// vicinity-size index (§4.2) — across many cheap online correlation
-// queries: graphs are loaded once into a named registry, vicinity
-// indexes are built on demand and kept in an LRU cache with
-// single-flight construction, and screening sweeps run as asynchronous
-// jobs with progress polling.
+// TESC queries over evolving graphs. It amortizes the two expensive
+// offline steps the paper separates from query time — loading the graph
+// and building the vicinity-size index (§4.2) — across many cheap
+// online correlation queries: graphs are loaded once into a named
+// registry, vicinity indexes are built on demand and kept in an LRU
+// cache with single-flight construction, and screening sweeps run as
+// asynchronous jobs with progress polling.
+//
+// Graphs and event sets are mutable through the API, with epoch
+// snapshots as the consistency model: every mutation (edge batch, event
+// add/remove) publishes a fresh immutable snapshot and bumps the
+// entry's epoch; a query binds to exactly one snapshot for its whole
+// execution, so concurrent mutators never produce torn reads. Cached
+// vicinity indexes are not invalidated on edge mutations — they are
+// repaired in place via the paper's locality argument (an edge flip
+// only perturbs |V^h_v| within h hops of its endpoints) and republished
+// with the new snapshot.
 package server
 
 import (
@@ -19,34 +29,126 @@ import (
 	"tesc/internal/graph"
 )
 
+// Snapshot is one immutable, internally consistent version of a
+// registered graph: the CSR graph, the frozen event store, and the
+// version stamps. Queries take a snapshot once and use only it; the
+// entry may move on concurrently.
+type Snapshot struct {
+	// Graph is the immutable graph snapshot.
+	Graph *tesc.Graph
+	// Store is the frozen event-occurrence snapshot.
+	Store *events.Store
+	// Epoch increases by one on every mutation of the entry, edge or
+	// event; responses carry it so clients can tell which version
+	// answered.
+	Epoch uint64
+	// GraphVersion increases only on edge mutations. It keys the
+	// vicinity-index cache: an index is valid for exactly one graph
+	// version, and an edge mutation migrates cached indexes to the next
+	// version by incremental repair instead of eviction.
+	GraphVersion uint64
+}
+
 // GraphEntry is one registered graph plus its accumulated event
 // occurrences. All methods are safe for concurrent use.
 type GraphEntry struct {
 	name    string
-	graph   *tesc.Graph
 	created time.Time
+
+	// mutMu serializes mutations end to end (snapshot computation,
+	// index refresh, publication), so epochs increase monotonically and
+	// cache refreshes never interleave. Queries never take it.
+	mutMu sync.Mutex
 
 	mu      sync.RWMutex
 	builder *events.Builder
-	store   *events.Store // frozen snapshot, rebuilt after each AddEvents
+	cur     Snapshot
 }
 
 // Name returns the registry name of the graph.
 func (e *GraphEntry) Name() string { return e.name }
 
-// Graph returns the immutable graph.
-func (e *GraphEntry) Graph() *tesc.Graph { return e.graph }
-
 // Created returns the registration time.
 func (e *GraphEntry) Created() time.Time { return e.created }
+
+// Snapshot returns the current immutable snapshot.
+func (e *GraphEntry) Snapshot() Snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cur
+}
+
+// Graph returns the current graph snapshot.
+func (e *GraphEntry) Graph() *tesc.Graph { return e.Snapshot().Graph }
+
+// Store returns the current event snapshot.
+func (e *GraphEntry) Store() *events.Store { return e.Snapshot().Store }
+
+// Epoch returns the current snapshot's epoch.
+func (e *GraphEntry) Epoch() uint64 { return e.Snapshot().Epoch }
+
+// MutateEdges applies an edge-change batch and publishes the successor
+// snapshot. No-op changes (inserting a present edge, deleting an absent
+// one) are skipped; applied reports the changes that took effect. When
+// at least one change took effect, refresh — if non-nil — runs between
+// computing the successor and publishing it, with mutations still
+// serialized, so the index cache can migrate its entries before any
+// query can observe the new version. An entirely ineffective batch
+// publishes nothing and returns the current snapshot unchanged.
+func (e *GraphEntry) MutateEdges(changes []tesc.EdgeChange, refresh func(old, next Snapshot, applied []tesc.EdgeChange)) (Snapshot, []tesc.EdgeChange, error) {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	old := e.Snapshot()
+	newG, applied, err := old.Graph.ApplyEdgeChanges(changes)
+	if err != nil {
+		return Snapshot{}, nil, err
+	}
+	if len(applied) == 0 {
+		return old, nil, nil
+	}
+	next := Snapshot{
+		Graph:        newG,
+		Store:        old.Store,
+		Epoch:        old.Epoch + 1,
+		GraphVersion: old.GraphVersion + 1,
+	}
+	if refresh != nil {
+		refresh(old, next, applied)
+	}
+	e.mu.Lock()
+	e.cur = next
+	e.mu.Unlock()
+	return next, applied, nil
+}
 
 // AddEvents records event occurrences (event name → node IDs). Node IDs
 // outside the graph's range are rejected before anything is recorded.
 // Repeated registrations of the same occurrence accumulate intensity,
 // matching events.Builder semantics.
 func (e *GraphEntry) AddEvents(ev map[string][]int) error {
-	n := e.graph.NumNodes()
-	for name, nodes := range ev {
+	return e.mutateEvents(ev, nil)
+}
+
+// RemoveEvents deletes event occurrences: each name maps to the node
+// IDs to remove, an empty (or nil) list removing the whole event. The
+// batch is validated against the current snapshot first and rejected
+// whole on an unknown event or absent occurrence.
+func (e *GraphEntry) RemoveEvents(ev map[string][]int) error {
+	return e.mutateEvents(nil, ev)
+}
+
+// MutateEvents applies additions and removals as one mutation (one
+// epoch bump, one published snapshot).
+func (e *GraphEntry) MutateEvents(add, remove map[string][]int) error {
+	return e.mutateEvents(add, remove)
+}
+
+func (e *GraphEntry) mutateEvents(add, remove map[string][]int) error {
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	old := e.Snapshot()
+	n := old.Graph.NumNodes()
+	for name, nodes := range add {
 		if name == "" {
 			return fmt.Errorf("empty event name")
 		}
@@ -56,14 +158,52 @@ func (e *GraphEntry) AddEvents(ev map[string][]int) error {
 			}
 		}
 	}
+	// Validate removals fully before touching the builder, so a bad
+	// batch is rejected whole. An occurrence added in the same batch may
+	// also be removed (apply order is add, then remove).
+	for name, nodes := range remove {
+		addedNodes, addedAny := add[name]
+		if !old.Store.Has(name) && !addedAny {
+			return fmt.Errorf("unknown event %q", name)
+		}
+		for _, v := range nodes {
+			if v < 0 || v >= n {
+				return fmt.Errorf("event %q: node %d outside [0,%d)", name, v, n)
+			}
+			if old.Store.Intensity(name, graph.NodeID(v)) > 0 {
+				continue
+			}
+			inBatch := false
+			for _, a := range addedNodes {
+				if a == v {
+					inBatch = true
+					break
+				}
+			}
+			if !inBatch {
+				return fmt.Errorf("event %q has no occurrence on node %d", name, v)
+			}
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for name, nodes := range ev {
+	for name, nodes := range add {
 		for _, v := range nodes {
 			e.builder.Add(name, graph.NodeID(v))
 		}
 	}
-	e.store = e.builder.Build()
+	for name, nodes := range remove {
+		if len(nodes) == 0 {
+			e.builder.RemoveEvent(name)
+			continue
+		}
+		for _, v := range nodes {
+			// Validated above; duplicates within the batch are idempotent.
+			e.builder.Remove(name, graph.NodeID(v))
+		}
+	}
+	e.cur.Store = e.builder.Build()
+	e.cur.Epoch++
 	return nil
 }
 
@@ -72,8 +212,10 @@ func (e *GraphEntry) AddEvents(ev map[string][]int) error {
 // optional third column of the graphio events format). The store's
 // node universe must match the graph.
 func (e *GraphEntry) AddStore(store *events.Store) error {
-	if store.Universe() != e.graph.NumNodes() {
-		return fmt.Errorf("event universe %d does not match graph nodes %d", store.Universe(), e.graph.NumNodes())
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	if store.Universe() != e.Snapshot().Graph.NumNodes() {
+		return fmt.Errorf("event universe %d does not match graph nodes %d", store.Universe(), e.Snapshot().Graph.NumNodes())
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -82,21 +224,14 @@ func (e *GraphEntry) AddStore(store *events.Store) error {
 			e.builder.AddWeighted(name, v, store.Intensity(name, v))
 		}
 	}
-	e.store = e.builder.Build()
+	e.cur.Store = e.builder.Build()
+	e.cur.Epoch++
 	return nil
 }
 
-// Store returns the current immutable event snapshot.
-func (e *GraphEntry) Store() *events.Store {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store
-}
-
-// Occurrences returns the occurrence node IDs of the named event, or an
-// error naming the event when it is unknown.
-func (e *GraphEntry) Occurrences(name string) ([]int, error) {
-	store := e.Store()
+// Occurrences returns the occurrence node IDs of the named event in the
+// given store, or an error naming the event when it is unknown.
+func storeOccurrences(store *events.Store, name string) ([]int, error) {
 	if !store.Has(name) {
 		return nil, fmt.Errorf("unknown event %q", name)
 	}
@@ -108,10 +243,15 @@ func (e *GraphEntry) Occurrences(name string) ([]int, error) {
 	return out, nil
 }
 
-// EventSet snapshots all registered events as the public screening
-// input type.
-func (e *GraphEntry) EventSet() tesc.EventSet {
-	store := e.Store()
+// Occurrences returns the occurrence node IDs of the named event in the
+// current snapshot, or an error naming the event when it is unknown.
+func (e *GraphEntry) Occurrences(name string) ([]int, error) {
+	return storeOccurrences(e.Store(), name)
+}
+
+// eventSetOf snapshots a store's events as the public screening input
+// type.
+func eventSetOf(store *events.Store) tesc.EventSet {
 	out := make(tesc.EventSet, store.NumEvents())
 	for _, name := range store.Names() {
 		occ := store.Occurrences(name)
@@ -123,6 +263,10 @@ func (e *GraphEntry) EventSet() tesc.EventSet {
 	}
 	return out
 }
+
+// EventSet snapshots all registered events as the public screening
+// input type.
+func (e *GraphEntry) EventSet() tesc.EventSet { return eventSetOf(e.Store()) }
 
 // NumEvents returns the number of distinct registered events.
 func (e *GraphEntry) NumEvents() int { return e.Store().NumEvents() }
@@ -152,11 +296,10 @@ func (r *Registry) Register(name string, g *tesc.Graph) (*GraphEntry, error) {
 	}
 	e := &GraphEntry{
 		name:    name,
-		graph:   g,
 		created: time.Now(),
 		builder: events.NewBuilder(g.NumNodes()),
 	}
-	e.store = e.builder.Build()
+	e.cur = Snapshot{Graph: g, Store: e.builder.Build(), Epoch: 1, GraphVersion: 1}
 	r.graphs[name] = e
 	return e, nil
 }

@@ -51,6 +51,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.handleRegisterEvents)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.handleDeleteEvent)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutateEdges)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.handleCorrelate)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.handleScreen)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)

@@ -1,0 +1,68 @@
+package vicinity
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+)
+
+// The serving-cost claim of the dynamic-graph subsystem: repairing the
+// |V^h_v| index after a single edge flip via ApplyDelta must be orders
+// of magnitude cheaper than the from-scratch Build a naive cache
+// invalidation pays. Both benchmarks run on the 20k-node DBLP
+// surrogate at h = 2 (the deepest level tescd serves by default).
+//
+//	go test ./internal/vicinity -bench 'Rebuild20k|SingleFlip20k' -benchtime 10x
+
+var bench20k struct {
+	once sync.Once
+	g    *graph.Graph
+}
+
+func bench20kGraph() *graph.Graph {
+	bench20k.once.Do(func() {
+		rng := rand.New(rand.NewPCG(0xbe9c, 20))
+		bench20k.g = graphgen.Coauthorship(graphgen.DefaultCoauthorship(0.2), rng)
+	})
+	return bench20k.g
+}
+
+func BenchmarkRebuild20k(b *testing.B) {
+	g := bench20kGraph()
+	b.ReportMetric(float64(g.NumNodes()), "nodes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, 2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyDeltaSingleFlip20k(b *testing.B) {
+	g := bench20kGraph()
+	idx, err := Build(g, 2, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(0xf11b, 7))
+	stream := graphgen.NewFlipStream(g, 0.5, rng)
+	var recomputed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := graph.NewDelta(g)
+		applied, err := d.Apply([]graph.EdgeChange{stream.Next()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = d.Compact()
+		n, err := idx.ApplyDelta(g, applied, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recomputed += n
+	}
+	b.ReportMetric(float64(recomputed)/float64(b.N), "entries/op")
+}

@@ -190,37 +190,128 @@ func (idx *Index) Weights(nodes []graph.NodeID, h int) []float64 {
 	return out
 }
 
-// UpdateAfterEdgeChange recomputes the index entries invalidated by
-// adding or removing the single edge {u, w}: exactly the nodes whose
-// maxLevel-vicinity contains u or w, i.e. nodes within maxLevel hops of
-// either endpoint in the *new* graph g (for removals the old graph's
-// reach must be covered too, so pass the union graph's endpoints —
-// callers that flip one edge at a time can simply call this with both the
-// old and new graphs' BFS reach by invoking it on the new graph; distances
-// to other nodes only shrink on addition and grow on removal, and the
-// affected set is within maxLevel of an endpoint under whichever graph
-// still has the longer reach).
-//
-// The index must be rebound to the new graph first via Rebind.
-func (idx *Index) UpdateAfterEdgeChange(u, w graph.NodeID) {
-	bfs := graph.NewBFS(idx.g)
-	var dirty []graph.NodeID
-	dirty = bfs.SetVicinity([]graph.NodeID{u, w}, idx.maxLevel, dirty)
-	counts := make([]int32, idx.maxLevel+1)
-	for _, v := range dirty {
-		idx.computeNode(bfs, v, counts)
+// Clone returns an independent copy of the index: the sizes arrays are
+// deep-copied, the graph binding is shared (it is immutable). The
+// serving tier uses copy-on-write maintenance — clone, ApplyDelta on
+// the clone, publish — so in-flight queries keep reading a consistent
+// (graph, index) pair while the successor is repaired.
+func (idx *Index) Clone() *Index {
+	out := &Index{g: idx.g, maxLevel: idx.maxLevel}
+	out.sizes = make([][]int32, len(idx.sizes))
+	for h, col := range idx.sizes {
+		out.sizes[h] = make([]int32, len(col))
+		copy(out.sizes[h], col)
 	}
+	return out
 }
 
-// Rebind points the index at a structurally updated graph with the same
-// node count (e.g. one edge added or removed). Entries are NOT
-// recomputed; call UpdateAfterEdgeChange for each flipped edge.
-func (idx *Index) Rebind(g *graph.Graph) error {
-	if g.NumNodes() != idx.g.NumNodes() {
-		return fmt.Errorf("vicinity: rebind node count %d != %d", g.NumNodes(), idx.g.NumNodes())
+// ApplyDelta repairs the index after the graph changed from its bound
+// graph to newG by the given edge flips, rebinding it to newG. It
+// implements the incremental maintenance the paper alludes to ("once we
+// obtain the index, it can be efficiently updated as the graph
+// changes", §4.2) via the locality argument: |V^h_x| can only change if
+// some shortest path from x crossed the h threshold, and any such path
+// runs through an endpoint of a flipped edge — in the new graph for
+// insertions (the path uses the new edge), in the old graph for
+// deletions (the vanished path used the old edge). The dirty set is
+// therefore the union of the maxLevel-hop balls around the flipped
+// endpoints in the old and new graphs — two multi-source Batch BFS
+// (Algorithm 1) — and only those entries are recomputed, fanned out
+// over opts.Workers goroutines like Build.
+//
+// On directed graphs the forward vicinity V^h_x changes only for nodes
+// that can *reach* a flipped endpoint, so the dirty balls are traversed
+// on the transposed graphs.
+//
+// It returns the number of recomputed entries. newG must have the same
+// node count and directedness as the bound graph; changes may be empty
+// (then newG must equal the bound graph's edge set and nothing is
+// recomputed).
+func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts Options) (int, error) {
+	oldG := idx.g
+	if newG.NumNodes() != oldG.NumNodes() {
+		return 0, fmt.Errorf("vicinity: delta node count %d != %d", newG.NumNodes(), oldG.NumNodes())
 	}
-	idx.g = g
-	return nil
+	if newG.Directed() != oldG.Directed() {
+		return 0, fmt.Errorf("vicinity: delta changes graph directedness")
+	}
+	if len(changes) == 0 {
+		idx.g = newG
+		return 0, nil
+	}
+
+	// Distinct flipped endpoints.
+	seen := make(map[graph.NodeID]struct{}, len(changes)*2)
+	endpoints := make([]graph.NodeID, 0, len(changes)*2)
+	for _, c := range changes {
+		for _, v := range [2]graph.NodeID{c.U, c.V} {
+			if !oldG.Valid(v) {
+				return 0, fmt.Errorf("vicinity: change endpoint %d outside node range [0,%d)", v, oldG.NumNodes())
+			}
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				endpoints = append(endpoints, v)
+			}
+		}
+	}
+
+	// Dirty set: maxLevel-hop balls around the endpoints in both the old
+	// and the new graph (transposed when directed, so the ball holds the
+	// nodes whose forward vicinity can contain an endpoint).
+	reachOld, reachNew := oldG, newG
+	if oldG.Directed() {
+		reachOld, reachNew = oldG.Transpose(), newG.Transpose()
+	}
+	dirtyMark := make([]bool, oldG.NumNodes())
+	var dirty []graph.NodeID
+	for _, rg := range [2]*graph.Graph{reachOld, reachNew} {
+		graph.NewBFS(rg).Run(endpoints, idx.maxLevel, func(v graph.NodeID, _ int) {
+			if !dirtyMark[v] {
+				dirtyMark[v] = true
+				dirty = append(dirty, v)
+			}
+		})
+	}
+
+	idx.g = newG
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Small repairs are cheaper single-threaded than over a pool.
+	const chunk = 256
+	if len(dirty) <= chunk || workers == 1 {
+		bfs := graph.NewBFS(newG)
+		counts := make([]int32, idx.maxLevel+1)
+		for _, v := range dirty {
+			idx.computeNode(bfs, v, counts)
+		}
+		return len(dirty), nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for lo := 0; lo < len(dirty); lo += chunk {
+			next <- lo
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bfs := graph.NewBFS(newG)
+			counts := make([]int32, idx.maxLevel+1)
+			for lo := range next {
+				hi := min(lo+chunk, len(dirty))
+				for _, v := range dirty[lo:hi] {
+					idx.computeNode(bfs, v, counts)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return len(dirty), nil
 }
 
 func (idx *Index) checkLevel(h int) {

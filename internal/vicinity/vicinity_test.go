@@ -102,21 +102,28 @@ func TestWorkerCountsAgree(t *testing.T) {
 	}
 }
 
-func TestUpdateAfterEdgeChange(t *testing.T) {
+func TestApplyDeltaSingleInsert(t *testing.T) {
 	// Start with a path, add a chord, verify affected entries match a
 	// fresh rebuild.
 	g := graph.Path(12)
 	idx, _ := Build(g, 2, Options{})
 
-	b := graph.NewBuilder(12)
-	g.ForEachEdge(func(u, v graph.NodeID) bool { b.AddEdge(u, v); return true })
-	b.AddEdge(2, 9)
-	g2 := b.MustBuild()
-
-	if err := idx.Rebind(g2); err != nil {
+	d := graph.NewDelta(g)
+	changes, err := d.Apply([]graph.EdgeChange{{U: 2, V: 9, Insert: true}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	idx.UpdateAfterEdgeChange(2, 9)
+	g2 := d.Compact()
+	recomputed, err := idx.ApplyDelta(g2, changes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed == 0 {
+		t.Fatal("ApplyDelta recomputed no entries for a real flip")
+	}
+	if idx.Graph() != g2 {
+		t.Fatal("ApplyDelta did not rebind the index to the new graph")
+	}
 
 	fresh, _ := Build(g2, 2, Options{})
 	for v := 0; v < 12; v++ {
@@ -125,6 +132,55 @@ func TestUpdateAfterEdgeChange(t *testing.T) {
 				t.Fatalf("after update, Size(%d,%d) = %d, fresh = %d",
 					v, h, idx.Size(graph.NodeID(v), h), fresh.Size(graph.NodeID(v), h))
 			}
+		}
+	}
+}
+
+func TestApplyDeltaDisconnectingDeletion(t *testing.T) {
+	// Deleting a bridge shrinks vicinities of nodes that can no longer
+	// be reached from the deleted edge in the NEW graph — the case a
+	// new-graph-only dirty scan would miss.
+	g := graph.Path(8)
+	idx, _ := Build(g, 3, Options{})
+
+	d := graph.NewDelta(g)
+	changes, err := d.Apply([]graph.EdgeChange{{U: 3, V: 4, Insert: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := d.Compact()
+	if _, err := idx.ApplyDelta(g2, changes, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := Build(g2, 3, Options{})
+	for v := 0; v < 8; v++ {
+		for h := 1; h <= 3; h++ {
+			if idx.Size(graph.NodeID(v), h) != fresh.Size(graph.NodeID(v), h) {
+				t.Fatalf("after bridge deletion, Size(%d,%d) = %d, fresh = %d",
+					v, h, idx.Size(graph.NodeID(v), h), fresh.Size(graph.NodeID(v), h))
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := graph.Cycle(10)
+	idx, _ := Build(g, 2, Options{})
+	cp := idx.Clone()
+
+	d := graph.NewDelta(g)
+	changes, _ := d.Apply([]graph.EdgeChange{{U: 0, V: 5, Insert: true}})
+	g2 := d.Compact()
+	if _, err := cp.ApplyDelta(g2, changes, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Graph() != g {
+		t.Error("mutating a clone rebound the original")
+	}
+	fresh, _ := Build(g, 2, Options{})
+	for v := 0; v < 10; v++ {
+		if idx.Size(graph.NodeID(v), 2) != fresh.Size(graph.NodeID(v), 2) {
+			t.Fatalf("mutating a clone changed the original at node %d", v)
 		}
 	}
 }
@@ -150,9 +206,18 @@ func TestBuildForNodes(t *testing.T) {
 	}
 }
 
-func TestRebindNodeCountMismatch(t *testing.T) {
+func TestApplyDeltaMismatch(t *testing.T) {
 	idx, _ := Build(graph.Path(5), 1, Options{})
-	if err := idx.Rebind(graph.Path(6)); err == nil {
-		t.Error("rebind with different node count should fail")
+	if _, err := idx.ApplyDelta(graph.Path(6), nil, Options{}); err == nil {
+		t.Error("delta with different node count should fail")
+	}
+	idx2, _ := Build(graph.Path(5), 1, Options{})
+	dir := graph.NewDirectedBuilder(5)
+	dir.AddEdge(0, 1)
+	if _, err := idx2.ApplyDelta(dir.MustBuild(), nil, Options{}); err == nil {
+		t.Error("delta changing directedness should fail")
+	}
+	if _, err := idx2.ApplyDelta(graph.Path(5), []graph.EdgeChange{{U: 0, V: 9, Insert: true}}, Options{}); err == nil {
+		t.Error("change endpoint outside node range should fail")
 	}
 }

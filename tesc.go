@@ -74,6 +74,18 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	return &Graph{g: g}, nil
 }
 
+// ReadGraphMax is ReadGraph with a cap on the node universe: IDs or a
+// "# nodes N" header at or above maxNodes fail instead of allocating.
+// Use it on untrusted input, where a single hostile line ("0 2000000000")
+// would otherwise demand gigabytes.
+func ReadGraphMax(r io.Reader, maxNodes int) (*Graph, error) {
+	g, err := graphio.ReadEdgeListMax(r, maxNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
 // WriteGraph writes the graph in the ReadGraph edge-list format.
 func (g *Graph) WriteGraph(w io.Writer) error { return graphio.WriteEdgeList(w, g.g) }
 
@@ -100,6 +112,45 @@ func (g *Graph) Neighbors(v int) []int {
 // benchmark and experiment drivers. Not part of the stable API.
 func (g *Graph) Internal() *graph.Graph { return g.g }
 
+// EdgeChange is one edge mutation: the insertion (Insert == true) or
+// deletion of the undirected edge {U, V}.
+type EdgeChange struct {
+	U, V   int
+	Insert bool
+}
+
+// ApplyEdgeChanges returns a fresh graph snapshot with the changes
+// applied, leaving g untouched (graphs are immutable; a dynamic graph
+// is a succession of snapshots). No-op changes — inserting a present
+// edge, deleting an absent one — are skipped; the second return value
+// lists the changes that actually took effect, in order, which is
+// exactly what VicinityIndex.ApplyDelta must be fed to repair an index
+// across the transition. Self-loops and out-of-range endpoints fail
+// without applying anything.
+func (g *Graph) ApplyEdgeChanges(changes []EdgeChange) (*Graph, []EdgeChange, error) {
+	n := g.NumNodes()
+	staged := make([]graph.EdgeChange, len(changes))
+	for i, c := range changes {
+		if c.U < 0 || c.U >= n || c.V < 0 || c.V >= n {
+			return nil, nil, fmt.Errorf("tesc: edge (%d,%d) outside node range [0,%d)", c.U, c.V, n)
+		}
+		if c.U == c.V {
+			return nil, nil, fmt.Errorf("tesc: self-loop (%d,%d) not allowed", c.U, c.V)
+		}
+		staged[i] = graph.EdgeChange{U: graph.NodeID(c.U), V: graph.NodeID(c.V), Insert: c.Insert}
+	}
+	d := graph.NewDelta(g.g)
+	effective, err := d.Apply(staged)
+	if err != nil {
+		return nil, nil, err
+	}
+	applied := make([]EdgeChange, len(effective))
+	for i, c := range effective {
+		applied[i] = EdgeChange{U: int(c.U), V: int(c.V), Insert: c.Insert}
+	}
+	return &Graph{g: d.Compact()}, applied, nil
+}
+
 // VicinityIndex holds precomputed per-node vicinity sizes |V^h_v|,
 // required by the Importance and Rejection sampling methods. Build once
 // per graph and reuse across tests (§4.2 of the paper: the index is an
@@ -117,6 +168,41 @@ func (g *Graph) BuildVicinityIndex(maxLevel, workers int) (*VicinityIndex, error
 	}
 	return &VicinityIndex{idx: idx}, nil
 }
+
+// Clone returns an independent copy of the index, for copy-on-write
+// maintenance: clone, ApplyDelta on the clone, publish the clone, while
+// readers of the original keep a consistent view.
+func (x *VicinityIndex) Clone() *VicinityIndex {
+	return &VicinityIndex{idx: x.idx.Clone()}
+}
+
+// ApplyDelta repairs the index in place after the graph changed from
+// the one it was built on to g by the given effective edge changes
+// (the second return of Graph.ApplyEdgeChanges), rebinding it to g.
+// Only nodes within maxLevel hops of a flipped endpoint — in the old or
+// the new snapshot — can have a stale |V^h_v| (§4.2's locality), so
+// only those entries are recomputed, via bounded multi-source BFS
+// instead of a full O(|V|·BFS) rebuild. Returns the number of
+// recomputed entries. workers sizes the recompute pool (0 = GOMAXPROCS).
+//
+// The index must afterwards only be used with g (the samplers enforce
+// this). Not safe to call concurrently with queries on the same index;
+// use Clone for copy-on-write.
+func (x *VicinityIndex) ApplyDelta(g *Graph, changes []EdgeChange, workers int) (int, error) {
+	staged := make([]graph.EdgeChange, len(changes))
+	for i, c := range changes {
+		staged[i] = graph.EdgeChange{U: graph.NodeID(c.U), V: graph.NodeID(c.V), Insert: c.Insert}
+	}
+	return x.idx.ApplyDelta(g.g, staged, vicinity.Options{Workers: workers})
+}
+
+// MaxLevel returns the largest vicinity level the index covers.
+func (x *VicinityIndex) MaxLevel() int { return x.idx.MaxLevel() }
+
+// BuiltFor reports whether the index is bound to exactly this graph
+// snapshot — the consistency invariant the index-backed samplers check
+// before use.
+func (x *VicinityIndex) BuiltFor(g *Graph) bool { return x.idx.Graph() == g.g }
 
 // Method selects a reference-node sampling strategy.
 type Method int
