@@ -4,11 +4,16 @@
 // Usage:
 //
 //	tesc -graph g.txt -events ev.txt -a wireless -b sensor -h-level 1
+//	tesc -snapshot g.tescsnap -a wireless -b sensor -h-level 2 -method importance
 //
 // The graph file is a whitespace edge list ("u v" per line, optional
 // "# nodes N" header); the events file holds "event<TAB>node" records.
-// The tool prints the estimated τ, z-score, p-value and verdict, plus
-// the Transaction Correlation baseline for comparison.
+// Alternatively -snapshot loads both — plus any precomputed vicinity
+// index, which the importance and rejection methods then reuse instead
+// of rebuilding — from a binary snapshot file (see tescsnap and
+// docs/PERSISTENCE.md). The tool prints the estimated τ, z-score,
+// p-value and verdict, plus the Transaction Correlation baseline for
+// comparison.
 package main
 
 import (
@@ -18,7 +23,10 @@ import (
 
 	"tesc/internal/baseline"
 	"tesc/internal/core"
+	"tesc/internal/events"
+	"tesc/internal/graph"
 	"tesc/internal/graphio"
+	"tesc/internal/snapshot"
 	"tesc/internal/stats"
 	"tesc/internal/vicinity"
 
@@ -27,8 +35,9 @@ import (
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "edge-list graph file (required)")
-		eventsPath = flag.String("events", "", "event occurrence file (required)")
+		graphPath  = flag.String("graph", "", "edge-list graph file (required unless -snapshot)")
+		eventsPath = flag.String("events", "", "event occurrence file (required unless -snapshot)")
+		snapPath   = flag.String("snapshot", "", "binary snapshot file holding graph, events and index (replaces -graph/-events)")
 		eventA     = flag.String("a", "", "first event name (required)")
 		eventB     = flag.String("b", "", "second event name (required)")
 		hLevel     = flag.Int("h-level", 1, "vicinity level h")
@@ -40,38 +49,59 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if *graphPath == "" || *eventsPath == "" || *eventA == "" || *eventB == "" {
+	usable := *snapPath != "" || (*graphPath != "" && *eventsPath != "")
+	if !usable || *eventA == "" || *eventB == "" || (*snapPath != "" && (*graphPath != "" || *eventsPath != "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *eventsPath, *eventA, *eventB, *hLevel, *n, *method, *batch, *alpha, *tail, *seed); err != nil {
+	if err := run(*graphPath, *eventsPath, *snapPath, *eventA, *eventB, *hLevel, *n, *method, *batch, *alpha, *tail, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "tesc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, eventsPath, eventA, eventB string, h, n int, method string, batch int, alpha float64, tail string, seed uint64) error {
+// loadInputs reads the graph, event store and (snapshot only) any
+// precomputed vicinity index from the chosen source.
+func loadInputs(graphPath, eventsPath, snapPath string) (*graph.Graph, *events.Store, []*vicinity.Index, string, error) {
+	if snapPath != "" {
+		snap, err := snapshot.LoadFile(snapPath)
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		if snap.Store == nil {
+			return nil, nil, nil, "", fmt.Errorf("snapshot %s has no events section", snapPath)
+		}
+		return snap.Graph, snap.Store, snap.Indexes, snapPath, nil
+	}
 	gf, err := graphio.OpenMaybeGzip(graphPath)
 	if err != nil {
-		return err
+		return nil, nil, nil, "", err
 	}
-	defer gf.Close()
 	g, err := graphio.ReadEdgeList(gf)
+	gf.Close()
 	if err != nil {
-		return err
+		return nil, nil, nil, "", err
 	}
 	ef, err := graphio.OpenMaybeGzip(eventsPath)
 	if err != nil {
-		return err
+		return nil, nil, nil, "", err
 	}
-	defer ef.Close()
 	store, err := graphio.ReadEvents(ef, g.NumNodes())
+	ef.Close()
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	return g, store, nil, graphPath, nil
+}
+
+func run(graphPath, eventsPath, snapPath, eventA, eventB string, h, n int, method string, batch int, alpha float64, tail string, seed uint64) error {
+	g, store, indexes, source, err := loadInputs(graphPath, eventsPath, snapPath)
 	if err != nil {
 		return err
 	}
 	for _, name := range []string{eventA, eventB} {
 		if !store.Has(name) {
-			return fmt.Errorf("event %q not in %s (known events: %d)", name, eventsPath, store.NumEvents())
+			return fmt.Errorf("event %q not in %s (known events: %d)", name, source, store.NumEvents())
 		}
 	}
 
@@ -95,10 +125,19 @@ func run(graphPath, eventsPath, eventA, eventB string, h, n int, method string, 
 	case "whole-graph":
 		sampler = &core.WholeGraphSampler{}
 	case "importance", "rejection":
-		fmt.Fprintf(os.Stderr, "building vicinity index (levels 1..%d)...\n", h)
-		idx, err := vicinity.BuildForNodes(g, p.EventNodes(), h, vicinity.Options{})
-		if err != nil {
-			return err
+		var idx *vicinity.Index
+		for _, cand := range indexes {
+			if cand.MaxLevel() >= h {
+				idx = cand
+				fmt.Fprintf(os.Stderr, "using snapshot vicinity index (levels 1..%d)\n", cand.MaxLevel())
+				break
+			}
+		}
+		if idx == nil {
+			fmt.Fprintf(os.Stderr, "building vicinity index (levels 1..%d)...\n", h)
+			if idx, err = vicinity.BuildForNodes(g, p.EventNodes(), h, vicinity.Options{}); err != nil {
+				return err
+			}
 		}
 		if method == "importance" {
 			sampler = &core.ImportanceSampler{Index: idx, BatchSize: batch}
@@ -133,7 +172,7 @@ func run(graphPath, eventsPath, eventA, eventB string, h, n int, method string, 
 		return err
 	}
 
-	fmt.Printf("graph          %s (%d nodes, %d edges)\n", graphPath, g.NumNodes(), g.NumEdges())
+	fmt.Printf("graph          %s (%d nodes, %d edges)\n", source, g.NumNodes(), g.NumEdges())
 	fmt.Printf("events         %s (%d occurrences) vs %s (%d occurrences)\n",
 		eventA, store.Count(eventA), eventB, store.Count(eventB))
 	fmt.Printf("vicinity level h=%d   sample n=%d   sampler=%s\n", h, res.N, res.SamplerName)

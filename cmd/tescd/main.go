@@ -12,9 +12,18 @@
 // mutations — bounded BFS around the flipped edges, per the §4.2
 // locality argument — instead of being rebuilt.
 //
+// With -data, tescd is durable: at boot it warm-starts from the
+// directory's *.tescsnap snapshot files — graphs, event stores, epoch
+// stamps and precomputed vicinity indexes all come back from disk, so
+// the first query runs with zero index builds — and mutated graphs are
+// checkpointed back in the background (atomic temp-file + rename; see
+// docs/PERSISTENCE.md). Build snapshots offline with tescsnap, or let
+// the daemon write them itself.
+//
 // Usage:
 //
 //	tescd -addr :8537
+//	tescd -data /var/lib/tescd
 //	tescd -load social=graph.txt -load-events social=events.txt
 //	tescd -cache 16 -workers 8
 //
@@ -37,6 +46,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"tesc"
 	"tesc/internal/graphio"
@@ -45,10 +55,12 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8537", "HTTP listen address")
-		cache   = flag.Int("cache", 8, "vicinity-index cache capacity (indexes, across all graphs and levels)")
-		workers = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("quiet", false, "disable request logging")
+		addr      = flag.String("addr", ":8537", "HTTP listen address")
+		cache     = flag.Int("cache", 8, "vicinity-index cache capacity (indexes, across all graphs and levels)")
+		workers   = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
+		quiet     = flag.Bool("quiet", false, "disable request logging")
+		dataDir   = flag.String("data", "", "snapshot directory: warm-start from its *.tescsnap files at boot, checkpoint mutated graphs back")
+		ckptDelay = flag.Duration("checkpoint-delay", 2*time.Second, "debounce between a mutation and its background checkpoint (with -data)")
 	)
 	var loads, eventLoads []string
 	flag.Func("load", "preload a graph at startup as name=edgelist-path (repeatable)", func(v string) error {
@@ -65,12 +77,21 @@ func main() {
 	cfg := server.Config{
 		IndexCacheCapacity: *cache,
 		IndexWorkers:       *workers,
+		DataDir:            *dataDir,
+		CheckpointDelay:    *ckptDelay,
 	}
 	if !*quiet {
 		cfg.Log = logger
 	}
 	srv := server.New(cfg)
 
+	if *dataDir != "" {
+		loaded, err := srv.LoadData()
+		if err != nil {
+			logger.Fatalf("-data %s: %v", *dataDir, err)
+		}
+		logger.Printf("warm start: restored %d graph(s) from %s", loaded, *dataDir)
+	}
 	if err := preload(srv, loads, eventLoads, logger); err != nil {
 		logger.Fatal(err)
 	}
@@ -84,12 +105,25 @@ func main() {
 }
 
 // preload registers -load graphs and -load-events occurrence files
-// before the listener starts, so the daemon comes up warm.
+// before the listener starts, so the daemon comes up warm. Graphs
+// already warm-started from -data snapshots are skipped entirely —
+// including their -load-events, which would otherwise re-accumulate
+// onto the restored occurrences and double every intensity per
+// restart: the snapshot (which carries mutations and indexes) wins
+// over re-parsing the original text files.
 func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger) error {
+	restored := make(map[string]bool)
+	for _, name := range srv.Registry().Names() {
+		restored[name] = true
+	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			return fmt.Errorf("-load %q: want name=path", spec)
+		}
+		if restored[name] {
+			logger.Printf("-load %s: skipped, restored from snapshot", name)
+			continue
 		}
 		f, err := graphio.OpenMaybeGzip(path)
 		if err != nil {
@@ -109,6 +143,10 @@ func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger)
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
 			return fmt.Errorf("-load-events %q: want graphname=path", spec)
+		}
+		if restored[name] {
+			logger.Printf("-load-events %s: skipped, restored from snapshot", name)
+			continue
 		}
 		entry, found := srv.Registry().Get(name)
 		if !found {

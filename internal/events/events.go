@@ -147,6 +147,35 @@ func (b *Builder) Build() *Store {
 	return s
 }
 
+// BuildAt freezes the builder into a Store stamped with the given
+// epoch (>= 1) and resynchronizes the builder's counter to it, so
+// subsequent Builds continue at epoch+1. Snapshot restore uses it to
+// reproduce a persisted store exactly, epoch included: without it a
+// warm-started daemon would reset epochs to 1 and clients comparing
+// response epochs across a restart would see time run backwards.
+func (b *Builder) BuildAt(epoch uint64) (*Store, error) {
+	if epoch < 1 {
+		return nil, fmt.Errorf("events: epoch %d must be >= 1 (Build always stamps at least 1)", epoch)
+	}
+	b.epoch = epoch - 1
+	return b.Build(), nil
+}
+
+// BuilderFromStore returns a builder primed with every occurrence and
+// intensity of the store, its epoch counter synced so the next Build
+// produces epoch s.Epoch()+1 — the mutable side of a warm-started
+// entry, picking up exactly where the persisted store left off.
+func BuilderFromStore(s *Store) *Builder {
+	b := NewBuilder(s.n)
+	b.epoch = s.epoch
+	for i, name := range s.names {
+		for _, v := range s.occ[i] {
+			b.AddWeighted(name, v, s.weight[i][v])
+		}
+	}
+	return b
+}
+
 // Intensity returns the intensity of the event on node v (0 when the
 // event does not occur there).
 func (s *Store) Intensity(name string, v graph.NodeID) float64 {

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tesc/internal/core"
 	"tesc/internal/events"
@@ -57,9 +58,13 @@ type Config struct {
 	// Seed drives the per-pair reference sampling deterministically.
 	Seed uint64
 	// Progress, when non-nil, is called after each pair finishes with
-	// the number of completed pairs and the total. Calls are
-	// serialized; keep the callback cheap — it runs on the worker pool's
-	// critical path (used by the tescd daemon for job polling).
+	// the number of completed pairs and the total. It is invoked
+	// exactly len(pairs) times, once with each done value 1..len(pairs),
+	// with no lock held: calls from different workers may overlap and
+	// arrive out of order, so a consumer maintaining a gauge should
+	// fold with max (the tescd job tracker does). Keeping the callback
+	// lock-free keeps workers off each other's critical path on large
+	// pair sets.
 	Progress func(done, total int)
 }
 
@@ -126,8 +131,10 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 
 	results := make([]PairResult, len(pairs))
 	var wg sync.WaitGroup
-	var progressMu sync.Mutex
-	completed := 0
+	// The completed counter is atomic and Progress runs outside any
+	// lock: serializing the callback under a mutex stalled every other
+	// worker for the duration of each call on large pair sets.
+	var completed atomic.Int64
 	next := make(chan int)
 	go func() {
 		for i := range pairs {
@@ -143,10 +150,7 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 			for i := range next {
 				results[i] = screenOne(g, store, pairs[i], cfg, sampler)
 				if cfg.Progress != nil {
-					progressMu.Lock()
-					completed++
-					cfg.Progress(completed, len(pairs))
-					progressMu.Unlock()
+					cfg.Progress(int(completed.Add(1)), len(pairs))
 				}
 			}
 		}()

@@ -2,6 +2,7 @@ package screen
 
 import (
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"tesc/internal/events"
@@ -172,5 +173,81 @@ func TestBonferroniMode(t *testing.T) {
 	}
 	if fwer.Rejected > fdr.Rejected {
 		t.Errorf("Bonferroni rejected more (%d) than BH (%d)", fwer.Rejected, fdr.Rejected)
+	}
+}
+
+// TestProgressExactlyOncePerPair is the regression test for the
+// progress-callback contention fix: with concurrent workers, Progress
+// must be invoked exactly len(pairs) times, delivering each completion
+// count 1..len(pairs) exactly once, so a max-folding consumer sees a
+// monotone gauge ending at the total.
+func TestProgressExactlyOncePerPair(t *testing.T) {
+	g, store := fixture(t)
+	pairs := AllPairs(store, 1)
+
+	var mu sync.Mutex
+	var calls []int
+	maxSeen := 0
+	monotoneMax := true
+	_, err := Run(g, store, pairs, Config{
+		H:          1,
+		SampleSize: 50,
+		Workers:    8,
+		Seed:       5,
+		Progress: func(done, total int) {
+			if total != len(pairs) {
+				t.Errorf("total = %d, want %d", total, len(pairs))
+			}
+			mu.Lock() // test-side bookkeeping only; Run holds no lock here
+			calls = append(calls, done)
+			if done > maxSeen {
+				maxSeen = done
+			} else if done == maxSeen {
+				monotoneMax = false // duplicate delivery
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(pairs) {
+		t.Fatalf("Progress called %d times, want exactly %d", len(calls), len(pairs))
+	}
+	if !monotoneMax {
+		t.Fatal("duplicate completion count delivered")
+	}
+	seen := make([]bool, len(pairs)+1)
+	for _, done := range calls {
+		if done < 1 || done > len(pairs) || seen[done] {
+			t.Fatalf("completion count %d invalid or duplicated (calls %v)", done, calls)
+		}
+		seen[done] = true
+	}
+	if maxSeen != len(pairs) {
+		t.Fatalf("max completion %d, want %d", maxSeen, len(pairs))
+	}
+}
+
+// TestProgressSequentialIsMonotone pins the single-worker behavior:
+// with one worker the raw call sequence itself is strictly monotone.
+func TestProgressSequentialIsMonotone(t *testing.T) {
+	g, store := fixture(t)
+	pairs := AllPairs(store, 5)
+	var calls []int
+	_, err := Run(g, store, pairs, Config{
+		H: 1, SampleSize: 50, Workers: 1, Seed: 5,
+		Progress: func(done, total int) { calls = append(calls, done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(pairs) {
+		t.Fatalf("Progress called %d times, want %d", len(calls), len(pairs))
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("call %d reported %d, want %d (sequence %v)", i, done, i+1, calls)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -180,6 +181,40 @@ func (c *IndexCache) getStaleLocked(snap Snapshot, key IndexKey, workers int) (*
 	delete(c.stale, sk)
 	c.mu.Unlock()
 	return ce.idx, ce.err
+}
+
+// Put installs a prebuilt index — one deserialized from a snapshot —
+// under the entry at the snapshot's graph version. It does not count
+// as a build: the whole point of warm-starting is that Builds stays at
+// zero while the first queries hit the cache.
+func (c *IndexCache) Put(e *GraphEntry, snap Snapshot, idx *tesc.VicinityIndex) {
+	key := IndexKey{Entry: e, MaxLevel: idx.MaxLevel()}
+	ce := &cacheEntry{key: key, gv: snap.GraphVersion, ready: make(chan struct{}), done: true, idx: idx}
+	close(ce.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	ce.elem = c.lru.PushFront(ce)
+	c.entries[key] = ce
+	c.evictLocked()
+}
+
+// IndexesFor returns the completed, error-free cached indexes of the
+// entry at the given graph version, in ascending MaxLevel order — the
+// set a checkpoint persists alongside the graph.
+func (c *IndexCache) IndexesFor(e *GraphEntry, gv uint64) []*tesc.VicinityIndex {
+	c.mu.Lock()
+	var out []*tesc.VicinityIndex
+	for key, ce := range c.entries {
+		if key.Entry == e && ce.done && ce.err == nil && ce.gv == gv {
+			out = append(out, ce.idx)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxLevel() < out[j].MaxLevel() })
+	return out
 }
 
 // Refresh migrates every completed cached index of the entry from

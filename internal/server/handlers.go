@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -24,8 +25,13 @@ type registerGraphRequest struct {
 	// optional "# nodes N" header) — the tesc.ReadGraph format.
 	EdgeList string `json:"edge_list,omitempty"`
 	// Path loads the edge list from a server-side file instead
-	// (gzip-transparent). Exactly one of EdgeList and Path must be set.
+	// (gzip-transparent).
 	Path string `json:"path,omitempty"`
+	// Snapshot imports a server-side .tescsnap file at admission time:
+	// graph, event store, epoch stamps and any persisted vicinity
+	// indexes land in one request, with zero index builds. Exactly one
+	// of EdgeList, Path and Snapshot must be set.
+	Snapshot string `json:"snapshot,omitempty"`
 }
 
 type graphInfo struct {
@@ -220,8 +226,30 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "name is required")
 		return
 	}
-	if (req.EdgeList == "") == (req.Path == "") {
-		writeError(w, http.StatusBadRequest, "exactly one of edge_list and path must be set")
+	sources := 0
+	for _, src := range []string{req.EdgeList, req.Path, req.Snapshot} {
+		if src != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest, "exactly one of edge_list, path and snapshot must be set")
+		return
+	}
+	if req.Snapshot != "" {
+		e, err := s.loadSnapshotFile(req.Name, req.Snapshot)
+		if err != nil {
+			// The duplicate-name check lives inside the registry lock;
+			// report it as the same conflict the other sources return.
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrAlreadyRegistered) {
+				code = http.StatusConflict
+			}
+			writeError(w, code, "importing snapshot: %v", err)
+			return
+		}
+		s.markDirty(req.Name) // make the import durable in the data dir
+		writeJSON(w, http.StatusCreated, e.info())
 		return
 	}
 	var (
@@ -253,6 +281,7 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	s.markDirty(req.Name)
 	writeJSON(w, http.StatusCreated, e.info())
 }
 
@@ -287,6 +316,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.EvictGraph(e)
+	s.removeSnapshot(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -312,6 +342,7 @@ func (s *Server) handleRegisterEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
+	s.markDirty(e.Name())
 	snap := e.Snapshot()
 	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: snap.Store.NumEvents(), Epoch: snap.Epoch})
 }
@@ -328,6 +359,7 @@ func (s *Server) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	s.markDirty(e.Name())
 	snap := e.Snapshot()
 	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: snap.Store.NumEvents(), Epoch: snap.Epoch})
 }
@@ -375,6 +407,9 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 			deleted++
 		}
 	}
+	if len(applied) > 0 {
+		s.markDirty(e.Name())
+	}
 	writeJSON(w, http.StatusOK, mutateEdgesResponse{
 		Graph:            e.Name(),
 		Epoch:            snap.Epoch,
@@ -386,6 +421,29 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 		IndexesRefreshed: migrated,
 		NodesRecomputed:  recomputed,
 	})
+}
+
+// handleCheckpoint implements POST /v1/graphs/{name}/snapshot: a
+// synchronous checkpoint of the graph's current epoch snapshot —
+// graph, events, and every cached vicinity index — to the data
+// directory. Operators use it to guarantee durability at a known
+// point (before a planned restart, after a bulk load) instead of
+// waiting for the background debounce.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	if s.persist == nil {
+		writeError(w, http.StatusServiceUnavailable, "no data directory configured (start tescd with -data)")
+		return
+	}
+	info, err := s.Checkpoint(e.Name())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleCorrelate implements POST /v1/graphs/{name}/correlate: one TESC
@@ -561,5 +619,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"index_built":            s.cache.Builds(),
 		"index_refreshed":        s.cache.Refreshes(),
 		"index_nodes_recomputed": s.cache.NodesRecomputed(),
+		"snapshot_saved":         s.snapSaved.Load(),
+		"snapshot_loaded":        s.snapLoaded.Load(),
 	})
 }

@@ -113,9 +113,16 @@ func (j *Job) Snapshot() JobView {
 	return v
 }
 
+// setProgress folds concurrent progress reports with max: screening
+// workers call ScreenOptions.Progress without a lock, so completion
+// counts can arrive out of order, and a gauge that last-write-wins
+// would be seen moving backwards by pollers.
 func (j *Job) setProgress(done, total int) {
 	j.mu.Lock()
-	j.done, j.total = done, total
+	if done > j.done {
+		j.done = done
+	}
+	j.total = total
 	j.mu.Unlock()
 }
 

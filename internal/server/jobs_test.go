@@ -84,3 +84,29 @@ func TestJobsPruneFinished(t *testing.T) {
 	close(release)
 	waitFinished(t, js, running.ID)
 }
+
+// TestJobProgressGaugeMonotone pins the max-fold in setProgress:
+// screening workers report completion counts without a lock, so they
+// can arrive out of order, and the polled gauge must never move
+// backwards.
+func TestJobProgressGaugeMonotone(t *testing.T) {
+	js := NewJobs()
+	release := make(chan struct{})
+	progressCh := make(chan func(done, total int), 1)
+	j := js.Start("g", func(p func(done, total int)) (tesc.ScreenResult, error) {
+		progressCh <- p
+		<-release
+		return tesc.ScreenResult{}, nil
+	})
+	progress := <-progressCh
+	for _, done := range []int{1, 3, 2, 5, 4} { // out-of-order delivery
+		progress(done, 5)
+		if got := j.Snapshot().Done; got < done && got != 5 {
+			t.Fatalf("gauge moved backwards: reported %d, gauge %d", done, got)
+		}
+	}
+	if v := j.Snapshot(); v.Done != 5 || v.Total != 5 {
+		t.Fatalf("gauge = %d/%d, want 5/5", v.Done, v.Total)
+	}
+	close(release)
+}

@@ -1,0 +1,287 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tesc"
+	"tesc/internal/snapshot"
+	"tesc/internal/vicinity"
+)
+
+// snapExt is the extension of snapshot files in the data directory.
+// Boot-time scans load only files with exactly this suffix, which is
+// what makes atomic writes crash-safe: snapshot.SaveFile's temp files
+// carry a ".tmp-*" suffix, so a crash mid-checkpoint leaves a torn
+// file the next boot never even opens.
+const snapExt = ".tescsnap"
+
+// persistState is the serving tier's durable-state machinery: a data
+// directory of one snapshot file per registered graph, plus the
+// dirty-set debouncer that checkpoints mutated entries in the
+// background. Nil on a Server without Config.DataDir.
+type persistState struct {
+	dir   string
+	delay time.Duration
+
+	mu    sync.Mutex
+	dirty map[string]struct{}
+	timer *time.Timer
+
+	// flushMu serializes whole flush passes. The shutdown flush must
+	// block behind a background flush already checkpointing on the
+	// debounce timer's goroutine — otherwise it sees an already-drained
+	// dirty set, returns immediately, and the process exits while the
+	// in-flight snapshot write is still short of its rename.
+	flushMu sync.Mutex
+
+	// ioMu serializes snapshot-file writes against removals. A
+	// background checkpoint that has already resolved its entry must
+	// not recreate the file of a graph a concurrent DELETE just
+	// deregistered — Checkpoint re-validates registration under this
+	// lock before writing, and removeSnapshot unlinks under it.
+	ioMu sync.Mutex
+}
+
+// snapshotPath maps a registry name to its snapshot file. Names are
+// URL-escaped so arbitrary registry names (slashes included) can never
+// traverse outside the data directory.
+func (p *persistState) snapshotPath(name string) string {
+	return filepath.Join(p.dir, url.PathEscape(name)+snapExt)
+}
+
+// snapshotName inverts snapshotPath for a directory entry, reporting
+// false for files that are not snapshots.
+func snapshotName(fileName string) (string, bool) {
+	base, ok := strings.CutSuffix(fileName, snapExt)
+	if !ok || base == "" {
+		return "", false
+	}
+	name, err := url.PathUnescape(base)
+	if err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+// LoadData restores every snapshot in the data directory into the
+// registry and index cache, creating the directory if needed. It
+// returns the number of graphs restored. A file that fails validation
+// (torn, corrupted, foreign) is skipped with a log line — one bad file
+// must not keep the daemon from serving the good ones — while a
+// missing or unreadable directory is a real error.
+func (s *Server) LoadData() (int, error) {
+	p := s.persist
+	if p == nil {
+		return 0, fmt.Errorf("server: no data directory configured")
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return 0, err
+	}
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		name, ok := snapshotName(de.Name())
+		if !ok {
+			continue // temp files, foreign files
+		}
+		path := filepath.Join(p.dir, de.Name())
+		if _, err := s.loadSnapshotFile(name, path); err != nil {
+			s.logf("snapshot %s: skipped: %v", de.Name(), err)
+			continue
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// loadSnapshotFile restores one snapshot under the given registry
+// name: graph and event store into the registry with their persisted
+// epoch stamps, vicinity indexes into the cache at the persisted graph
+// version — so the first index-backed query after boot is a cache hit,
+// not a build. It returns the registered entry.
+func (s *Server) loadSnapshotFile(name, path string) (*GraphEntry, error) {
+	snap, err := snapshot.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := s.registry.RegisterRestored(name, tesc.FromInternal(snap.Graph), snap.Store, snap.Epoch, snap.GraphVersion)
+	if err != nil {
+		return nil, err
+	}
+	cur := entry.Snapshot()
+	for _, idx := range snap.Indexes {
+		s.cache.Put(entry, cur, tesc.VicinityIndexFromInternal(idx))
+	}
+	s.snapLoaded.Add(1)
+	return entry, nil
+}
+
+// markDirty schedules a background checkpoint of the named graph. The
+// dirty set debounces: a burst of mutation batches within the
+// checkpoint delay folds into one snapshot write.
+func (s *Server) markDirty(name string) {
+	p := s.persist
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dirty[name] = struct{}{}
+	if p.timer == nil {
+		p.timer = time.AfterFunc(p.delay, s.flushDirty)
+	}
+}
+
+// flushDirty checkpoints every dirty entry. Runs on the debounce
+// timer's goroutine; mutations landing mid-flush re-mark and re-arm.
+func (s *Server) flushDirty() {
+	p := s.persist
+	p.flushMu.Lock()
+	defer p.flushMu.Unlock()
+	p.mu.Lock()
+	names := make([]string, 0, len(p.dirty))
+	for name := range p.dirty {
+		names = append(names, name)
+	}
+	p.dirty = make(map[string]struct{})
+	p.timer = nil
+	p.mu.Unlock()
+
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := s.Checkpoint(name); err != nil {
+			s.logf("checkpoint %q: %v", name, err)
+			// A transient write failure (ENOSPC, EIO) must not lose the
+			// mutation: re-mark so the next flush retries. A graph that
+			// is simply gone (deregistered) stays dropped.
+			if _, stillRegistered := s.registry.Get(name); stillRegistered {
+				s.markDirty(name)
+			}
+		}
+	}
+}
+
+// FlushSnapshots synchronously checkpoints every dirty entry — the
+// shutdown path, so mutations applied just before SIGTERM survive the
+// restart.
+func (s *Server) FlushSnapshots() {
+	if s.persist == nil {
+		return
+	}
+	s.flushDirty()
+}
+
+// checkpointInfo describes one written snapshot, both the
+// POST /v1/graphs/{name}/snapshot response and the tescd log line.
+type checkpointInfo struct {
+	Graph        string `json:"graph"`
+	Path         string `json:"path"`
+	Bytes        int64  `json:"bytes"`
+	Epoch        uint64 `json:"epoch"`
+	GraphVersion uint64 `json:"graph_version"`
+	Events       int    `json:"events"`
+	IndexLevels  []int  `json:"index_levels"`
+}
+
+// Checkpoint writes the named graph's current snapshot — graph, event
+// store, and the cached vicinity indexes at the current graph version
+// — to the data directory, atomically (temp file + rename). The entry
+// is read through its epoch snapshot, so a checkpoint racing a
+// mutation persists one consistent version, never a torn mix. An
+// index deeper than the format's level cap is left out (the graph and
+// events still persist) rather than failing the whole checkpoint.
+func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
+	p := s.persist
+	if p == nil {
+		return checkpointInfo{}, fmt.Errorf("server: no data directory configured")
+	}
+	// Everything happens under ioMu: the registration check guards
+	// against a concurrent DELETE resurrecting the file, and reading
+	// the epoch snapshot inside the lock guards against two interleaved
+	// checkpoints writing out of order — a stale reader that snapshots
+	// the entry, loses the lock race, and then writes would roll the
+	// file back to a version the dirty set no longer remembers.
+	p.ioMu.Lock()
+	defer p.ioMu.Unlock()
+	entry, ok := s.registry.Get(name)
+	if !ok {
+		return checkpointInfo{}, fmt.Errorf("unknown graph %q", name)
+	}
+	cur := entry.Snapshot()
+	var indexes []*vicinity.Index
+	var levels []int
+	for _, idx := range s.cache.IndexesFor(entry, cur.GraphVersion) {
+		if idx.MaxLevel() > snapshot.MaxVicinityLevels {
+			s.logf("checkpoint %q: dropping vicinity index with max level %d (format limit %d)", name, idx.MaxLevel(), snapshot.MaxVicinityLevels)
+			continue
+		}
+		indexes = append(indexes, idx.Internal())
+		levels = append(levels, idx.MaxLevel())
+	}
+	path := p.snapshotPath(name)
+	err := snapshot.SaveFile(path, &snapshot.Snapshot{
+		Graph:        cur.Graph.Internal(),
+		Store:        cur.Store,
+		Indexes:      indexes,
+		Epoch:        cur.Epoch,
+		GraphVersion: cur.GraphVersion,
+	})
+	if err != nil {
+		return checkpointInfo{}, err
+	}
+	s.snapSaved.Add(1)
+	info := checkpointInfo{
+		Graph:        name,
+		Path:         path,
+		Epoch:        cur.Epoch,
+		GraphVersion: cur.GraphVersion,
+		Events:       cur.Store.NumEvents(),
+		IndexLevels:  levels,
+	}
+	if st, err := os.Stat(path); err == nil {
+		info.Bytes = st.Size()
+	}
+	return info, nil
+}
+
+// removeSnapshot deletes the named graph's snapshot file and clears
+// its dirty mark, so a deregistered graph cannot resurrect at the next
+// boot (or be re-written by a pending background checkpoint).
+func (s *Server) removeSnapshot(name string) {
+	p := s.persist
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.dirty, name)
+	p.mu.Unlock()
+	// Under ioMu: an in-flight Checkpoint either finished its write
+	// (the file is removed here) or has not re-validated yet (it will
+	// see the deregistration and abort). Callers remove the registry
+	// entry before calling this.
+	p.ioMu.Lock()
+	defer p.ioMu.Unlock()
+	if err := os.Remove(p.snapshotPath(name)); err != nil && !os.IsNotExist(err) {
+		s.logf("removing snapshot of %q: %v", name, err)
+	}
+}
+
+// logf logs through the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tesc"
+	"tesc/internal/snapshot"
+)
+
+// persistEnv builds a server on the given data directory and registers
+// the standard two-community graph and events through HTTP.
+func newPersistEnv(t *testing.T, dir string, delay time.Duration) *testEnv {
+	t.Helper()
+	g := tesc.RandomCommunityGraph(5, 40, 6, 0.5, 42)
+	srv := New(Config{IndexCacheCapacity: 4, DataDir: dir, CheckpointDelay: delay})
+	if _, err := srv.LoadData(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	env := &testEnv{srv: srv, ts: ts, graph: g}
+	for v := 0; v < 15; v++ {
+		env.va = append(env.va, v)
+	}
+	for v := 160; v < 175; v++ {
+		env.vb = append(env.vb, v)
+	}
+	var edges strings.Builder
+	if err := g.WriteGraph(&edges); err != nil {
+		t.Fatal(err)
+	}
+	env.do(t, http.StatusCreated, "POST", "/v1/graphs",
+		map[string]any{"name": "g", "edge_list": edges.String()}, nil)
+	env.do(t, http.StatusOK, "POST", "/v1/graphs/g/events",
+		map[string]any{"events": map[string][]int{"left": env.va, "right": env.vb}}, nil)
+	return env
+}
+
+// health fetches the healthz counters.
+func health(t *testing.T, env *testEnv) map[string]any {
+	t.Helper()
+	var h map[string]any
+	env.do(t, http.StatusOK, "GET", "/healthz", nil, &h)
+	return h
+}
+
+// runScreen starts a screening sweep and polls it to completion.
+func runScreen(t *testing.T, env *testEnv) *ScreenResultView {
+	t.Helper()
+	var accepted screenResponse
+	env.do(t, http.StatusAccepted, "POST", "/v1/graphs/g/screen",
+		map[string]any{"h": 1, "sample_size": 200, "seed": 11}, &accepted)
+	var view JobView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		env.do(t, http.StatusOK, "GET", "/v1/jobs/"+accepted.JobID, nil, &view)
+		if view.Status == JobDone || view.Status == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 30s", view.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.Status != JobDone {
+		t.Fatalf("screen job failed: %s", view.Error)
+	}
+	return view.Result
+}
+
+// TestRestartWarmStart is the tentpole e2e: register, mutate,
+// checkpoint, boot a second server on the same data dir, and prove it
+// serves identical results with zero index builds.
+func TestRestartWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	// An hour-long debounce so only the explicit checkpoint writes —
+	// the test stays deterministic.
+	env1 := newPersistEnv(t, dir, time.Hour)
+
+	// Build the h=2 vicinity index via an importance-sampling query,
+	// then mutate edges so the persisted state is a post-mutation epoch
+	// with an incrementally repaired index.
+	correlateBody := map[string]any{"a": "left", "b": "right", "h": 2, "method": "importance", "seed": 7}
+	var cold correlateResponse
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/correlate", correlateBody, &cold)
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/edges",
+		map[string]any{"insert": [][2]int{{0, 161}, {3, 170}}, "delete": [][2]int{{0, 1}}}, nil)
+	var warm1 correlateResponse
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/correlate", correlateBody, &warm1)
+	screen1 := runScreen(t, env1)
+
+	var ck checkpointInfo
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/snapshot", nil, &ck)
+	if ck.Bytes == 0 || len(ck.IndexLevels) != 1 || ck.IndexLevels[0] != 2 {
+		t.Fatalf("checkpoint info %+v: want non-empty file carrying the h=2 index", ck)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "g.tescsnap")); err != nil {
+		t.Fatal(err)
+	}
+	var info1 graphInfo
+	env1.do(t, http.StatusOK, "GET", "/v1/graphs/g", nil, &info1)
+	if b := env1.srv.Cache().Builds(); b != 1 {
+		t.Fatalf("server 1 built %d indexes, want 1", b)
+	}
+
+	// Second server, same data dir: the registry, event store, epoch
+	// stamps and the repaired index must all come back from disk.
+	env2 := newRestartedEnv(t, dir)
+	h := health(t, env2)
+	if h["snapshot_loaded"].(float64) != 1 {
+		t.Fatalf("snapshot_loaded = %v, want 1", h["snapshot_loaded"])
+	}
+	var info2 graphInfo
+	env2.do(t, http.StatusOK, "GET", "/v1/graphs/g", nil, &info2)
+	if info2.Nodes != info1.Nodes || info2.Edges != info1.Edges ||
+		info2.Events != info1.Events || info2.Epoch != info1.Epoch {
+		t.Fatalf("restored graph info %+v != pre-restart %+v", info2, info1)
+	}
+
+	// The first index-backed query after boot must be served from the
+	// loaded snapshot: identical answer, zero builds.
+	var warm2 correlateResponse
+	env2.do(t, http.StatusOK, "POST", "/v1/graphs/g/correlate", correlateBody, &warm2)
+	warm1.ElapsedMS, warm2.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(warm1, warm2) {
+		t.Fatalf("correlate diverged across restart:\nbefore %+v\nafter  %+v", warm1, warm2)
+	}
+	screen2 := runScreen(t, env2)
+	if !reflect.DeepEqual(screen1, screen2) {
+		t.Fatalf("screen diverged across restart:\nbefore %+v\nafter  %+v", screen1, screen2)
+	}
+	h = health(t, env2)
+	if got := h["index_built"].(float64); got != 0 {
+		t.Fatalf("index_built = %v after warm-start queries, want 0", got)
+	}
+}
+
+// newRestartedEnv boots a server on an existing data directory without
+// registering anything — the restart half of the e2e tests.
+func newRestartedEnv(t *testing.T, dir string) *testEnv {
+	t.Helper()
+	srv := New(Config{IndexCacheCapacity: 4, DataDir: dir, CheckpointDelay: time.Hour})
+	if _, err := srv.LoadData(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &testEnv{srv: srv, ts: ts}
+}
+
+// TestBootIgnoresTornAndCorruptFiles is the crash-safety case: a torn
+// temp file (a checkpoint that died mid-write) and a corrupted
+// snapshot must not block boot or register phantom graphs.
+func TestBootIgnoresTornAndCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	env1 := newPersistEnv(t, dir, time.Hour)
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/snapshot", nil, nil)
+
+	// A torn temp file exactly as snapshot.SaveFile would leave it.
+	if err := os.WriteFile(filepath.Join(dir, "g.tescsnap.tmp-123"), []byte("TESCSNP1 torn mid-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted snapshot: valid prefix, truncated body.
+	valid, err := os.ReadFile(filepath.Join(dir, "g.tescsnap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.tescsnap"), valid[:len(valid)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{DataDir: dir})
+	loaded, err := srv.LoadData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 {
+		t.Fatalf("loaded %d graphs, want 1 (bad files skipped)", loaded)
+	}
+	if names := srv.Registry().Names(); len(names) != 1 || names[0] != "g" {
+		t.Fatalf("registry names = %v, want [g]", names)
+	}
+	if got := srv.snapLoaded.Load(); got != 1 {
+		t.Fatalf("snapshot_loaded = %d, want 1", got)
+	}
+}
+
+// TestBackgroundCheckpoint proves the debounced dirty-set flush: a
+// mutation alone, with no explicit checkpoint call, must produce a
+// loadable snapshot file.
+func TestBackgroundCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	env := newPersistEnv(t, dir, 20*time.Millisecond)
+	env.do(t, http.StatusOK, "POST", "/v1/graphs/g/edges",
+		map[string]any{"insert": [][2]int{{0, 99}}}, nil)
+
+	path := filepath.Join(dir, "g.tescsnap")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if env.srv.snapSaved.Load() >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpoint never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap, err := snapshot.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Store.NumEvents() != 2 {
+		t.Fatalf("persisted %d events, want 2", snap.Store.NumEvents())
+	}
+	g := tesc.FromInternal(snap.Graph)
+	if !snap.Graph.HasEdge(0, 99) {
+		t.Fatalf("background checkpoint missed the mutation; graph %v", g)
+	}
+}
+
+// TestDeleteGraphRemovesSnapshot ensures a deregistered graph cannot
+// resurrect at the next boot.
+func TestDeleteGraphRemovesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	env := newPersistEnv(t, dir, time.Hour)
+	env.do(t, http.StatusOK, "POST", "/v1/graphs/g/snapshot", nil, nil)
+	env.do(t, http.StatusNoContent, "DELETE", "/v1/graphs/g", nil, nil)
+	if _, err := os.Stat(filepath.Join(dir, "g.tescsnap")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived graph deletion: %v", err)
+	}
+	srv := New(Config{DataDir: dir})
+	if loaded, err := srv.LoadData(); err != nil || loaded != 0 {
+		t.Fatalf("deleted graph came back: loaded=%d err=%v", loaded, err)
+	}
+}
+
+// TestSnapshotImportAtAdmission registers a graph directly from a
+// snapshot file — the admission-time import endpoint — and proves the
+// persisted index serves the first query with zero builds.
+func TestSnapshotImportAtAdmission(t *testing.T) {
+	dir := t.TempDir()
+	env1 := newPersistEnv(t, dir, time.Hour)
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/correlate",
+		map[string]any{"a": "left", "b": "right", "h": 2, "method": "importance", "seed": 7}, nil)
+	env1.do(t, http.StatusOK, "POST", "/v1/graphs/g/snapshot", nil, nil)
+
+	srv := New(Config{IndexCacheCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	env2 := &testEnv{srv: srv, ts: ts}
+	var info graphInfo
+	env2.do(t, http.StatusCreated, "POST", "/v1/graphs",
+		map[string]any{"name": "imported", "snapshot": filepath.Join(dir, "g.tescsnap")}, &info)
+	if info.Events != 2 {
+		t.Fatalf("imported %d events, want 2", info.Events)
+	}
+	env2.do(t, http.StatusOK, "POST", "/v1/graphs/imported/correlate",
+		map[string]any{"a": "left", "b": "right", "h": 2, "method": "importance", "seed": 7}, nil)
+	if b := srv.Cache().Builds(); b != 0 {
+		t.Fatalf("import-backed query built %d indexes, want 0", b)
+	}
+	// Conflicting and bogus imports fail cleanly.
+	env2.do(t, http.StatusConflict, "POST", "/v1/graphs",
+		map[string]any{"name": "imported", "snapshot": filepath.Join(dir, "g.tescsnap")}, nil)
+	env2.do(t, http.StatusBadRequest, "POST", "/v1/graphs",
+		map[string]any{"name": "x", "snapshot": filepath.Join(dir, "missing.tescsnap")}, nil)
+	env2.do(t, http.StatusBadRequest, "POST", "/v1/graphs",
+		map[string]any{"name": "x", "snapshot": "s", "edge_list": "0 1"}, nil)
+}

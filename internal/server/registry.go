@@ -19,6 +19,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,6 +29,10 @@ import (
 	"tesc/internal/events"
 	"tesc/internal/graph"
 )
+
+// ErrAlreadyRegistered reports a graph-name collision; handlers match
+// it with errors.Is to map registration conflicts to 409.
+var ErrAlreadyRegistered = errors.New("already registered")
 
 // Snapshot is one immutable, internally consistent version of a
 // registered graph: the CSR graph, the frozen event store, and the
@@ -292,7 +297,7 @@ func (r *Registry) Register(name string, g *tesc.Graph) (*GraphEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.graphs[name]; ok {
-		return nil, fmt.Errorf("graph %q already registered", name)
+		return nil, fmt.Errorf("graph %q %w", name, ErrAlreadyRegistered)
 	}
 	e := &GraphEntry{
 		name:    name,
@@ -300,6 +305,43 @@ func (r *Registry) Register(name string, g *tesc.Graph) (*GraphEntry, error) {
 		builder: events.NewBuilder(g.NumNodes()),
 	}
 	e.cur = Snapshot{Graph: g, Store: e.builder.Build(), Epoch: 1, GraphVersion: 1}
+	r.graphs[name] = e
+	return e, nil
+}
+
+// RegisterRestored installs a warm-start entry deserialized from a
+// snapshot: the event store and the epoch stamps continue exactly
+// where the persisted entry left off, so clients comparing response
+// epochs across a daemon restart never see time run backwards. A nil
+// store restores a graph persisted before any events were registered.
+func (r *Registry) RegisterRestored(name string, g *tesc.Graph, store *events.Store, epoch, graphVersion uint64) (*GraphEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty graph name")
+	}
+	if epoch < 1 || graphVersion < 1 {
+		return nil, fmt.Errorf("graph %q: epoch %d / graph version %d must be >= 1", name, epoch, graphVersion)
+	}
+	var builder *events.Builder
+	if store == nil {
+		builder = events.NewBuilder(g.NumNodes())
+		store = builder.Build()
+	} else {
+		if store.Universe() != g.NumNodes() {
+			return nil, fmt.Errorf("graph %q: event universe %d does not match graph nodes %d", name, store.Universe(), g.NumNodes())
+		}
+		builder = events.BuilderFromStore(store)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; ok {
+		return nil, fmt.Errorf("graph %q %w", name, ErrAlreadyRegistered)
+	}
+	e := &GraphEntry{
+		name:    name,
+		created: time.Now(),
+		builder: builder,
+	}
+	e.cur = Snapshot{Graph: g, Store: store, Epoch: epoch, GraphVersion: graphVersion}
 	r.graphs[name] = e
 	return e, nil
 }

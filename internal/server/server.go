@@ -4,6 +4,7 @@ import (
 	"context"
 	"log"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,12 +19,23 @@ type Config struct {
 	// IndexWorkers is the goroutine-pool size for index construction
 	// (0 = GOMAXPROCS).
 	IndexWorkers int
+	// DataDir, when non-empty, enables the persistent snapshot store:
+	// LoadData warm-starts the registry and index cache from the
+	// directory's *.tescsnap files, and mutated entries are checkpointed
+	// back in the background (see docs/PERSISTENCE.md).
+	DataDir string
+	// CheckpointDelay debounces background checkpoints: a mutation
+	// marks its graph dirty, and the flush runs this long after the
+	// first unflushed mark (default 2s), folding mutation bursts into
+	// one snapshot write.
+	CheckpointDelay time.Duration
 	// Log receives request-level diagnostics; nil disables logging.
 	Log *log.Logger
 }
 
 // Server is the tescd HTTP service: a graph registry, a vicinity-index
-// cache, and an asynchronous screening-job tracker behind a JSON API.
+// cache, and an asynchronous screening-job tracker behind a JSON API,
+// optionally backed by a persistent snapshot store.
 type Server struct {
 	registry     *Registry
 	cache        *IndexCache
@@ -31,12 +43,22 @@ type Server struct {
 	indexWorkers int
 	logger       *log.Logger
 	mux          *http.ServeMux
+
+	// persist is nil without Config.DataDir. snapLoaded counts graphs
+	// restored from snapshots (boot + admission-time imports);
+	// snapSaved counts checkpoints written.
+	persist    *persistState
+	snapSaved  atomic.Int64
+	snapLoaded atomic.Int64
 }
 
 // New assembles a server from the config.
 func New(cfg Config) *Server {
 	if cfg.IndexCacheCapacity == 0 {
 		cfg.IndexCacheCapacity = 8
+	}
+	if cfg.CheckpointDelay == 0 {
+		cfg.CheckpointDelay = 2 * time.Second
 	}
 	s := &Server{
 		registry:     NewRegistry(),
@@ -46,6 +68,13 @@ func New(cfg Config) *Server {
 		logger:       cfg.Log,
 		mux:          http.NewServeMux(),
 	}
+	if cfg.DataDir != "" {
+		s.persist = &persistState{
+			dir:   cfg.DataDir,
+			delay: cfg.CheckpointDelay,
+			dirty: make(map[string]struct{}),
+		}
+	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
@@ -53,6 +82,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.handleRegisterEvents)
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.handleDeleteEvent)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutateEdges)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.handleCorrelate)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.handleScreen)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -75,7 +105,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // ListenAndServe runs the service at addr until the context is
-// canceled, then shuts down gracefully (in-flight requests get 5s).
+// canceled, then shuts down gracefully (in-flight requests get 5s) and
+// flushes any pending snapshot checkpoints, so mutations applied just
+// before the signal survive the restart.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	if addr == "" {
 		addr = ":8537"
@@ -89,7 +121,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(shutdownCtx)
+		s.FlushSnapshots()
+		return err
 	}
 }
 

@@ -1,0 +1,123 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+	"tesc/internal/graphio"
+	"tesc/internal/snapshot"
+	"tesc/internal/vicinity"
+)
+
+// bench100k lazily materializes the PR's benchmark substrate: the
+// ~100k-node DBLP coauthorship surrogate (scale 1.0) with a small
+// event vocabulary, in both the text formats tescd cold-starts from
+// and the binary snapshot it warm-starts from. Building it once keeps
+// `go test ./...` unaffected; only -bench pays.
+var bench100k struct {
+	once      sync.Once
+	g         *graph.Graph
+	store     *events.Store
+	idx       *vicinity.Index
+	edgeText  []byte
+	eventText []byte
+	snapBytes []byte
+}
+
+func bench100kSetup(tb testing.TB) {
+	bench100k.once.Do(func() {
+		rng := rand.New(rand.NewPCG(7, 0xc0a0))
+		g := graphgen.Coauthorship(graphgen.DefaultCoauthorship(1.0), rng)
+		b := events.NewBuilder(g.NumNodes())
+		for e := 0; e < 8; e++ {
+			name := fmt.Sprintf("ev-%d", e)
+			for k := 0; k < 500; k++ {
+				b.Add(name, graph.NodeID(rng.IntN(g.NumNodes())))
+			}
+		}
+		store := b.Build()
+		idx, err := vicinity.Build(g, 2, vicinity.Options{})
+		if err != nil {
+			tb.Fatal(err)
+		}
+
+		var edges, evs, snap bytes.Buffer
+		if err := graphio.WriteEdgeList(&edges, g); err != nil {
+			tb.Fatal(err)
+		}
+		if err := graphio.WriteEvents(&evs, store); err != nil {
+			tb.Fatal(err)
+		}
+		if err := snapshot.Save(&snap, &snapshot.Snapshot{Graph: g, Store: store, Indexes: []*vicinity.Index{idx}}); err != nil {
+			tb.Fatal(err)
+		}
+		bench100k.g = g
+		bench100k.store = store
+		bench100k.idx = idx
+		bench100k.edgeText = edges.Bytes()
+		bench100k.eventText = evs.Bytes()
+		bench100k.snapBytes = snap.Bytes()
+	})
+}
+
+// BenchmarkColdBuild is the path a -data-less tescd restart pays per
+// graph: parse the text edge list and event file, then run the full
+// offline vicinity-index construction at h=2 (§4.2).
+func BenchmarkColdBuild(b *testing.B) {
+	bench100kSetup(b)
+	b.SetBytes(int64(len(bench100k.edgeText) + len(bench100k.eventText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := graphio.ReadEdgeList(bytes.NewReader(bench100k.edgeText))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := graphio.ReadEvents(bytes.NewReader(bench100k.eventText), g.NumNodes()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vicinity.Build(g, 2, vicinity.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad is the warm-start path: one fully validated
+// snapshot load replaces parse + index build.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	bench100kSetup(b)
+	b.SetBytes(int64(len(bench100k.snapBytes)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap, err := snapshot.Load(bytes.NewReader(bench100k.snapBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(snap.Indexes) != 1 {
+			b.Fatal("index lost")
+		}
+	}
+}
+
+// BenchmarkSnapshotSave prices a background checkpoint of the same
+// state (encoding only; fsync costs are the disk's business).
+func BenchmarkSnapshotSave(b *testing.B) {
+	bench100kSetup(b)
+	b.SetBytes(int64(len(bench100k.snapBytes)))
+	b.ReportAllocs()
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		err := snapshot.Save(&buf, &snapshot.Snapshot{
+			Graph: bench100k.g, Store: bench100k.store, Indexes: []*vicinity.Index{bench100k.idx},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,741 @@
+// Package snapshot persists the daemon's durable state — a CSR graph,
+// its vicinity-size indexes, and its event store — in a compact,
+// checksummed binary format, so a tescd restart warm-starts from disk
+// instead of re-parsing text edge lists and re-running the O(|V|·BFS)
+// index construction the paper prices as a one-time offline cost
+// (§4.2). The economics of TESC rest on paying that cost once and
+// amortizing it across many queries; this package is what makes "once"
+// mean once per dataset, not once per process lifetime.
+//
+// # Format
+//
+// A snapshot is a header followed by self-describing sections, all
+// little-endian:
+//
+//	header  := magic "TESCSNP1" | format version u32 | section count u32
+//	section := tag [4]byte | payload length u64 | CRC32-IEEE u32 | payload
+//
+// The CRC covers the tag plus the payload, so a corrupted tag cannot
+// silently demote a known section to an ignorable unknown one.
+//
+// Section tags:
+//
+//	META — epoch u64, graph version u64 (the serving-tier stamps)
+//	GRPH — flags u8 (bit0 = directed), n u64, arcs u64,
+//	       per-node degrees n×u32, adjacency arcs×u32
+//	EVTS — store epoch u64, universe u64, event count u32, then per
+//	       event: name length u16, name, flags u8 (bit0 = weighted),
+//	       occurrence count u32, sorted node IDs count×u32,
+//	       [intensities count×f64 when weighted]
+//	VIDX — max level u32, n u64, |V^h_v| columns level-major
+//	       maxLevel×n×u32 (repeatable, one section per cached index)
+//
+// # Trust model
+//
+// Load assumes nothing about the bytes: every length is validated
+// against the bytes actually present before anything is allocated (a
+// lying length field hits EOF or a size-equation error, never an OOM),
+// every section CRC is verified before parsing, and every semantic
+// invariant the in-memory structures rely on — sorted adjacency rows,
+// graph symmetry, monotone vicinity levels, sorted unique event names
+// and occurrence lists, positive finite intensities — is re-checked. A
+// truncated, bit-flipped, or hostile file is rejected with an error;
+// it is never half-loaded.
+//
+// # Versioning
+//
+// The format version is bumped on any incompatible layout change and
+// unknown versions are rejected. Unknown section tags are skipped
+// (their CRC still verified), so future writers may append new
+// sections without breaking old readers.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/vicinity"
+)
+
+// FormatVersion is the current snapshot format version.
+const FormatVersion = 1
+
+var magic = [8]byte{'T', 'E', 'S', 'C', 'S', 'N', 'P', '1'}
+
+var (
+	tagMeta  = [4]byte{'M', 'E', 'T', 'A'}
+	tagGraph = [4]byte{'G', 'R', 'P', 'H'}
+	tagEvent = [4]byte{'E', 'V', 'T', 'S'}
+	tagVidx  = [4]byte{'V', 'I', 'D', 'X'}
+)
+
+// MaxVicinityLevels bounds VIDX depth, enforced symmetrically by Save
+// and Load so a writer can never produce a file its own reader
+// rejects. The paper studies h ≤ 3; anything past graph diameter is
+// degenerate.
+const MaxVicinityLevels = 64
+
+// maxSections bounds the section count a file may declare.
+const maxSections = 4096
+
+// Snapshot is the durable state of one registered graph: the CSR
+// graph, its frozen event store, any number of vicinity indexes (one
+// per cached max level), and the serving-tier version stamps.
+type Snapshot struct {
+	Graph *graph.Graph
+	// Store may be nil (no EVTS section): a graph persisted before any
+	// events were registered.
+	Store *events.Store
+	// Indexes holds the persisted vicinity indexes in ascending
+	// MaxLevel order, each bound to Graph.
+	Indexes []*vicinity.Index
+	// Epoch and GraphVersion are the serving-tier stamps
+	// (server.Snapshot); both default to 1 when no META section is
+	// present.
+	Epoch        uint64
+	GraphVersion uint64
+}
+
+// SectionInfo describes one section of a snapshot file.
+type SectionInfo struct {
+	Tag   string
+	Bytes uint64 // payload length, excluding the 16-byte section header
+	CRC   uint32
+}
+
+// Info summarizes a snapshot file for inspection tooling.
+type Info struct {
+	FormatVersion uint32
+	Sections      []SectionInfo
+	Snapshot      *Snapshot
+}
+
+// ---- encoding -------------------------------------------------------
+
+// Save writes the snapshot. Every index must be bound to s.Graph and
+// the store's universe must match its node count; Save validates both
+// so a mismatched snapshot can never reach disk.
+func Save(w io.Writer, s *Snapshot) error {
+	if s.Graph == nil {
+		return fmt.Errorf("snapshot: nil graph")
+	}
+	n := s.Graph.NumNodes()
+	if s.Store != nil {
+		if s.Store.Universe() != n {
+			return fmt.Errorf("snapshot: store universe %d != graph nodes %d", s.Store.Universe(), n)
+		}
+		if s.Store.NumEvents() > math.MaxUint32 {
+			return fmt.Errorf("snapshot: %d events exceed the format's event-count field", s.Store.NumEvents())
+		}
+		// The name-length field is u16; a longer name would be silently
+		// truncated into a payload the reader misparses — the writer
+		// must never produce a file its own reader rejects.
+		for _, name := range s.Store.Names() {
+			if len(name) > math.MaxUint16 {
+				return fmt.Errorf("snapshot: event name of %d bytes exceeds the format's %d-byte limit", len(name), math.MaxUint16)
+			}
+		}
+	}
+	seenLevel := make(map[int]bool, len(s.Indexes))
+	for _, idx := range s.Indexes {
+		if idx.Graph() != s.Graph {
+			return fmt.Errorf("snapshot: index (max level %d) not bound to the snapshot graph", idx.MaxLevel())
+		}
+		if idx.MaxLevel() > MaxVicinityLevels {
+			return fmt.Errorf("snapshot: index max level %d exceeds format limit %d", idx.MaxLevel(), MaxVicinityLevels)
+		}
+		if seenLevel[idx.MaxLevel()] {
+			return fmt.Errorf("snapshot: duplicate index max level %d", idx.MaxLevel())
+		}
+		seenLevel[idx.MaxLevel()] = true
+	}
+	epoch, gv := s.Epoch, s.GraphVersion
+	if epoch == 0 {
+		epoch = 1
+	}
+	if gv == 0 {
+		gv = 1
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	sections := 2 + len(s.Indexes) // META + GRPH + VIDX*
+	if s.Store != nil {
+		sections++
+	}
+	var hdr [16]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(sections))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	if err := writeSection(bw, tagMeta, encodeMeta(epoch, gv)); err != nil {
+		return err
+	}
+	if err := writeSection(bw, tagGraph, encodeGraph(s.Graph)); err != nil {
+		return err
+	}
+	if s.Store != nil {
+		if err := writeSection(bw, tagEvent, encodeEvents(s.Store)); err != nil {
+			return err
+		}
+	}
+	idxs := append([]*vicinity.Index(nil), s.Indexes...)
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i].MaxLevel() < idxs[j].MaxLevel() })
+	for _, idx := range idxs {
+		if err := writeSection(bw, tagVidx, encodeIndex(idx)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSection emits one tag | length | crc | payload record.
+func writeSection(w io.Writer, tag [4]byte, payload []byte) error {
+	var hdr [16]byte
+	copy(hdr[:4], tag[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], sectionCRC(tag, payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// sectionCRC checksums a section's tag and payload together.
+func sectionCRC(tag [4]byte, payload []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(tag[:])
+	h.Write(payload)
+	return h.Sum32()
+}
+
+func encodeMeta(epoch, gv uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], epoch)
+	binary.LittleEndian.PutUint64(buf[8:16], gv)
+	return buf
+}
+
+func encodeGraph(g *graph.Graph) []byte {
+	offsets, adj := g.CSR()
+	n := g.NumNodes()
+	buf := make([]byte, 0, 1+8+8+4*n+4*len(adj))
+	var flags byte
+	if g.Directed() {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(adj)))
+	for v := 0; v < n; v++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(offsets[v+1]-offsets[v]))
+	}
+	for _, u := range adj {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(u))
+	}
+	return buf
+}
+
+func encodeEvents(s *events.Store) []byte {
+	buf := make([]byte, 0, 1<<12)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Epoch())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Universe()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.NumEvents()))
+	for _, name := range s.Names() { // sorted — canonical order
+		occ := s.Occurrences(name)
+		weighted := s.Weighted(name)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+		buf = append(buf, name...)
+		var flags byte
+		if weighted {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(occ)))
+		for _, v := range occ {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+		if weighted {
+			for _, v := range occ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Intensity(name, v)))
+			}
+		}
+	}
+	return buf
+}
+
+func encodeIndex(idx *vicinity.Index) []byte {
+	n := idx.Graph().NumNodes()
+	levels := idx.MaxLevel()
+	buf := make([]byte, 0, 4+8+4*n*levels)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(levels))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	for h := 1; h <= levels; h++ {
+		for _, s := range idx.Sizes(h) {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+		}
+	}
+	return buf
+}
+
+// ---- decoding -------------------------------------------------------
+
+// Load reads and fully validates a snapshot. On any defect — short
+// read, bad magic or version, CRC mismatch, lying length field,
+// violated structural invariant — it returns an error and no partial
+// state.
+func Load(r io.Reader) (*Snapshot, error) {
+	info, err := load(r)
+	if err != nil {
+		return nil, err
+	}
+	return info.Snapshot, nil
+}
+
+// Inspect is Load plus per-section metadata, for operator tooling.
+func Inspect(r io.Reader) (*Info, error) {
+	return load(r)
+}
+
+func load(r io.Reader) (*Info, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", hdr[:8])
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:12])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (supported: %d)", version, FormatVersion)
+	}
+	count := binary.LittleEndian.Uint32(hdr[12:16])
+	if count > maxSections {
+		return nil, fmt.Errorf("snapshot: section count %d exceeds limit %d", count, maxSections)
+	}
+
+	info := &Info{FormatVersion: version}
+	snap := &Snapshot{Epoch: 1, GraphVersion: 1}
+	var sawMeta, sawEvents bool
+	seenLevel := make(map[int]bool)
+	for i := uint32(0); i < count; i++ {
+		var shdr [16]byte
+		if _, err := io.ReadFull(r, shdr[:]); err != nil {
+			return nil, fmt.Errorf("snapshot: reading section %d header: %w", i, err)
+		}
+		tag := [4]byte(shdr[:4])
+		plen := binary.LittleEndian.Uint64(shdr[4:12])
+		wantCRC := binary.LittleEndian.Uint32(shdr[12:16])
+		payload, err := readPayload(r, plen)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %d (%q): %w", i, tag[:], err)
+		}
+		if got := sectionCRC(tag, payload); got != wantCRC {
+			return nil, fmt.Errorf("snapshot: section %d (%q): CRC mismatch (file %08x, computed %08x)", i, tag[:], wantCRC, got)
+		}
+		info.Sections = append(info.Sections, SectionInfo{Tag: string(tag[:]), Bytes: plen, CRC: wantCRC})
+
+		switch tag {
+		case tagMeta:
+			if sawMeta {
+				return nil, fmt.Errorf("snapshot: duplicate META section")
+			}
+			sawMeta = true
+			if err := decodeMeta(payload, snap); err != nil {
+				return nil, err
+			}
+		case tagGraph:
+			if snap.Graph != nil {
+				return nil, fmt.Errorf("snapshot: duplicate GRPH section")
+			}
+			g, err := decodeGraph(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.Graph = g
+		case tagEvent:
+			if sawEvents {
+				return nil, fmt.Errorf("snapshot: duplicate EVTS section")
+			}
+			if snap.Graph == nil {
+				return nil, fmt.Errorf("snapshot: EVTS section before GRPH")
+			}
+			sawEvents = true
+			store, err := decodeEvents(payload, snap.Graph.NumNodes())
+			if err != nil {
+				return nil, err
+			}
+			snap.Store = store
+		case tagVidx:
+			if snap.Graph == nil {
+				return nil, fmt.Errorf("snapshot: VIDX section before GRPH")
+			}
+			idx, err := decodeIndex(payload, snap.Graph)
+			if err != nil {
+				return nil, err
+			}
+			if seenLevel[idx.MaxLevel()] {
+				return nil, fmt.Errorf("snapshot: duplicate VIDX max level %d", idx.MaxLevel())
+			}
+			seenLevel[idx.MaxLevel()] = true
+			snap.Indexes = append(snap.Indexes, idx)
+		default:
+			// Unknown section from a newer writer: CRC verified, payload
+			// skipped.
+		}
+	}
+	if snap.Graph == nil {
+		return nil, fmt.Errorf("snapshot: no GRPH section")
+	}
+	// The declared section count must account for the whole file.
+	var one [1]byte
+	if k, _ := r.Read(one[:]); k != 0 {
+		return nil, fmt.Errorf("snapshot: trailing data after %d declared sections", count)
+	}
+	sort.Slice(snap.Indexes, func(i, j int) bool { return snap.Indexes[i].MaxLevel() < snap.Indexes[j].MaxLevel() })
+	info.Snapshot = snap
+	return info, nil
+}
+
+// readPayload reads exactly n bytes without trusting n: allocation is
+// capped at chunk size per step, so a hostile length field makes the
+// read hit EOF after the bytes actually present — memory use is
+// bounded by the real input size (plus one chunk), never by the claim.
+// Honest payloads up to one chunk get a single exact-size allocation
+// and one read.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 4 << 20
+	if n > math.MaxInt64 {
+		return nil, fmt.Errorf("declared payload length %d not representable", n)
+	}
+	buf := make([]byte, min(n, chunk))
+	var read uint64
+	for {
+		k, err := io.ReadFull(r, buf[read:])
+		read += uint64(k)
+		if err != nil {
+			return nil, fmt.Errorf("truncated payload: declared %d bytes, got %d", n, read)
+		}
+		if read == n {
+			return buf, nil
+		}
+		buf = append(buf, make([]byte, min(n-read, chunk))...)
+	}
+}
+
+func decodeMeta(b []byte, snap *Snapshot) error {
+	if len(b) != 16 {
+		return fmt.Errorf("snapshot: META payload is %d bytes, want 16", len(b))
+	}
+	snap.Epoch = binary.LittleEndian.Uint64(b[0:8])
+	snap.GraphVersion = binary.LittleEndian.Uint64(b[8:16])
+	if snap.Epoch < 1 || snap.GraphVersion < 1 {
+		return fmt.Errorf("snapshot: META epoch %d / graph version %d must be >= 1", snap.Epoch, snap.GraphVersion)
+	}
+	return nil
+}
+
+func decodeGraph(b []byte) (*graph.Graph, error) {
+	c := cursor{b: b, what: "GRPH"}
+	flags, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^byte(1) != 0 {
+		return nil, fmt.Errorf("snapshot: GRPH unknown flag bits %#02x", flags)
+	}
+	n64, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	arcs, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > uint64(graph.MaxNodes) {
+		return nil, fmt.Errorf("snapshot: GRPH node count %d exceeds max %d", n64, graph.MaxNodes)
+	}
+	n := int(n64)
+	// Exact size equation before any O(n) allocation: the payload must
+	// hold precisely the declared degrees and arcs.
+	if arcs > math.MaxInt64/4 || uint64(c.remaining()) != 4*n64+4*arcs {
+		return nil, fmt.Errorf("snapshot: GRPH payload %d bytes does not match n=%d, arcs=%d", len(b), n64, arcs)
+	}
+	// Bulk-decode both arrays (size-checked above) — per-value cursor
+	// calls are measurable on the warm-start path at Twitter scale.
+	degBytes, _ := c.bytes(4 * n)
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + int64(binary.LittleEndian.Uint32(degBytes[4*v:]))
+	}
+	if offsets[n] != int64(arcs) {
+		return nil, fmt.Errorf("snapshot: GRPH degrees sum to %d, declared %d arcs", offsets[n], arcs)
+	}
+	adjBytes, _ := c.bytes(4 * int(arcs))
+	adj := make([]graph.NodeID, arcs)
+	for i := range adj {
+		adj[i] = graph.NodeID(binary.LittleEndian.Uint32(adjBytes[4*i:]))
+	}
+	g, err := graph.FromCSR(offsets, adj, flags&1 != 0)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return g, nil
+}
+
+func decodeEvents(b []byte, universe int) (*events.Store, error) {
+	c := cursor{b: b, what: "EVTS"}
+	epoch, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if epoch < 1 {
+		return nil, fmt.Errorf("snapshot: EVTS epoch %d must be >= 1", epoch)
+	}
+	u64v, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if u64v != uint64(universe) {
+		return nil, fmt.Errorf("snapshot: EVTS universe %d != graph nodes %d", u64v, universe)
+	}
+	numEvents, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Every event record is at least 8 bytes; a lying count fails here
+	// instead of sizing any allocation.
+	if uint64(numEvents)*8 > uint64(c.remaining()) {
+		return nil, fmt.Errorf("snapshot: EVTS declares %d events in %d remaining bytes", numEvents, c.remaining())
+	}
+	builder := events.NewBuilder(universe)
+	prevName := ""
+	for e := uint32(0); e < numEvents; e++ {
+		nameLen, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		nameBytes, err := c.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameBytes)
+		if name == "" {
+			return nil, fmt.Errorf("snapshot: EVTS event %d has empty name", e)
+		}
+		if e > 0 && name <= prevName {
+			return nil, fmt.Errorf("snapshot: EVTS event names not strictly ascending (%q after %q)", name, prevName)
+		}
+		prevName = name
+		flags, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^byte(1) != 0 {
+			return nil, fmt.Errorf("snapshot: EVTS event %q unknown flag bits %#02x", name, flags)
+		}
+		weighted := flags&1 != 0
+		count, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("snapshot: EVTS event %q has no occurrences", name)
+		}
+		nodeBytes, err := c.bytes(4 * int(count))
+		if err != nil {
+			return nil, err
+		}
+		var intensityBytes []byte
+		if weighted {
+			if intensityBytes, err = c.bytes(8 * int(count)); err != nil {
+				return nil, err
+			}
+		}
+		prev := int64(-1)
+		for k := 0; k < int(count); k++ {
+			v := int64(binary.LittleEndian.Uint32(nodeBytes[4*k:]))
+			if v >= int64(universe) {
+				return nil, fmt.Errorf("snapshot: EVTS event %q node %d outside universe [0,%d)", name, v, universe)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("snapshot: EVTS event %q occurrences not strictly ascending (%d after %d)", name, v, prev)
+			}
+			prev = v
+			w := 1.0
+			if weighted {
+				w = math.Float64frombits(binary.LittleEndian.Uint64(intensityBytes[8*k:]))
+				if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+					return nil, fmt.Errorf("snapshot: EVTS event %q node %d has bad intensity %g", name, v, w)
+				}
+			}
+			builder.AddWeighted(name, graph.NodeID(v), w)
+		}
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: EVTS has %d trailing bytes", c.remaining())
+	}
+	store, err := builder.BuildAt(epoch)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return store, nil
+}
+
+func decodeIndex(b []byte, g *graph.Graph) (*vicinity.Index, error) {
+	c := cursor{b: b, what: "VIDX"}
+	levels, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if levels < 1 || levels > MaxVicinityLevels {
+		return nil, fmt.Errorf("snapshot: VIDX max level %d outside [1,%d]", levels, MaxVicinityLevels)
+	}
+	n64, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n64 != uint64(g.NumNodes()) {
+		return nil, fmt.Errorf("snapshot: VIDX node count %d != graph nodes %d", n64, g.NumNodes())
+	}
+	if uint64(c.remaining()) != 4*uint64(levels)*n64 {
+		return nil, fmt.Errorf("snapshot: VIDX payload %d bytes does not match %d levels × %d nodes", len(b), levels, n64)
+	}
+	n := int(n64)
+	sizes := make([][]int32, levels)
+	for h := range sizes {
+		colBytes, _ := c.bytes(4 * n)
+		col := make([]int32, n)
+		for v := 0; v < n; v++ {
+			raw := binary.LittleEndian.Uint32(colBytes[4*v:])
+			if raw > uint32(math.MaxInt32) {
+				return nil, fmt.Errorf("snapshot: VIDX size %d at level %d node %d overflows int32", raw, h+1, v)
+			}
+			col[v] = int32(raw)
+		}
+		sizes[h] = col
+	}
+	idx, err := vicinity.FromSizes(g, sizes)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return idx, nil
+}
+
+// cursor is a bounds-checked reader over a section payload.
+type cursor struct {
+	b    []byte
+	off  int
+	what string
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("snapshot: %s truncated: need %d bytes at offset %d, have %d", c.what, n, c.off, c.remaining())
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out, nil
+}
+
+func (c *cursor) u8() (byte, error) {
+	b, err := c.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	b, err := c.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	b, err := c.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	b, err := c.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// ---- files ----------------------------------------------------------
+
+// SaveFile writes the snapshot to path atomically: the bytes go to a
+// temp file in the same directory, are fsynced, and only then renamed
+// over path. A crash mid-write leaves at worst a torn temp file —
+// which boot-time scans ignore by extension — never a torn snapshot.
+func SaveFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := Save(tmp, s); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads and validates the snapshot at path.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReaderSize(f, 1<<20))
+}
+
+// InspectFile is Inspect over a file.
+func InspectFile(path string) (*Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Inspect(bufio.NewReaderSize(f, 1<<20))
+}

@@ -147,6 +147,39 @@ func BuildForNodes(g *graph.Graph, nodes []graph.NodeID, maxLevel int, opts Opti
 	return idx, nil
 }
 
+// FromSizes reconstructs an index from persisted per-level size
+// columns, taking ownership of the slices: sizes[h-1][v] = |V^h_v|,
+// exactly the layout Sizes exposes. It is the trust boundary for
+// indexes deserialized from disk, so the shape and the cheap semantic
+// invariants are enforced: every column spans the graph's node count,
+// and each node's sizes are non-decreasing in h and at most |V|
+// (vicinities only grow with the level; zeros are legal — BuildForNodes
+// leaves unqueried entries at zero). The expensive invariant — that the
+// values match a BFS recount — is the caller's integrity problem
+// (checksums), not a load-time recomputation.
+func FromSizes(g *graph.Graph, sizes [][]int32) (*Index, error) {
+	if len(sizes) < 1 {
+		return nil, fmt.Errorf("vicinity: restore needs at least one level")
+	}
+	n := g.NumNodes()
+	for h, col := range sizes {
+		if len(col) != n {
+			return nil, fmt.Errorf("vicinity: level %d has %d entries, graph has %d nodes", h+1, len(col), n)
+		}
+	}
+	for v := 0; v < n; v++ {
+		prev := int32(0)
+		for h, col := range sizes {
+			s := col[v]
+			if s < prev || int64(s) > int64(n) {
+				return nil, fmt.Errorf("vicinity: |V^%d_%d| = %d invalid (prev level %d, n = %d)", h+1, v, s, prev, n)
+			}
+			prev = s
+		}
+	}
+	return &Index{g: g, maxLevel: len(sizes), sizes: sizes}, nil
+}
+
 // MaxLevel returns the largest level the index covers.
 func (idx *Index) MaxLevel() int { return idx.maxLevel }
 

@@ -41,8 +41,11 @@ type ScreenOptions struct {
 	// derives an independent stream from it.
 	Seed uint64
 	// Progress, when non-nil, is called after each pair finishes with
-	// the number of completed pairs and the total. Calls are
-	// serialized. The tescd daemon uses it for screening-job polling.
+	// the number of completed pairs and the total: exactly once per
+	// pair, each done value 1..len(pairs) delivered exactly once, with
+	// no lock held — concurrent workers may overlap and report out of
+	// order, so gauge consumers should fold with max. The tescd daemon
+	// uses it for screening-job polling.
 	Progress func(done, total int)
 }
 

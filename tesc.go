@@ -112,6 +112,10 @@ func (g *Graph) Neighbors(v int) []int {
 // benchmark and experiment drivers. Not part of the stable API.
 func (g *Graph) Internal() *graph.Graph { return g.g }
 
+// FromInternal wraps an internal graph (e.g. one deserialized by the
+// snapshot subsystem) in the public type. Not part of the stable API.
+func FromInternal(g *graph.Graph) *Graph { return &Graph{g: g} }
+
 // EdgeChange is one edge mutation: the insertion (Insert == true) or
 // deletion of the undirected edge {U, V}.
 type EdgeChange struct {
@@ -174,6 +178,17 @@ func (g *Graph) BuildVicinityIndex(maxLevel, workers int) (*VicinityIndex, error
 // readers of the original keep a consistent view.
 func (x *VicinityIndex) Clone() *VicinityIndex {
 	return &VicinityIndex{idx: x.idx.Clone()}
+}
+
+// Internal exposes the internal index for the repository's own snapshot
+// and benchmark drivers. Not part of the stable API.
+func (x *VicinityIndex) Internal() *vicinity.Index { return x.idx }
+
+// VicinityIndexFromInternal wraps an internal index (e.g. one
+// deserialized by the snapshot subsystem) in the public type. Not part
+// of the stable API.
+func VicinityIndexFromInternal(idx *vicinity.Index) *VicinityIndex {
+	return &VicinityIndex{idx: idx}
 }
 
 // ApplyDelta repairs the index in place after the graph changed from
