@@ -26,6 +26,7 @@
 //	tescd -data /var/lib/tescd
 //	tescd -load social=graph.txt -load-events social=events.txt
 //	tescd -cache 16 -workers 8
+//	tescd -pprof 127.0.0.1:6060   # opt-in profiling, loopback only
 //
 // See docs/API.md for the endpoint reference, e.g.:
 //
@@ -42,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only with -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -61,6 +64,7 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "disable request logging")
 		dataDir   = flag.String("data", "", "snapshot directory: warm-start from its *.tescsnap files at boot, checkpoint mutated graphs back")
 		ckptDelay = flag.Duration("checkpoint-delay", 2*time.Second, "debounce between a mutation and its background checkpoint (with -data)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof diagnostics on this address (off by default; bind loopback only, e.g. 127.0.0.1:6060 — the profiler exposes heap contents and must never face untrusted networks)")
 	)
 	var loads, eventLoads []string
 	flag.Func("load", "preload a graph at startup as name=edgelist-path (repeatable)", func(v string) error {
@@ -94,6 +98,18 @@ func main() {
 	}
 	if err := preload(srv, loads, eventLoads, logger); err != nil {
 		logger.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// Separate listener so profiling never shares a port (or an
+		// exposure surface) with the query API. DefaultServeMux carries
+		// the /debug/pprof/* handlers registered by the pprof import.
+		go func() {
+			logger.Printf("pprof listening on %s (keep loopback-only)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

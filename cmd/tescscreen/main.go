@@ -106,8 +106,10 @@ func run(graphPath, eventsPath string, h, n int, alpha float64, tail string, min
 		return err
 	}
 
-	fmt.Printf("tested %d pairs, skipped %d, significant %d (alpha=%g)\n\n",
+	fmt.Printf("tested %d pairs, skipped %d, significant %d (alpha=%g)\n",
 		res.Tested, res.Skipped, res.Rejected, alpha)
+	fmt.Printf("density traversals %d, memo hits %d (one BFS per distinct reference node per sweep)\n\n",
+		res.BFSRuns, res.MemoHits)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "rank\tevent a\tevent b\tocc\ttau\tz\tp\tadj-p\tsig")
 	printed := 0

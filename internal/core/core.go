@@ -28,6 +28,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"tesc/internal/graph"
 )
@@ -48,6 +49,36 @@ type Problem struct {
 	// intensities. Reference-node eligibility is still governed by the
 	// occurrence sets, not the intensities.
 	IntensityA, IntensityB []float64
+
+	labelsOnce sync.Once
+	labels     []uint8
+}
+
+// Label bits of Problem.Labels: membership of a node in the occurrence
+// sets, packed so the density kernels test all three sets with a single
+// byte load instead of two bitset probes.
+const (
+	LabelA     uint8 = 1 << 0 // v ∈ Va
+	LabelB     uint8 = 1 << 1 // v ∈ Vb
+	LabelUnion uint8 = 1 << 2 // v ∈ Va∪b (= LabelA|LabelB, precombined)
+)
+
+// Labels returns the packed per-node occurrence-label array: labels[v]
+// carries LabelA/LabelB/LabelUnion bits. It is built once on first use
+// (O(|Va|+|Vb|) over an O(|V|) byte array) and shared by every evaluator
+// of the problem; safe for concurrent readers.
+func (p *Problem) Labels() []uint8 {
+	p.labelsOnce.Do(func() {
+		labels := make([]uint8, p.G.NumNodes())
+		for _, v := range p.Va.Members() {
+			labels[v] |= LabelA | LabelUnion
+		}
+		for _, v := range p.Vb.Members() {
+			labels[v] |= LabelB | LabelUnion
+		}
+		p.labels = labels
+	})
+	return p.labels
 }
 
 // SetIntensities attaches per-node intensities to the problem. Every

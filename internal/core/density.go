@@ -33,23 +33,116 @@ func (d Density) SB() float64 { return d.SumB / float64(d.VicinitySize) }
 // "out-of-sight" nodes).
 func (d Density) InSight() bool { return d.CountUnion > 0 }
 
+// DensitySource abstracts the density phase of a TESC test: given the
+// sampled reference nodes it produces the paired density vectors and
+// the per-node Density records. DensityEvaluator is the default
+// implementation; screen's cross-pair memo substitutes one that reuses
+// traversals across event pairs (Options.Densities).
+//
+// Traversals reports the cumulative number of h-hop BFS performed by
+// the source since its creation; Test differences it around the EvalAll
+// call to attribute traversal counts to one test.
+type DensitySource interface {
+	EvalAll(rs []graph.NodeID) (sa, sb []float64, ds []Density)
+	Traversals() int64
+}
+
 // DensityEvaluator computes Density records over a fixed problem and
 // vicinity level, reusing one BFS engine. Not safe for concurrent use.
 type DensityEvaluator struct {
 	p   *Problem
 	h   int
 	bfs *graph.BFS
+	// Engines, when non-nil and bound to p.G, supplies the private BFS
+	// engines EvalAllParallel's workers use, so a pooled serving tier
+	// stops allocating O(|V|) traversal scratch per worker per query.
+	Engines *graph.EnginePool
 	// evaluation counters for the complexity experiments (Fig. 10a)
 	BFSCount int64 // number of h-hop traversals performed
 }
 
 // NewDensityEvaluator returns an evaluator for p at level h.
 func NewDensityEvaluator(p *Problem, h int) *DensityEvaluator {
-	return &DensityEvaluator{p: p, h: h, bfs: graph.NewBFS(p.G)}
+	return NewDensityEvaluatorBFS(p, h, graph.NewBFS(p.G))
 }
 
+// NewDensityEvaluatorBFS is NewDensityEvaluator with a caller-supplied
+// BFS engine (typically from a graph.EnginePool), so serving tiers stop
+// allocating an O(|V|) mark array per query. The engine must be bound
+// to p.G.
+func NewDensityEvaluatorBFS(p *Problem, h int, bfs *graph.BFS) *DensityEvaluator {
+	if bfs.Graph() != p.G {
+		panic("core: BFS engine bound to a different graph")
+	}
+	return &DensityEvaluator{p: p, h: h, bfs: bfs}
+}
+
+// Traversals implements DensitySource.
+func (e *DensityEvaluator) Traversals() int64 { return e.BFSCount }
+
 // Eval runs one h-hop BFS from r and returns its Density.
+//
+// This is the flat fast path: the traversal (BFS.Collect) runs without
+// a per-node callback, and the density accumulation is a branch-light
+// scan of the visited buffer against the problem's packed label array —
+// one byte load per node instead of two bitset probes behind a closure
+// call. EvalReference retains the original callback-based kernel; the
+// two are bit-identical (see TestFlatKernelMatchesReference), because
+// the flat kernel accumulates in the exact visit order of the reference
+// path and unit-intensity sums of 1.0 are exact in float64.
 func (e *DensityEvaluator) Eval(r graph.NodeID) Density {
+	e.BFSCount++
+	nodes := e.bfs.Collect([]graph.NodeID{r}, e.h)
+	labels := e.p.Labels()
+	var d Density
+	d.VicinitySize = len(nodes)
+	ia, ib := e.p.IntensityA, e.p.IntensityB
+	if ia == nil && ib == nil {
+		var ca, cb, cu int
+		for _, v := range nodes {
+			l := labels[v]
+			ca += int(l & 1)
+			cb += int((l >> 1) & 1)
+			cu += int((l >> 2) & 1)
+		}
+		d.CountA, d.CountB, d.CountUnion = ca, cb, cu
+		d.SumA, d.SumB = float64(ca), float64(cb)
+		return d
+	}
+	// Intensity-weighted variant: float64 accumulation order matters for
+	// bit-identical sums, so add in the same visit order as the
+	// reference kernel.
+	for _, v := range nodes {
+		l := labels[v]
+		if l&LabelA != 0 {
+			d.CountA++
+			if ia != nil {
+				d.SumA += ia[v]
+			} else {
+				d.SumA++
+			}
+		}
+		if l&LabelB != 0 {
+			d.CountB++
+			if ib != nil {
+				d.SumB += ib[v]
+			} else {
+				d.SumB++
+			}
+		}
+		if l&LabelUnion != 0 {
+			d.CountUnion++
+		}
+	}
+	return d
+}
+
+// EvalReference is the original closure-based density kernel: one
+// BFS.Run with a visit callback testing the occurrence bitsets per
+// node. It is retained as the differential-testing oracle for Eval and
+// MultiEvaluator (and is the "before" side of the PR 4 benchmarks); it
+// advances BFSCount like Eval.
+func (e *DensityEvaluator) EvalReference(r graph.NodeID) Density {
 	e.BFSCount++
 	var d Density
 	va, vb := e.p.Va, e.p.Vb
@@ -87,11 +180,17 @@ func (e *DensityEvaluator) EvalAll(rs []graph.NodeID) (sa, sb []float64, ds []De
 	sa = make([]float64, len(rs))
 	sb = make([]float64, len(rs))
 	ds = make([]Density, len(rs))
+	e.evalInto(rs, sa, sb, ds)
+	return sa, sb, ds
+}
+
+// evalInto is EvalAll into caller-owned slices (len(rs) each), the
+// shared core of the sequential and parallel phases.
+func (e *DensityEvaluator) evalInto(rs []graph.NodeID, sa, sb []float64, ds []Density) {
 	for i, r := range rs {
 		d := e.Eval(r)
 		ds[i] = d
 		sa[i] = d.SA()
 		sb[i] = d.SB()
 	}
-	return sa, sb, ds
 }

@@ -3,15 +3,30 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tesc/internal/graph"
 )
+
+// parallelChunk is the number of reference nodes a worker claims per
+// atomic fetch-add: large enough that the shared counter is off the hot
+// path, small enough that stragglers cannot leave a worker idle behind
+// one slow chunk.
+const parallelChunk = 64
 
 // EvalAllParallel evaluates densities for all reference nodes using a
 // pool of workers, each owning a private BFS engine. The density phase
 // performs n independent h-hop traversals (the dominant cost of a test,
 // §4.4), so it parallelizes embarrassingly; results are identical to the
 // sequential EvalAll.
+//
+// Work is distributed by an atomic index counter — each worker
+// fetch-adds the next chunk of rs — instead of a feeder goroutine
+// pushing indexes down a channel: the counter is one uncontended atomic
+// op per chunk, where the channel cost a send/receive handoff plus a
+// goroutine wakeup. Worker-local traversal counts fold into BFSCount
+// atomically as each worker finishes, so concurrent EvalAllParallel
+// calls on one evaluator never lose counts.
 //
 // workers <= 0 selects GOMAXPROCS. The evaluator e itself is only used
 // for its problem/level configuration; its BFSCount is advanced by the
@@ -39,35 +54,39 @@ func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, 
 		return sa, sb, ds
 	}
 
+	// Prebuild the shared label array outside the workers: Labels uses
+	// sync.Once, but materializing it here keeps the first chunk of
+	// every worker off the Once fast path check.
+	e.p.Labels()
+
 	var wg sync.WaitGroup
-	const chunk = 16
-	next := make(chan int)
-	go func() {
-		for lo := 0; lo < len(rs); lo += chunk {
-			next <- lo
-		}
-		close(next)
-	}()
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			local := NewDensityEvaluator(e.p, e.h)
-			for lo := range next {
-				hi := lo + chunk
+			var local *DensityEvaluator
+			if e.Engines != nil && e.Engines.Graph() == e.p.G {
+				bfs := e.Engines.Get()
+				defer e.Engines.Put(bfs)
+				local = NewDensityEvaluatorBFS(e.p, e.h, bfs)
+			} else {
+				local = NewDensityEvaluator(e.p, e.h)
+			}
+			for {
+				lo := int(next.Add(parallelChunk)) - parallelChunk
+				if lo >= len(rs) {
+					break
+				}
+				hi := lo + parallelChunk
 				if hi > len(rs) {
 					hi = len(rs)
 				}
-				for i := lo; i < hi; i++ {
-					d := local.Eval(rs[i])
-					ds[i] = d
-					sa[i] = d.SA()
-					sb[i] = d.SB()
-				}
+				local.evalInto(rs[lo:hi], sa[lo:hi], sb[lo:hi], ds[lo:hi])
 			}
+			atomic.AddInt64(&e.BFSCount, local.BFSCount)
 		}()
 	}
 	wg.Wait()
-	e.BFSCount += int64(len(rs))
 	return sa, sb, ds
 }

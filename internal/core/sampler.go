@@ -65,6 +65,11 @@ const (
 // with one multi-source BFS from Va∪b (Algorithm 1, worst case
 // O(|V|+|E|)) and then draws n nodes uniformly without replacement.
 type BatchBFSSampler struct {
+	// Engines, when non-nil and bound to the problem's graph, supplies
+	// the traversal engine from a shared pool instead of a sampler-owned
+	// allocation — the serving tier's per-graph-version pooling.
+	Engines *graph.EnginePool
+
 	bfs *graph.BFS
 	buf []graph.NodeID
 }
@@ -74,11 +79,16 @@ func (s *BatchBFSSampler) Name() string { return "batch-bfs" }
 
 // SampleReferences implements Sampler.
 func (s *BatchBFSSampler) SampleReferences(p *Problem, h, n int, rng *rand.Rand) (RefSample, error) {
-	if s.bfs == nil || s.bfs.Graph() != p.G {
-		s.bfs = graph.NewBFS(p.G)
+	bfs := s.bfs
+	if s.Engines != nil && s.Engines.Graph() == p.G {
+		bfs = s.Engines.Get()
+		defer s.Engines.Put(bfs)
+	} else if bfs == nil || bfs.Graph() != p.G {
+		bfs = graph.NewBFS(p.G)
+		s.bfs = bfs
 	}
 	s.buf = s.buf[:0]
-	s.buf = s.bfs.SetVicinity(p.EventNodes(), h, s.buf)
+	s.buf = bfs.SetVicinity(p.EventNodes(), h, s.buf)
 	N := len(s.buf)
 	if N < 2 {
 		return RefSample{}, ErrTooFewReferences

@@ -52,6 +52,19 @@ type Options struct {
 	// over a goroutine pool: 0 or 1 evaluates sequentially, negative
 	// values select GOMAXPROCS. Results are identical either way.
 	Workers int
+	// Densities, when non-nil, replaces the built-in density evaluation
+	// with a custom source — screen's cross-pair memo injects one that
+	// reuses traversals across event pairs. Custom sources are only
+	// valid with uniform samplers: the importance estimator needs the
+	// per-node union counts a shared-vocabulary source cannot supply.
+	// Ignores Workers.
+	Densities DensitySource
+	// Engines, when non-nil, supplies pooled BFS engines bound to the
+	// problem's graph, so repeated tests stop allocating an O(|V|) mark
+	// array each (tescd pools one per graph version). Used by the
+	// built-in density evaluator and the BatchBFS sampler; ignored when
+	// bound to a different graph.
+	Engines *graph.EnginePool
 }
 
 // DefaultOptions mirrors the paper's experimental setup: n = 900
@@ -87,7 +100,10 @@ type Result struct {
 	// Weighted reports whether the t̃ estimator was used.
 	Weighted bool
 	// SamplerStats records the sampler's work; DensityBFS the density
-	// phase's traversal count (always N).
+	// phase's h-hop traversal count — N with the built-in evaluator,
+	// possibly fewer with a memoizing Options.Densities source (screen's
+	// cross-pair memo attributes a shared node's traversal to the first
+	// pair that needed it).
 	SamplerStats SamplerStats
 	DensityBFS   int64
 	// SA, SB are the reference-node density vectors (diagnostics; length
@@ -134,7 +150,7 @@ func Test(p *Problem, opts Options) (Result, error) {
 	}
 	sampler := opts.Sampler
 	if sampler == nil {
-		sampler = &BatchBFSSampler{}
+		sampler = &BatchBFSSampler{Engines: opts.Engines}
 	}
 	rng := opts.Rand
 	if rng == nil {
@@ -146,13 +162,32 @@ func Test(p *Problem, opts Options) (Result, error) {
 		return Result{}, err
 	}
 
-	eval := NewDensityEvaluator(p, opts.H)
 	var sa, sb []float64
 	var ds []Density
-	if opts.Workers == 0 || opts.Workers == 1 {
-		sa, sb, ds = eval.EvalAll(sample.Nodes)
+	var densityBFS int64
+	if opts.Densities != nil {
+		if sample.Weighted() {
+			return Result{}, fmt.Errorf("tesc: custom density sources do not support importance-weighted samples")
+		}
+		before := opts.Densities.Traversals()
+		sa, sb, ds = opts.Densities.EvalAll(sample.Nodes)
+		densityBFS = opts.Densities.Traversals() - before
 	} else {
-		sa, sb, ds = eval.EvalAllParallel(sample.Nodes, opts.Workers)
+		var eval *DensityEvaluator
+		if opts.Engines != nil && opts.Engines.Graph() == p.G {
+			bfs := opts.Engines.Get()
+			defer opts.Engines.Put(bfs)
+			eval = NewDensityEvaluatorBFS(p, opts.H, bfs)
+			eval.Engines = opts.Engines // parallel workers draw from the pool too
+		} else {
+			eval = NewDensityEvaluator(p, opts.H)
+		}
+		if opts.Workers == 0 || opts.Workers == 1 {
+			sa, sb, ds = eval.EvalAll(sample.Nodes)
+		} else {
+			sa, sb, ds = eval.EvalAllParallel(sample.Nodes, opts.Workers)
+		}
+		densityBFS = eval.BFSCount
 	}
 
 	res := Result{
@@ -162,7 +197,7 @@ func Test(p *Problem, opts Options) (Result, error) {
 		SamplerName:  sampler.Name(),
 		Weighted:     sample.Weighted(),
 		SamplerStats: sample.Stats,
-		DensityBFS:   eval.BFSCount,
+		DensityBFS:   densityBFS,
 		SA:           sa,
 		SB:           sb,
 		Nodes:        sample.Nodes,
@@ -176,7 +211,10 @@ func Test(p *Problem, opts Options) (Result, error) {
 		res.Tau = sp.Rho
 		res.Z = sp.Z
 	} else if !sample.Weighted() {
-		k := stats.Kendall(sa, sb)
+		// KendallAuto guarantees the O(n log n) path for n >= the pinned
+		// cutoff; the quadratic variant is reserved for tiny samples
+		// where its constant factors win (see stats.KendallNaiveCutoff).
+		k := stats.KendallAuto(sa, sb)
 		res.Tau = k.Tau
 		res.Z = k.Z
 	} else {

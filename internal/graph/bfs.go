@@ -9,11 +9,20 @@ package graph
 // allocations. The engine is NOT safe for concurrent use; create one per
 // goroutine (see NewBFS).
 type BFS struct {
-	g     *Graph
-	mark  []uint32
-	epoch uint32
-	cur   []NodeID
-	next  []NodeID
+	g       *Graph
+	mark    []uint32
+	epoch   uint32
+	cur     []NodeID
+	next    []NodeID
+	visited []NodeID // Collect's flat visit-order buffer
+
+	// Collect's dense visited stamps: one byte per node instead of
+	// Run's four, so the randomly probed working set is 4x smaller —
+	// the probe is the hot load of the flat kernels. Epochs 1..255
+	// cycle; the wrap clear is a vectorized memclr (~µs per 255
+	// traversals). Lazily allocated.
+	mark8  []uint8
+	epoch8 uint8
 }
 
 // NewBFS returns a BFS engine bound to g.
@@ -89,28 +98,95 @@ func (b *BFS) RunUntil(sources []NodeID, h int, visit func(v NodeID, depth int) 
 	}
 }
 
+// Collect performs the same traversal as Run but without invoking a
+// callback per node: the visited set is accumulated level by level in
+// one flat buffer that doubles as the frontier queue (nodes of BFS
+// level d occupy a contiguous run of the buffer), which removes the
+// per-node indirect call from the hot loop. The returned slice lists
+// every distinct reached node in visit order — identical to the order
+// Run invokes its callback in — and aliases the engine's internal
+// buffer: it is valid only until the next traversal on this engine.
+//
+// This is the traversal half of the repository's decoupled
+// traversal/computation density kernels (docs/PERFORMANCE.md): callers
+// scan the returned slice with flat array kernels instead of paying a
+// closure call per visited node.
+func (b *BFS) Collect(sources []NodeID, h int) []NodeID {
+	vis := b.visited[:0]
+	if h < 0 {
+		return vis
+	}
+	if b.mark8 == nil {
+		b.mark8 = make([]uint8, b.g.NumNodes())
+	}
+	b.epoch8++
+	if b.epoch8 == 0 {
+		clear(b.mark8)
+		b.epoch8 = 1
+	}
+	mark, epoch := b.mark8, b.epoch8
+	for _, s := range sources {
+		if mark[s] != epoch {
+			mark[s] = epoch
+			vis = append(vis, s)
+		}
+	}
+	offsets, adj := b.g.offsets, b.g.adj
+	// The expansion loop is branchless in the visited test: marking is
+	// idempotent so the stamp store runs unconditionally, the candidate
+	// is written to the buffer unconditionally, and the cursor advances
+	// by the comparison result (SETcc + ADD, no branch). The visited
+	// probe is a ~50% data-dependent branch in overlapping vicinities —
+	// exactly what branch predictors can't learn — so trading it for a
+	// dead store measurably beats the naive loop.
+	buf := vis[:cap(vis)]
+	n := len(vis)
+	lo, hi := 0, n
+	for depth := 1; depth <= h && lo < hi; depth++ {
+		for j := lo; j < hi; j++ {
+			v := buf[j]
+			row := adj[offsets[v]:offsets[v+1]]
+			if len(buf)-n < len(row) {
+				grown := make([]NodeID, (n+len(row))*2+64)
+				copy(grown, buf[:n])
+				buf = grown
+			}
+			for _, u := range row {
+				inc := 0
+				if mark[u] != epoch {
+					inc = 1
+				}
+				mark[u] = epoch
+				buf[n] = u
+				n += inc
+			}
+		}
+		lo, hi = hi, n
+	}
+	b.visited = buf[:n]
+	return b.visited
+}
+
 // Vicinity appends every node of the h-vicinity of u (Definition 1:
 // all nodes within distance h of u, including u itself) to out and
-// returns the extended slice.
+// returns the extended slice. Routed through the flat Collect kernel.
 func (b *BFS) Vicinity(u NodeID, h int, out []NodeID) []NodeID {
-	b.Run([]NodeID{u}, h, func(v NodeID, _ int) { out = append(out, v) })
-	return out
+	return append(out, b.Collect([]NodeID{u}, h)...)
 }
 
 // VicinitySize returns |V^h_u|, the node count of u's h-vicinity.
 func (b *BFS) VicinitySize(u NodeID, h int) int {
-	count := 0
-	b.Run([]NodeID{u}, h, func(NodeID, int) { count++ })
-	return count
+	return len(b.Collect([]NodeID{u}, h))
 }
 
 // SetVicinity appends every node of the h-vicinity of the node set
 // sources (Definition 2) to out and returns the extended slice. This is
 // the paper's Batch BFS (Algorithm 1) used to materialize the full
-// reference node set V^h_{a∪b}.
+// reference node set V^h_{a∪b}, routed through the flat Collect kernel
+// — the multi-source traversal is a sampler-side hot path too (one per
+// screened pair).
 func (b *BFS) SetVicinity(sources []NodeID, h int, out []NodeID) []NodeID {
-	b.Run(sources, h, func(v NodeID, _ int) { out = append(out, v) })
-	return out
+	return append(out, b.Collect(sources, h)...)
 }
 
 // Distance returns the hop distance from u to v, or -1 if v is not

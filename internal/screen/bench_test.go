@@ -1,0 +1,67 @@
+package screen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+)
+
+// sweep100k is the PR 4 screening benchmark substrate: the ~100k-node
+// coauthorship surrogate with a K=8 event vocabulary (500 occurrences
+// each) concentrated in a 2k-node community region — §5.4's keyword
+// workload shape, where event vicinities overlap and cross-pair
+// reference samples revisit the same nodes. Built once; only -bench
+// pays.
+var sweep100k struct {
+	once  sync.Once
+	g     *graph.Graph
+	store *events.Store
+	pairs [][2]string
+}
+
+func sweep100kSetup(tb testing.TB) {
+	sweep100k.once.Do(func() {
+		rng := rand.New(rand.NewPCG(7, 0xc0a0))
+		g := graphgen.Coauthorship(graphgen.DefaultCoauthorship(1.0), rng)
+		b := events.NewBuilder(g.NumNodes())
+		for e := 0; e < 8; e++ {
+			name := fmt.Sprintf("ev-%d", e)
+			for k := 0; k < 500; k++ {
+				b.Add(name, graph.NodeID(rng.IntN(2000)))
+			}
+		}
+		sweep100k.g = g
+		sweep100k.store = b.Build()
+		sweep100k.pairs = AllPairs(sweep100k.store, 1)
+	})
+}
+
+func runSweep(b *testing.B, noMemo bool) {
+	sweep100kSetup(b)
+	cfg := Config{H: 2, SampleSize: 900, Seed: 3, Workers: 1, NoMemo: noMemo}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(sweep100k.g, sweep100k.store, sweep100k.pairs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BFSRuns), "bfs_runs")
+		b.ReportMetric(float64(res.MemoHits), "memo_hits")
+	}
+}
+
+// BenchmarkScreenSweepMemo is the K=8 (28-pair) sweep with the
+// cross-pair density memo: each distinct reference node across the
+// whole sweep is traversed once. The acceptance criterion is >= 3x
+// fewer bfs_runs than BenchmarkScreenSweepNoMemo.
+func BenchmarkScreenSweepMemo(b *testing.B) { runSweep(b, false) }
+
+// BenchmarkScreenSweepNoMemo is the retained per-pair reference path:
+// every pair re-traverses its full reference sample.
+func BenchmarkScreenSweepNoMemo(b *testing.B) { runSweep(b, true) }

@@ -1,0 +1,131 @@
+package screen
+
+import (
+	"sync/atomic"
+
+	"tesc/internal/core"
+	"tesc/internal/graph"
+)
+
+// memoBudgetBytes caps the dense density memo's footprint. The memo
+// stores one K-vector of int32 counts plus a size and a state word per
+// graph node; past the budget (huge graph × large vocabulary) Run falls
+// back to per-pair density evaluation rather than risk an allocation in
+// the gigabytes.
+const memoBudgetBytes = 256 << 20
+
+// densityMemo deduplicates density-phase BFS traversals across the
+// event pairs of one screening sweep. §5.4's workload tests K(K−1)/2
+// pairs and samples reference nodes per pair from overlapping
+// populations, so the same reference node is traversed once per pair it
+// lands in — an O(K²·n) traversal bill. The memo pins each distinct
+// reference node to ONE h-hop BFS (a MultiEvaluator pass producing the
+// occurrence counts of all K events plus |V^h_r|); every later pair
+// that samples the node extracts its sa/sb with two array loads.
+//
+// Concurrency is a lock-free per-node claim: states[r] moves 0 → 1 by
+// CAS (the winner runs the BFS and publishes with a release store of
+// 2), and readers only touch counts/sizes after observing state 2. A
+// worker that loses the claim race while the winner is mid-flight
+// computes locally into its own scratch instead of spinning — duplicate
+// work on a window so narrow it is unmeasurable, in exchange for no
+// blocking anywhere.
+type densityMemo struct {
+	k      int
+	states []atomic.Uint32 // 0 empty, 1 claimed, 2 published
+	sizes  []int32         // |V^h_r| per node
+	counts []int32         // flat [node*k + event] occurrence counts
+
+	// memoHits counts evaluations served from the memo; traversals
+	// performed are accounted per pair by the workers (each source's
+	// Traversals() diff), not here.
+	memoHits atomic.Int64
+}
+
+// newDensityMemo returns a memo for n nodes × k events, or nil when the
+// dense arrays would exceed memoBudgetBytes.
+func newDensityMemo(n, k int) *densityMemo {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	bytes := int64(n)*8 + int64(n)*int64(k)*4
+	if bytes > memoBudgetBytes {
+		return nil
+	}
+	return &densityMemo{
+		k:      k,
+		states: make([]atomic.Uint32, n),
+		sizes:  make([]int32, n),
+		counts: make([]int32, int64(n)*int64(k)),
+	}
+}
+
+// eval returns the K-vector of occurrence counts and |V^h_r| for
+// reference node r, traversing at most once per distinct node across
+// the whole sweep. scratch (len K) is used when a concurrent claimer
+// owns the node mid-flight; the returned slice aliases either the memo
+// or scratch and is valid until the caller's next eval.
+func (m *densityMemo) eval(r graph.NodeID, multi *core.MultiEvaluator, scratch []int32) (counts []int32, size int32) {
+	st := &m.states[r]
+	lo := int64(r) * int64(m.k)
+	for {
+		switch st.Load() {
+		case 2:
+			m.memoHits.Add(1)
+			return m.counts[lo : lo+int64(m.k)], m.sizes[r]
+		case 0:
+			if !st.CompareAndSwap(0, 1) {
+				continue // raced; reinspect the new state
+			}
+			region := m.counts[lo : lo+int64(m.k)]
+			m.sizes[r] = int32(multi.Eval(r, region))
+			st.Store(2)
+			return region, m.sizes[r]
+		default: // claimed by another worker: compute locally, don't wait
+			sz := multi.Eval(r, scratch)
+			return scratch, int32(sz)
+		}
+	}
+}
+
+// memoSource adapts the memo to core.DensitySource for one event pair
+// (a, b): densities are the memoized count vectors divided by the
+// memoized vicinity sizes — bit-identical to what a fresh
+// DensityEvaluator would compute, since unit-intensity sums are exact
+// integers in float64. One memoSource per worker; retarget per pair.
+type memoSource struct {
+	memo    *densityMemo
+	multi   *core.MultiEvaluator
+	scratch []int32
+	a, b    int
+}
+
+// retarget points the source at the next pair's event indices.
+func (s *memoSource) retarget(a, b int) { s.a, s.b = a, b }
+
+// Traversals implements core.DensitySource.
+func (s *memoSource) Traversals() int64 { return s.multi.BFSCount }
+
+// EvalAll implements core.DensitySource.
+func (s *memoSource) EvalAll(rs []graph.NodeID) (sa, sb []float64, ds []core.Density) {
+	sa = make([]float64, len(rs))
+	sb = make([]float64, len(rs))
+	ds = make([]core.Density, len(rs))
+	for i, r := range rs {
+		counts, size := s.memo.eval(r, s.multi, s.scratch)
+		ca, cb := counts[s.a], counts[s.b]
+		d := core.Density{
+			VicinitySize: int(size),
+			CountA:       int(ca),
+			CountB:       int(cb),
+			SumA:         float64(ca),
+			SumB:         float64(cb),
+			// CountUnion is pair-specific and not derivable from
+			// per-event counts; uniform samplers never read it.
+		}
+		ds[i] = d
+		sa[i] = d.SA()
+		sb[i] = d.SB()
+	}
+	return sa, sb, ds
+}

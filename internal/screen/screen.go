@@ -66,6 +66,18 @@ type Config struct {
 	// lock-free keeps workers off each other's critical path on large
 	// pair sets.
 	Progress func(done, total int)
+	// NoMemo disables the cross-pair density memo, forcing every pair
+	// to evaluate densities with its own fresh traversals — the
+	// retained reference path. Reports are bit-identical either way
+	// (the differential tests pin this); the only observable difference
+	// is BFSRuns/MemoHits. The memo also disables itself when the dense
+	// node × event arrays would exceed the memory budget.
+	NoMemo bool
+	// Engines, when non-nil, supplies pooled BFS engines bound to g for
+	// the samplers and memo evaluators, so back-to-back sweeps and
+	// concurrent queries share warm O(|V|) scratch (tescd passes its
+	// per-graph-version pool).
+	Engines *graph.EnginePool
 }
 
 // PairResult is one screened pair. Results are ordered by adjusted
@@ -87,6 +99,14 @@ type Result struct {
 	Tested   int // pairs actually tested
 	Skipped  int // pairs skipped (degenerate reference populations, ...)
 	Rejected int // significant pairs after correction
+
+	// BFSRuns counts the density-phase h-hop traversals actually
+	// performed; MemoHits the density evaluations served from the
+	// cross-pair memo instead. Without the memo BFSRuns is the sum of
+	// every pair's sample size and MemoHits is 0; with it, each
+	// distinct reference node across the whole sweep is traversed once.
+	BFSRuns  int64
+	MemoHits int64
 }
 
 // AllPairs builds the candidate list: every unordered pair of store
@@ -129,30 +149,79 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 		workers = len(pairs)
 	}
 
+	// The cross-pair density memo needs the event vocabulary of the
+	// sweep as an indexed set: collect the distinct event names of the
+	// pair list (sorted for determinism) and their occurrence sets.
+	var memo *densityMemo
+	var mem *core.EventMembership
+	eventIdx := make(map[string]int)
+	if !cfg.NoMemo {
+		var names []string
+		for _, p := range pairs {
+			for _, name := range []string{p[0], p[1]} {
+				if _, ok := eventIdx[name]; !ok {
+					eventIdx[name] = -1 // mark; index assigned after sort
+					names = append(names, name)
+				}
+			}
+		}
+		sort.Strings(names)
+		sets := make([]*graph.NodeSet, len(names))
+		for k, name := range names {
+			eventIdx[name] = k
+			sets[k] = store.Set(name)
+		}
+		if m, err := core.NewEventMembership(g.NumNodes(), sets); err == nil {
+			mem = m
+			memo = newDensityMemo(g.NumNodes(), len(names))
+		}
+	}
+
 	results := make([]PairResult, len(pairs))
 	var wg sync.WaitGroup
 	// The completed counter is atomic and Progress runs outside any
 	// lock: serializing the callback under a mutex stalled every other
-	// worker for the duration of each call on large pair sets.
-	var completed atomic.Int64
-	next := make(chan int)
-	go func() {
-		for i := range pairs {
-			next <- i
-		}
-		close(next)
-	}()
+	// worker for the duration of each call on large pair sets. Work is
+	// handed out by a second atomic counter — one fetch-add per pair —
+	// instead of a feeder goroutine pushing indexes down a channel.
+	var completed, nextPair atomic.Int64
+	var bfsRuns atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sampler := &core.BatchBFSSampler{}
-			for i := range next {
-				results[i] = screenOne(g, store, pairs[i], cfg, sampler)
+			sampler := &core.BatchBFSSampler{Engines: cfg.Engines}
+			var src *memoSource
+			if memo != nil {
+				var bfs *graph.BFS
+				if cfg.Engines != nil && cfg.Engines.Graph() == g {
+					bfs = cfg.Engines.Get()
+					defer cfg.Engines.Put(bfs)
+				}
+				multi, err := core.NewMultiEvaluator(g, mem, cfg.H, bfs)
+				if err == nil {
+					src = &memoSource{memo: memo, multi: multi, scratch: make([]int32, mem.NumEvents())}
+				}
+			}
+			var localBFS int64
+			for {
+				i := int(nextPair.Add(1)) - 1
+				if i >= len(pairs) {
+					break
+				}
+				var pairBFS int64
+				if src != nil {
+					src.retarget(eventIdx[pairs[i][0]], eventIdx[pairs[i][1]])
+					results[i], pairBFS = screenOne(g, store, pairs[i], cfg, sampler, src)
+				} else {
+					results[i], pairBFS = screenOne(g, store, pairs[i], cfg, sampler, nil)
+				}
+				localBFS += pairBFS
 				if cfg.Progress != nil {
 					cfg.Progress(int(completed.Add(1)), len(pairs))
 				}
 			}
+			bfsRuns.Add(localBFS)
 		}()
 	}
 	wg.Wait()
@@ -175,7 +244,10 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	default:
 		adj = stats.BenjaminiHochberg(ps)
 	}
-	out := Result{Pairs: results, Tested: len(tested), Skipped: len(results) - len(tested)}
+	out := Result{Pairs: results, Tested: len(tested), Skipped: len(results) - len(tested), BFSRuns: bfsRuns.Load()}
+	if memo != nil {
+		out.MemoHits = memo.memoHits.Load()
+	}
 	for k, i := range tested {
 		results[i].AdjP = adj[k]
 		results[i].Significant = adj[k] < cfg.Alpha
@@ -204,35 +276,48 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	return out, nil
 }
 
-func screenOne(g *graph.Graph, store *events.Store, pair [2]string, cfg Config, sampler core.Sampler) PairResult {
+// screenOne tests a single pair, returning the result and the pair's
+// density-phase traversal count (folded into Result.BFSRuns; kept out
+// of PairResult so the report stays a pure function of the
+// statistics — with the memo, which pair pays for a shared node's
+// traversal depends on scheduling). densities, when non-nil, is the
+// worker's memo-backed density source, already retargeted at this
+// pair's event indices; nil evaluates densities with the pair's own
+// traversals (the reference path).
+func screenOne(g *graph.Graph, store *events.Store, pair [2]string, cfg Config, sampler core.Sampler, densities core.DensitySource) (PairResult, int64) {
 	res := PairResult{
 		A: pair[0], B: pair[1],
 		OccA: store.Count(pair[0]), OccB: store.Count(pair[1]),
 	}
 	if res.OccA < cfg.MinOccurrences || res.OccB < cfg.MinOccurrences {
 		res.Skipped = "below occurrence threshold"
-		return res
+		return res, 0
 	}
 	p, err := core.NewProblem(g, store.Set(pair[0]), store.Set(pair[1]))
 	if err != nil {
 		res.Skipped = err.Error()
-		return res
+		return res, 0
 	}
 	seed := pairSeed(cfg.Seed, pair[0], pair[1])
-	tr, err := core.Test(p, core.Options{
+	opts := core.Options{
 		H:           cfg.H,
 		SampleSize:  cfg.SampleSize,
 		Sampler:     sampler,
 		Alternative: cfg.Alternative,
 		Alpha:       cfg.Alpha,
 		Rand:        rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
-	})
+		Engines:     cfg.Engines,
+	}
+	if densities != nil {
+		opts.Densities = densities
+	}
+	tr, err := core.Test(p, opts)
 	if err != nil {
 		res.Skipped = err.Error()
-		return res
+		return res, 0
 	}
 	res.Tau, res.Z, res.P = tr.Tau, tr.Z, tr.P
-	return res
+	return res, tr.DensityBFS
 }
 
 func pairSeed(seed uint64, a, b string) uint64 {

@@ -500,6 +500,9 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Index = idx
 	}
+	// Pooled BFS engines for this graph version: concurrent queries
+	// stop allocating O(|V|) mark arrays each.
+	opts.Engines = e.EnginePool(snap)
 
 	start := time.Now()
 	res, err := tesc.Correlation(snap.Graph, va, vb, opts)
@@ -507,6 +510,7 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	s.bfsRuns.Add(res.DensityBFS)
 	writeJSON(w, http.StatusOK, correlateResponse{
 		Tau:         res.Tau,
 		Z:           res.Z,
@@ -592,9 +596,15 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		Workers:        req.Workers,
 		Seed:           req.Seed,
 	}
+	opts.Engines = e.EnginePool(snap)
 	job := s.jobs.Start(e.Name(), func(progress func(done, total int)) (tesc.ScreenResult, error) {
 		opts.Progress = progress
-		return tesc.Screen(g, ev, opts)
+		res, err := tesc.Screen(g, ev, opts)
+		if err == nil {
+			s.bfsRuns.Add(res.BFSRuns)
+			s.memoHits.Add(res.MemoHits)
+		}
+		return res, err
 	})
 	writeJSON(w, http.StatusAccepted, screenResponse{JobID: job.ID})
 }
@@ -621,5 +631,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"index_nodes_recomputed": s.cache.NodesRecomputed(),
 		"snapshot_saved":         s.snapSaved.Load(),
 		"snapshot_loaded":        s.snapLoaded.Load(),
+		"bfs_runs":               s.bfsRuns.Load(),
+		"density_memo_hits":      s.memoHits.Load(),
 	})
 }

@@ -54,6 +54,8 @@ type ScreenResultView struct {
 	Tested   int                `json:"tested"`
 	Skipped  int                `json:"skipped"`
 	Rejected int                `json:"rejected"`
+	BFSRuns  int64              `json:"bfs_runs"`
+	MemoHits int64              `json:"density_memo_hits"`
 }
 
 func screenResultView(r *tesc.ScreenResult) *ScreenResultView {
@@ -65,6 +67,8 @@ func screenResultView(r *tesc.ScreenResult) *ScreenResultView {
 		Tested:   r.Tested,
 		Skipped:  r.Skipped,
 		Rejected: r.Rejected,
+		BFSRuns:  r.BFSRuns,
+		MemoHits: r.MemoHits,
 	}
 	for i, p := range r.Pairs {
 		v.Pairs[i] = ScreenedPairView{

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHealthzTraversalCounters is the serving-tier acceptance check of
+// the PR 4 hot-path work: correlate queries advance bfs_runs, a
+// screening sweep advances it by its deduplicated traversal count, and
+// density_memo_hits becomes visible — the operator's live view of the
+// memo's effect.
+func TestHealthzTraversalCounters(t *testing.T) {
+	env := newTestEnv(t)
+
+	var h0 map[string]any
+	env.do(t, http.StatusOK, "GET", "/healthz", nil, &h0)
+	if h0["bfs_runs"].(float64) != 0 || h0["density_memo_hits"].(float64) != 0 {
+		t.Fatalf("fresh healthz counters non-zero: %+v", h0)
+	}
+
+	var cres correlateResponse
+	env.do(t, http.StatusOK, "POST", "/v1/graphs/g/correlate",
+		map[string]any{"a": "left", "b": "right", "h": 1, "sample_size": 60}, &cres)
+	if cres.DensityBFS == 0 {
+		t.Fatal("correlate reported zero density traversals")
+	}
+	var h1 map[string]any
+	env.do(t, http.StatusOK, "GET", "/healthz", nil, &h1)
+	if got := int64(h1["bfs_runs"].(float64)); got != cres.DensityBFS {
+		t.Fatalf("bfs_runs = %d after one correlate, want %d", got, cres.DensityBFS)
+	}
+
+	// A third event forces a real multi-pair sweep; its samples overlap
+	// across pairs, so the memo must register hits and the traversal
+	// count must come in under pairs × sample size.
+	env.do(t, http.StatusOK, "POST", "/v1/graphs/g/events",
+		map[string]any{"events": map[string][]int{"mid": {80, 81, 82, 83, 84, 85}}}, nil)
+	var sres screenResponse
+	env.do(t, http.StatusAccepted, "POST", "/v1/graphs/g/screen",
+		map[string]any{"h": 1, "sample_size": 100}, &sres)
+	var job JobView
+	waitForJob(t, env, sres.JobID, &job)
+	if job.Result == nil {
+		t.Fatalf("job has no result: %+v", job)
+	}
+	if job.Result.MemoHits == 0 {
+		t.Fatal("screen job reported zero memo hits on overlapping events")
+	}
+	if job.Result.BFSRuns == 0 || job.Result.BFSRuns >= int64(job.Result.Tested)*100 {
+		t.Fatalf("screen BFSRuns = %d, want deduplicated (0 < runs < %d)",
+			job.Result.BFSRuns, job.Result.Tested*100)
+	}
+	var h2 map[string]any
+	env.do(t, http.StatusOK, "GET", "/healthz", nil, &h2)
+	wantRuns := cres.DensityBFS + job.Result.BFSRuns
+	if got := int64(h2["bfs_runs"].(float64)); got != wantRuns {
+		t.Fatalf("bfs_runs = %d, want %d (correlate + sweep)", got, wantRuns)
+	}
+	if got := int64(h2["density_memo_hits"].(float64)); got != job.Result.MemoHits {
+		t.Fatalf("density_memo_hits = %d, want %d", got, job.Result.MemoHits)
+	}
+}
+
+// TestEnginePoolPerGraphVersion pins the pool invalidation contract:
+// one pool per graph version, a fresh pool after an edge mutation, and
+// never a downgrade to a stale snapshot's pool.
+func TestEnginePoolPerGraphVersion(t *testing.T) {
+	env := newTestEnv(t)
+	e, ok := env.srv.Registry().Get("g")
+	if !ok {
+		t.Fatal("graph not registered")
+	}
+	snap1 := e.Snapshot()
+	p1 := e.EnginePool(snap1)
+	if p1 != e.EnginePool(snap1) {
+		t.Fatal("same snapshot did not reuse the pool")
+	}
+
+	env.do(t, http.StatusOK, "POST", "/v1/graphs/g/edges",
+		map[string]any{"insert": [][2]int{{0, 199}}}, nil)
+	snap2 := e.Snapshot()
+	if snap2.GraphVersion == snap1.GraphVersion {
+		t.Fatal("mutation did not bump the graph version")
+	}
+	p2 := e.EnginePool(snap2)
+	if p2 == p1 {
+		t.Fatal("pool survived a graph mutation")
+	}
+	// A query still holding the old snapshot gets a working pool but
+	// must not displace the new version's.
+	if stale := e.EnginePool(snap1); stale == p2 || stale == p1 {
+		t.Fatal("stale snapshot was handed a current pool")
+	}
+	if e.EnginePool(snap2) != p2 {
+		t.Fatal("stale snapshot displaced the current pool")
+	}
+}
+
+// waitForJob polls the job endpoint until it leaves the running state.
+func waitForJob(t *testing.T, env *testEnv, id string, out *JobView) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		env.do(t, http.StatusOK, "GET", "/v1/jobs/"+id, nil, out)
+		if out.Status != JobRunning {
+			if out.Status != JobDone {
+				t.Fatalf("job failed: %+v", out)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+}

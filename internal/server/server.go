@@ -50,6 +50,14 @@ type Server struct {
 	persist    *persistState
 	snapSaved  atomic.Int64
 	snapLoaded atomic.Int64
+
+	// bfsRuns counts density-phase h-hop traversals performed across
+	// all correlate queries and screening sweeps; memoHits the density
+	// evaluations screening served from the cross-pair memo instead of
+	// a traversal. Their ratio is the live view of how much of the
+	// §4.4 traversal bill the flat-kernel/memo path is saving.
+	bfsRuns  atomic.Int64
+	memoHits atomic.Int64
 }
 
 // New assembles a server from the config.

@@ -47,6 +47,16 @@ type ScreenOptions struct {
 	// order, so gauge consumers should fold with max. The tescd daemon
 	// uses it for screening-job polling.
 	Progress func(done, total int)
+	// NoMemo disables the cross-pair density memo that deduplicates
+	// reference-node traversals across pairs. The memo changes nothing
+	// in the statistics (results are bit-identical, which the
+	// differential tests pin); disable it only to measure its effect or
+	// to trade the O(NumNodes × events) count arrays for traversal
+	// time.
+	NoMemo bool
+	// Engines, when non-nil and bound to g, lends pooled BFS engines to
+	// the sweep's workers (see Graph.NewEnginePool).
+	Engines *EnginePool
 }
 
 // ScreenedPair is one tested pair, ordered by corrected p-value.
@@ -66,6 +76,13 @@ type ScreenResult struct {
 	Tested   int
 	Skipped  int
 	Rejected int // significant after correction
+
+	// BFSRuns counts the density-phase h-hop traversals the sweep
+	// actually performed; MemoHits the density evaluations served from
+	// the cross-pair memo instead of a fresh traversal. Together they
+	// quantify the §4.4 traversal bill the memo saved.
+	BFSRuns  int64
+	MemoHits int64
 }
 
 // Screen tests every unordered pair of the given events for structural
@@ -92,6 +109,10 @@ func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
 		Workers:        opts.Workers,
 		Seed:           opts.Seed,
 		Progress:       opts.Progress,
+		NoMemo:         opts.NoMemo,
+	}
+	if opts.Engines != nil {
+		cfg.Engines = opts.Engines.p
 	}
 	if opts.Bonferroni {
 		cfg.Correction = screen.FWER
@@ -107,6 +128,8 @@ func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
 		Tested:   res.Tested,
 		Skipped:  res.Skipped,
 		Rejected: res.Rejected,
+		BFSRuns:  res.BFSRuns,
+		MemoHits: res.MemoHits,
 		Pairs:    make([]ScreenedPair, len(res.Pairs)),
 	}
 	for i, p := range res.Pairs {

@@ -219,6 +219,23 @@ func (x *VicinityIndex) MaxLevel() int { return x.idx.MaxLevel() }
 // before use.
 func (x *VicinityIndex) BuiltFor(g *Graph) bool { return x.idx.Graph() == g.g }
 
+// EnginePool is a free list of BFS traversal engines bound to one graph
+// snapshot. Each engine owns O(NumNodes) scratch (an epoch-stamped mark
+// array plus frontier buffers), so a serving tier that runs many
+// correlation queries against the same graph should create one pool per
+// graph snapshot and pass it via Options.Engines / ScreenOptions.Engines:
+// queries then reuse warm scratch instead of allocating it per request.
+// Safe for concurrent use. Invalidate by dropping the pool when the
+// graph snapshot is replaced (tescd keys its pools by graph version).
+type EnginePool struct {
+	p *graph.EnginePool
+}
+
+// NewEnginePool returns an empty engine pool bound to g.
+func (g *Graph) NewEnginePool() *EnginePool {
+	return &EnginePool{p: graph.NewEnginePool(g.g)}
+}
+
 // Method selects a reference-node sampling strategy.
 type Method int
 
@@ -324,6 +341,11 @@ type Options struct {
 	// keyword). When non-nil they must have length NumNodes, be zero
 	// outside the corresponding occurrence list, and positive on it.
 	IntensityA, IntensityB []float64
+	// Engines, when non-nil and bound to this graph, lends pooled BFS
+	// engines to the density evaluator and the BatchBFS sampler so
+	// repeated queries stop allocating O(NumNodes) scratch each (see
+	// Graph.NewEnginePool). Results are identical with or without it.
+	Engines *EnginePool
 }
 
 // Result reports a TESC test.
@@ -391,6 +413,9 @@ func Correlation(g *Graph, va, vb []int, opts Options) (Result, error) {
 		Alternative: opts.Tail.alternative(),
 		Alpha:       opts.Alpha,
 	}
+	if opts.Engines != nil {
+		copts.Engines = opts.Engines.p
+	}
 	if opts.UseSpearman {
 		copts.Statistic = core.SpearmanRho
 	}
@@ -433,7 +458,11 @@ func Correlation(g *Graph, va, vb []int, opts Options) (Result, error) {
 func makeSampler(opts Options) (core.Sampler, error) {
 	switch opts.Method {
 	case BatchBFS:
-		return &core.BatchBFSSampler{}, nil
+		s := &core.BatchBFSSampler{}
+		if opts.Engines != nil {
+			s.Engines = opts.Engines.p
+		}
+		return s, nil
 	case Importance:
 		if opts.Index == nil {
 			return nil, fmt.Errorf("tesc: Importance sampling requires Options.Index (see Graph.BuildVicinityIndex)")
