@@ -1,0 +1,316 @@
+// Command benchdiff compares `go test -bench` output against a
+// committed ns/op baseline and gates CI on regressions: a benchmark
+// more than the fail threshold slower than its baseline (default
+// +25%) fails the run, one between the warn and fail thresholds
+// (default +10%..+25%) is soft-warned into the summary.
+//
+// Benchmarks are keyed by package + name (GOMAXPROCS suffix stripped)
+// and folded with min over repeated runs (-count=N), which is the
+// right estimator for a noisy CI box: the minimum is the run least
+// disturbed by neighbors, and a genuine regression raises the minimum.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=2s -count=3 ./... | tee bench.txt
+//	benchdiff -baseline BENCH_baseline.json bench.txt
+//	benchdiff -baseline BENCH_baseline.json -update bench.txt   # refresh
+//	benchdiff -baseline BENCH_baseline.json -summary "$GITHUB_STEP_SUMMARY" bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Baseline is the committed reference file.
+type Baseline struct {
+	Generated string `json:"generated"`
+	Go        string `json:"go"`
+	Command   string `json:"command"`
+	// Benchmarks maps "pkg.BenchmarkName" to baseline ns/op (min over
+	// the runs that produced the file).
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// parseBench extracts min ns/op per benchmark key from go test -bench
+// output. The "pkg:" header lines qualify benchmark names, so the same
+// benchmark name in two packages cannot collide.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines: name, iterations, value, "ns/op", ...
+		if len(fields) < 4 {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op %q in line %q", fields[nsIdx-1], line)
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so baselines survive core-count
+		// changes in name only (the numbers still move, the key not).
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "." + name
+		}
+		if prev, ok := out[key]; !ok || ns < prev {
+			out[key] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+type row struct {
+	key      string
+	base, ns float64
+	ratio    float64
+	status   string
+}
+
+func main() {
+	var (
+		baselinePath = ""
+		update       = false
+		summaryPath  = ""
+		failThresh   = 1.25
+		warnThresh   = 1.10
+	)
+	args := os.Args[1:]
+	var inputs []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-baseline":
+			i++
+			if i >= len(args) {
+				usage("missing -baseline value")
+			}
+			baselinePath = args[i]
+		case "-update":
+			update = true
+		case "-summary":
+			i++
+			if i >= len(args) {
+				usage("missing -summary value")
+			}
+			summaryPath = args[i]
+		case "-fail-threshold":
+			i++
+			if i >= len(args) {
+				usage("missing -fail-threshold value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v <= 1 {
+				usage("bad -fail-threshold (want > 1)")
+			}
+			failThresh = v
+		case "-warn-threshold":
+			i++
+			if i >= len(args) {
+				usage("missing -warn-threshold value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v <= 1 {
+				usage("bad -warn-threshold (want > 1)")
+			}
+			warnThresh = v
+		case "-h", "-help", "--help":
+			usage("")
+		default:
+			if strings.HasPrefix(args[i], "-") {
+				usage("unknown flag " + args[i])
+			}
+			inputs = append(inputs, args[i])
+		}
+	}
+	if baselinePath == "" {
+		usage("-baseline is required")
+	}
+	if warnThresh > failThresh {
+		usage("-warn-threshold must be <= -fail-threshold")
+	}
+
+	var in io.Reader = os.Stdin
+	if len(inputs) == 1 {
+		f, err := os.Open(inputs[0])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if len(inputs) > 1 {
+		usage("at most one input file")
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if update {
+		b := Baseline{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			Go:         runtime.Version(),
+			Command:    "go test -run='^$' -bench=. -benchtime=2s -count=3 (min ns/op per benchmark)",
+			Benchmarks: measured,
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s with %d benchmarks\n", baselinePath, len(measured))
+		return
+	}
+
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("benchdiff: parsing %s: %w", baselinePath, err))
+	}
+
+	var rows []row
+	regressions, warnings := 0, 0
+	for key, ns := range measured {
+		r := row{key: key, ns: ns}
+		if b, ok := base.Benchmarks[key]; ok && b > 0 {
+			r.base = b
+			r.ratio = ns / b
+			switch {
+			case r.ratio > failThresh:
+				r.status = "REGRESSION"
+				regressions++
+			case r.ratio > warnThresh:
+				r.status = "warn"
+				warnings++
+			case r.ratio < 1/failThresh:
+				r.status = "improved"
+			default:
+				r.status = "ok"
+			}
+		} else {
+			r.status = "new"
+		}
+		rows = append(rows, r)
+	}
+	for key := range base.Benchmarks {
+		if _, ok := measured[key]; !ok {
+			// Fail closed: a benchmark the baseline pins that no longer
+			// runs means the hot path is silently ungated (renamed,
+			// deleted, or filtered out). Intentional removals refresh
+			// the baseline with -update.
+			rows = append(rows, row{key: key, base: base.Benchmarks[key], status: "MISSING"})
+			regressions++
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+
+	table := renderTable(rows, failThresh, warnThresh, regressions, warnings)
+	fmt.Print(table)
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := f.WriteString(table); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% or went missing\n", regressions, (failThresh-1)*100)
+		os.Exit(1)
+	}
+}
+
+func renderTable(rows []row, failThresh, warnThresh float64, regressions, warnings int) string {
+	var sb strings.Builder
+	sb.WriteString("### Benchmark regression gate\n\n")
+	fmt.Fprintf(&sb, "Thresholds: fail > +%.0f%%, warn > +%.0f%% (ns/op vs baseline, min over runs)\n\n",
+		(failThresh-1)*100, (warnThresh-1)*100)
+	sb.WriteString("| benchmark | baseline ns/op | current ns/op | delta | status |\n")
+	sb.WriteString("|---|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		delta := "—"
+		baseStr, nsStr := "—", "—"
+		if r.base > 0 {
+			baseStr = fmt.Sprintf("%.0f", r.base)
+		}
+		if r.ns > 0 {
+			nsStr = fmt.Sprintf("%.0f", r.ns)
+		}
+		if r.ratio > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (r.ratio-1)*100)
+		}
+		status := r.status
+		if status == "REGRESSION" {
+			status = "❌ REGRESSION"
+		} else if status == "MISSING" {
+			status = "❌ MISSING (baseline benchmark not run; refresh with -update if removal was intended)"
+		} else if status == "warn" {
+			status = "⚠️ warn"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n", r.key, baseStr, nsStr, delta, status)
+	}
+	fmt.Fprintf(&sb, "\n%d regression(s), %d warning(s)\n", regressions, warnings)
+	return sb.String()
+}
+
+func usage(msg string) {
+	if msg != "" {
+		fmt.Fprintln(os.Stderr, "benchdiff:", msg)
+	}
+	fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline FILE [-update] [-summary FILE] [-fail-threshold 1.25] [-warn-threshold 1.10] [bench.txt]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

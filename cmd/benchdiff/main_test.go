@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tesc/internal/core
+cpu: Intel(R) Xeon(R)
+BenchmarkDensityPhaseFlat-8   	    2769	    452044 ns/op	      12 B/op	       3 allocs/op
+BenchmarkDensityPhaseFlat-8   	    2800	    449000 ns/op	      12 B/op	       3 allocs/op
+BenchmarkDensityPhaseFlat-8   	    2700	    460111 ns/op	      12 B/op	       3 allocs/op
+PASS
+ok  	tesc/internal/core	5.1s
+pkg: tesc/internal/graph
+BenchmarkCollect-8       	    9399	    127708 ns/op
+BenchmarkEnginePool-8    	 1000000	      1113 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	tesc/internal/graph	3.3s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"tesc/internal/core.BenchmarkDensityPhaseFlat": 449000, // min of 3 runs
+		"tesc/internal/graph.BenchmarkCollect":         127708,
+		"tesc/internal/graph.BenchmarkEnginePool":      1113,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRenderTableStatuses(t *testing.T) {
+	rows := []row{
+		{key: "a", base: 100, ns: 300, ratio: 3, status: "REGRESSION"},
+		{key: "b", base: 100, ns: 115, ratio: 1.15, status: "warn"},
+		{key: "c", base: 100, ns: 100, ratio: 1, status: "ok"},
+		{key: "d", ns: 50, status: "new"},
+		{key: "e", base: 100, status: "MISSING"},
+	}
+	table := renderTable(rows, 1.25, 1.10, 2, 1)
+	for _, want := range []string{"REGRESSION", "warn", "| ok |", "| new |", "MISSING", "+200.0%", "2 regression(s), 1 warning(s)"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tesc"
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+	"tesc/internal/monitor"
+	"tesc/internal/screen"
+	"tesc/internal/server"
+	"tesc/internal/stats"
+	"tesc/internal/vicinity"
+)
+
+// churnConfig parameterizes the -churn workload: FlipStream mutation
+// batches interleaved with standing-query re-screens, reporting
+// incremental re-screen latency against a from-scratch screen at the
+// same epoch — the serving-tier payoff of the monitor subsystem's
+// dirty-set scheduler.
+type churnConfig struct {
+	Scale      float64 // coauthorship surrogate scale (1.0 = ~100k nodes)
+	H          int
+	SampleSize int
+	Batches    int // mutation batches
+	Flips      int // edge flips per batch
+	Occ        int // occurrences per event
+	Region     int // nodes of the community region events cluster in
+	Seed       uint64
+}
+
+// churnWorld is the evolving state driven by runChurn, mirroring the
+// serving tier's ordering contract (notify before publish).
+type churnWorld struct {
+	mgr *monitor.Manager
+
+	mu    sync.Mutex
+	g     *graph.Graph
+	store *events.Store
+	epoch uint64
+}
+
+func (w *churnWorld) snap() (*graph.Graph, *events.Store, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.g, w.store, w.epoch
+}
+
+// runChurn executes the churn benchmark and prints the report.
+func runChurn(cfg churnConfig, w io.Writer) error {
+	if cfg.H < 1 || cfg.Batches < 1 || cfg.Flips < 1 {
+		return fmt.Errorf("churn: h, batches and flips must all be >= 1")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	fmt.Fprintf(w, "== churn workload: standing-query re-screen vs full re-screen ==\n")
+	g := tesc.RandomCoauthorshipGraph(cfg.Scale, cfg.Seed).Internal()
+	n := g.NumNodes()
+	region := cfg.Region
+	if region > n {
+		region = n
+	}
+	b := events.NewBuilder(n)
+	for _, name := range []string{"churn-a", "churn-b"} {
+		for i := 0; i < cfg.Occ; i++ {
+			b.Add(name, graph.NodeID(rng.IntN(region)))
+		}
+	}
+	world := &churnWorld{mgr: monitor.NewManager(), g: g, store: b.Build(), epoch: 1}
+	fmt.Fprintf(w, "graph: %d nodes, %d edges; events: 2 x %d occurrences in a %d-node region; h=%d n=%d\n",
+		n, g.NumEdges(), cfg.Occ, region, cfg.H, cfg.SampleSize)
+
+	def := monitor.Definition{
+		A: "churn-a", B: "churn-b",
+		H:          cfg.H,
+		SampleSize: cfg.SampleSize,
+		Seed:       cfg.Seed ^ 0x5eed,
+		Mode:       monitor.Manual,
+	}
+	mon, err := world.mgr.Create("churn", def, world.snap)
+	if err != nil {
+		return err
+	}
+	def = mon.Def()
+
+	fullCfg := screen.Config{
+		H:           def.H,
+		SampleSize:  def.SampleSize,
+		Alpha:       def.Alpha,
+		Alternative: stats.TwoSided,
+		Seed:        def.Seed,
+	}
+	pairs := [][2]string{{def.A, def.B}}
+
+	// Phase 1 — the monitor path: stream mutation batches, timing only
+	// the incremental re-screens. The full-screen comparison runs in a
+	// second phase over a deterministic replay of the same batches, so
+	// neither path's allocation/GC bill leaks into the other's timings.
+	stream := graphgen.NewFlipStream(g, 0.5, rng)
+	incMS := make([]float64, 0, cfg.Batches)
+	fullMS := make([]float64, 0, cfg.Batches)
+	batches := make([][]graph.EdgeChange, 0, cfg.Batches)
+	samples := make([]monitor.Sample, 0, cfg.Batches)
+	var reused, recomputed, dirtyTotal int64
+	for batch := 0; batch < cfg.Batches; batch++ {
+		changes := stream.Take(cfg.Flips)
+		world.mu.Lock()
+		oldG, epoch := world.g, world.epoch
+		world.mu.Unlock()
+		d := graph.NewDelta(oldG)
+		applied, err := d.Apply(changes)
+		if err != nil {
+			return err
+		}
+		newG := d.Compact()
+		batches = append(batches, applied)
+		// Pay the dirty ball once, like the serving tier does, and
+		// account its size (the "<= 1% of nodes touched" criterion).
+		dirty, err := vicinity.DirtySet(oldG, newG, applied, def.H)
+		if err != nil {
+			return err
+		}
+		dirtyTotal += int64(len(dirty))
+		world.mgr.NotifyEdgeDelta("churn", oldG, newG, applied, epoch+1, dirty, def.H)
+		world.mu.Lock()
+		world.g = newG
+		world.epoch++
+		world.mu.Unlock()
+
+		// Collect the mutation pipeline's garbage (Compact builds a
+		// whole successor CSR) before timing, so the re-screen numbers
+		// measure the re-screen, not inherited allocator debt. Both
+		// phases get the same treatment.
+		runtime.GC()
+		start := time.Now()
+		sample, ran, err := mon.Refresh(false)
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return fmt.Errorf("churn: batch %d did not trigger a re-screen", batch)
+		}
+		incMS = append(incMS, float64(time.Since(start).Microseconds())/1000)
+		samples = append(samples, sample)
+		reused += sample.Reused
+		recomputed += sample.Recomputed
+	}
+
+	// Phase 2 — the from-scratch path: replay the identical batch
+	// sequence and run a cold screen at every epoch, checking
+	// bit-identity against the monitor's recorded samples.
+	replayG := g
+	runtime.GC()
+	for batch, applied := range batches {
+		d := graph.NewDelta(replayG)
+		if _, err := d.Apply(applied); err != nil {
+			return err
+		}
+		replayG = d.Compact()
+		runtime.GC()
+		start := time.Now()
+		full, err := screen.Run(replayG, world.store, pairs, fullCfg)
+		if err != nil {
+			return err
+		}
+		fullMS = append(fullMS, float64(time.Since(start).Microseconds())/1000)
+		fp := full.Pairs[0]
+		s := samples[batch]
+		if fp.Tau != s.Tau || fp.Z != s.Z || fp.P != s.P {
+			return fmt.Errorf("churn: batch %d diverged from from-scratch run (tau %v vs %v)", batch, s.Tau, fp.Tau)
+		}
+	}
+
+	incMean, incP50 := meanMedian(incMS)
+	fullMean, fullP50 := meanMedian(fullMS)
+	evals := reused + recomputed
+	fmt.Fprintf(w, "batches: %d x %d flips; dirty ball: %.0f nodes/batch (%.2f%% of graph)\n",
+		cfg.Batches, cfg.Flips, float64(dirtyTotal)/float64(cfg.Batches),
+		100*float64(dirtyTotal)/float64(cfg.Batches)/float64(n))
+	fmt.Fprintf(w, "incremental re-screen:  mean %8.3f ms   p50 %8.3f ms\n", incMean, incP50)
+	fmt.Fprintf(w, "full re-screen:         mean %8.3f ms   p50 %8.3f ms\n", fullMean, fullP50)
+	fmt.Fprintf(w, "speedup (mean):         %8.2fx\n", fullMean/incMean)
+	fmt.Fprintf(w, "density evaluations:    %d reused / %d total (%.1f%% served from cache)\n",
+		reused, evals, 100*float64(reused)/float64(evals))
+	fmt.Fprintf(w, "results: bit-identical to from-scratch screen at every epoch\n")
+	return nil
+}
+
+func meanMedian(xs []float64) (mean, median float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, v := range sorted {
+		mean += v
+	}
+	return mean / float64(len(sorted)), sorted[len(sorted)/2]
+}
+
+// runSoak drives a live in-process tescd with FlipStream mutations
+// against standing monitors for the given duration: one edge mutator,
+// one event mutator, concurrent monitor readers and a manual-monitor
+// refresher, with auto monitors re-screening on their debounce timers
+// throughout. Built for the nightly -race job: its value is the
+// interleavings, not the numbers.
+func runSoak(d time.Duration, seed uint64, w io.Writer) error {
+	srv := server.New(server.Config{IndexCacheCapacity: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	base := ts.URL
+	client := ts.Client()
+
+	g := tesc.RandomCoauthorshipGraph(0.2, seed) // ~20k nodes
+	rng := rand.New(rand.NewPCG(seed, seed^77))
+	var va, vb []int
+	for i := 0; i < 200; i++ {
+		va = append(va, rng.IntN(4000))
+		vb = append(vb, rng.IntN(4000))
+	}
+	var sb strings.Builder
+	if err := g.WriteGraph(&sb); err != nil {
+		return err
+	}
+	if err := postJSON(client, base+"/v1/graphs", map[string]any{"name": "soak", "edge_list": sb.String()}, nil); err != nil {
+		return fmt.Errorf("registering graph: %w", err)
+	}
+	if err := postJSON(client, base+"/v1/graphs/soak/events",
+		map[string]any{"events": map[string][]int{"soak-a": va, "soak-b": vb}}, nil); err != nil {
+		return fmt.Errorf("registering events: %w", err)
+	}
+	var manual struct {
+		ID string `json:"id"`
+	}
+	for i, body := range []map[string]any{
+		{"a": "soak-a", "b": "soak-b", "h": 2, "sample_size": 300, "seed": 1, "debounce_ms": 25},
+		{"a": "soak-a", "b": "soak-b", "h": 1, "sample_size": 300, "seed": 2, "debounce_ms": 10},
+		{"a": "soak-a", "b": "soak-b", "h": 1, "sample_size": 200, "seed": 3, "policy": "manual"},
+	} {
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := postJSON(client, base+"/v1/graphs/soak/monitors", body, &out); err != nil {
+			return fmt.Errorf("registering monitor %d: %w", i, err)
+		}
+		if body["policy"] == "manual" {
+			manual = out
+		}
+	}
+
+	deadline := time.Now().Add(d)
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	spawn := func(fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+			}
+		}()
+	}
+
+	// Edge mutator: FlipStream batches. The stream mirrors the server's
+	// edge set because this is the only goroutine mutating edges.
+	spawn(func() error {
+		stream := graphgen.NewFlipStream(g.Internal(), 0.5, rand.New(rand.NewPCG(seed^1, 3)))
+		for time.Now().Before(deadline) {
+			flips := stream.Take(1 + rng.IntN(8))
+			var ins, del [][2]int
+			for _, c := range flips {
+				p := [2]int{int(c.U), int(c.V)}
+				if c.Insert {
+					ins = append(ins, p)
+				} else {
+					del = append(del, p)
+				}
+			}
+			if err := postJSON(client, base+"/v1/graphs/soak/edges",
+				map[string]any{"insert": ins, "delete": del}, nil); err != nil {
+				return fmt.Errorf("edge mutator: %w", err)
+			}
+		}
+		return nil
+	})
+	// Event mutator: occurrences of the monitored pair flicker.
+	spawn(func() error {
+		erng := rand.New(rand.NewPCG(seed^2, 9))
+		for time.Now().Before(deadline) {
+			node := erng.IntN(4000)
+			name := []string{"soak-a", "soak-b"}[erng.IntN(2)]
+			if err := postJSON(client, base+"/v1/graphs/soak/events",
+				map[string]any{"events": map[string][]int{name: {node}}}, nil); err != nil {
+				return fmt.Errorf("event mutator: %w", err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	})
+	// Manual-monitor refresher.
+	spawn(func() error {
+		for time.Now().Before(deadline) {
+			if err := postJSON(client, base+"/v1/graphs/soak/monitors/"+manual.ID+"/refresh", map[string]any{}, nil); err != nil {
+				return fmt.Errorf("refresher: %w", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return nil
+	})
+	// Readers: monitor listings and healthz.
+	for r := 0; r < 2; r++ {
+		spawn(func() error {
+			for time.Now().Before(deadline) {
+				resp, err := client.Get(base + "/v1/graphs/soak/monitors")
+				if err != nil {
+					return fmt.Errorf("reader: %w", err)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				resp, err = client.Get(base + "/healthz")
+				if err != nil {
+					return fmt.Errorf("reader: %w", err)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				time.Sleep(time.Millisecond)
+			}
+			return nil
+		})
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	// One final synchronous drain so lingering debounce timers are
+	// exercised before the listener dies.
+	if err := postJSON(client, base+"/v1/graphs/soak/monitors/"+manual.ID+"/refresh?force=1", map[string]any{}, nil); err != nil {
+		return err
+	}
+
+	mons := srv.Monitors()
+	if mons.Reruns() == 0 {
+		return fmt.Errorf("soak: no monitor re-screens happened in %v", d)
+	}
+	fmt.Fprintf(w, "== soak (%v) ==\n", d)
+	fmt.Fprintf(w, "monitors: %d active, %d re-screens, %d density evals reused, %d recomputed\n",
+		mons.Active(), mons.Reruns(), mons.NodesReused(), mons.NodesRecomputed())
+	return nil
+}

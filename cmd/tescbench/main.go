@@ -42,6 +42,15 @@ func main() {
 		seed       = flag.Uint64("seed", def.Seed, "random seed")
 		workers    = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
 
+		churn        = flag.Bool("churn", false, "run the churn workload: FlipStream mutations against a standing monitor, reporting incremental vs full re-screen latency")
+		churnScale   = flag.Float64("churn-scale", 1.0, "coauthorship surrogate scale in -churn mode (1.0 = ~100k nodes)")
+		churnH       = flag.Int("churn-h", 2, "vicinity level in -churn mode")
+		churnBatches = flag.Int("churn-batches", 50, "mutation batches in -churn mode")
+		churnFlips   = flag.Int("churn-flips", 10, "edge flips per batch in -churn mode")
+		churnOcc     = flag.Int("churn-occurrences", 500, "occurrences per event in -churn mode")
+		churnRegion  = flag.Int("churn-region", 2000, "community-region size the events cluster in (-churn mode)")
+		soak         = flag.Duration("soak", 0, "run an in-process tescd soak for this duration: FlipStream mutations against live monitors (built for the nightly -race job)")
+
 		serve      = flag.String("serve", "", "load-test a running tescd daemon at this base URL instead of running experiments")
 		serveReqs  = flag.Int("serve-requests", 200, "number of correlate queries in -serve mode")
 		serveConc  = flag.Int("serve-concurrency", 8, "concurrent clients in -serve mode")
@@ -51,6 +60,31 @@ func main() {
 		serveMeth  = flag.String("serve-method", "importance", "sampling method in -serve mode (batch-bfs | importance | whole-graph | rejection)")
 	)
 	flag.Parse()
+
+	if *churn {
+		err := runChurn(churnConfig{
+			Scale:      *churnScale,
+			H:          *churnH,
+			SampleSize: *sample,
+			Batches:    *churnBatches,
+			Flips:      *churnFlips,
+			Occ:        *churnOcc,
+			Region:     *churnRegion,
+			Seed:       *seed,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soak > 0 {
+		if err := runSoak(*soak, *seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serve != "" {
 		err := runServe(serveConfig{

@@ -154,6 +154,10 @@ func runInspect(args []string) error {
 	for _, idx := range snap.Indexes {
 		fmt.Printf("index      vicinity levels 1..%d\n", idx.MaxLevel())
 	}
+	for _, st := range snap.Monitors {
+		fmt.Printf("monitor    %s: %q vs %q h=%d policy=%s (%d history entries)\n",
+			st.Def.ID, st.Def.A, st.Def.B, st.Def.H, st.Def.Mode, len(st.History))
+	}
 	return nil
 }
 

@@ -124,6 +124,23 @@ func NewProblem(g *graph.Graph, va, vb *graph.NodeSet) (*Problem, error) {
 	return &Problem{G: g, Va: va, Vb: vb, Union: va.Union(vb)}, nil
 }
 
+// NewProblemWithUnion is NewProblem with a caller-supplied Va∪b set,
+// for callers that test the same event pair repeatedly while the
+// occurrence sets stay fixed (a standing query re-screening across
+// graph snapshots): the union depends only on Va and Vb, so rebuilding
+// it per snapshot is pure waste. The caller owns the invariant that
+// union == va ∪ vb over the same universe.
+func NewProblemWithUnion(g *graph.Graph, va, vb, union *graph.NodeSet) (*Problem, error) {
+	if va.Universe() != g.NumNodes() || vb.Universe() != g.NumNodes() || union.Universe() != g.NumNodes() {
+		return nil, fmt.Errorf("tesc: occurrence set universe (%d, %d, %d) does not match graph size %d",
+			va.Universe(), vb.Universe(), union.Universe(), g.NumNodes())
+	}
+	if va.Len() == 0 && vb.Len() == 0 {
+		return nil, ErrNoEventNodes
+	}
+	return &Problem{G: g, Va: va, Vb: vb, Union: union}, nil
+}
+
 // MustNewProblem is NewProblem that panics on error, for tests and
 // simulators whose inputs are valid by construction.
 func MustNewProblem(g *graph.Graph, va, vb *graph.NodeSet) *Problem {

@@ -39,6 +39,13 @@ func (d Density) InSight() bool { return d.CountUnion > 0 }
 // implementation; screen's cross-pair memo substitutes one that reuses
 // traversals across event pairs (Options.Densities).
 //
+// ds may be nil: custom sources only serve uniform samples (Test
+// rejects them for importance-weighted ones), and the uniform
+// statistics consume only sa/sb — the per-node records exist for the
+// weighted estimator and diagnostics. Sources that can produce them
+// cheaply should; screen's memo skips them to keep a standing query's
+// re-screen free of O(n) record construction.
+//
 // Traversals reports the cumulative number of h-hop BFS performed by
 // the source since its creation; Test differences it around the EvalAll
 // call to attribute traversal counts to one test.

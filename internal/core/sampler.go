@@ -71,7 +71,6 @@ type BatchBFSSampler struct {
 	Engines *graph.EnginePool
 
 	bfs *graph.BFS
-	buf []graph.NodeID
 }
 
 // Name implements Sampler.
@@ -87,13 +86,16 @@ func (s *BatchBFSSampler) SampleReferences(p *Problem, h, n int, rng *rand.Rand)
 		bfs = graph.NewBFS(p.G)
 		s.bfs = bfs
 	}
-	s.buf = s.buf[:0]
-	s.buf = bfs.SetVicinity(p.EventNodes(), h, s.buf)
-	N := len(s.buf)
+	// The engine's flat visit buffer IS the enumerated population; the
+	// draw shuffles its prefix in place (engine scratch is fair game
+	// between traversals), so materializing V^h_{a∪b} costs no copy and
+	// the draw costs O(n) rather than O(N) random numbers.
+	pop := bfs.Collect(p.EventNodes(), h)
+	N := len(pop)
 	if N < 2 {
 		return RefSample{}, ErrTooFewReferences
 	}
-	nodes := sampling.SampleK(s.buf, n, rng)
+	nodes := sampling.SampleKInPlace(pop, n, rng)
 	return RefSample{
 		Nodes: append([]graph.NodeID(nil), nodes...),
 		Stats: SamplerStats{BFSCount: 1, Population: N},

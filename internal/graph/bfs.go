@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // BFS is a reusable breadth-first-search engine over a fixed graph.
 //
 // TESC testing performs thousands of h-hop BFS traversals per event pair
@@ -35,6 +37,23 @@ func NewBFS(g *Graph) *BFS {
 
 // Graph returns the graph the engine is bound to.
 func (b *BFS) Graph() *Graph { return b.g }
+
+// Rebind points the engine at a different graph with the same node
+// count, keeping all its allocated scratch. Soundness rests on the
+// scratch being purely per-traversal: the mark arrays are epoch
+// stamps compared against the *current* traversal's epoch (stale
+// stamps from traversals over the previous graph are never read as
+// visited), and the frontier/visit buffers are reset by every
+// traversal. The monitor subsystem rebinds its retained engines
+// across graph snapshots so a standing-query re-screen allocates no
+// O(|V|) scratch per mutation.
+func (b *BFS) Rebind(g *Graph) error {
+	if g.NumNodes() != len(b.mark) {
+		return fmt.Errorf("graph: rebinding BFS engine for %d nodes to a %d-node graph", len(b.mark), g.NumNodes())
+	}
+	b.g = g
+	return nil
+}
 
 func (b *BFS) bump() {
 	b.epoch++

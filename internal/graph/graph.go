@@ -14,6 +14,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeID identifies a node. Node IDs are dense: a graph with n nodes uses
@@ -36,6 +37,14 @@ type Graph struct {
 	adj      []NodeID // concatenated sorted adjacency lists
 	m        int64    // number of edges (undirected count, or arc count when directed)
 	directed bool
+
+	// transpose caches the reversed-arc graph of a directed graph:
+	// Transpose is on per-mutation paths (dirty-set computation for
+	// index repair and monitor invalidation), and rebuilding an
+	// O(V+E) structure per call there would serialize mutations behind
+	// it. Graphs are immutable, so the cache can never go stale.
+	transposeOnce sync.Once
+	transpose     *Graph
 }
 
 // Directed reports whether the graph stores one-way arcs (built with
@@ -108,11 +117,18 @@ func (g *Graph) ForEachEdge(fn func(u, v NodeID) bool) {
 }
 
 // Transpose returns the graph with every arc reversed. For undirected
-// graphs it returns g itself.
+// graphs it returns g itself; for directed graphs the reversed CSR is
+// built once and cached (graphs are immutable), so repeated
+// mutation-path calls pay a pointer load.
 func (g *Graph) Transpose() *Graph {
 	if !g.directed {
 		return g
 	}
+	g.transposeOnce.Do(func() { g.transpose = g.buildTranspose() })
+	return g.transpose
+}
+
+func (g *Graph) buildTranspose() *Graph {
 	n := g.NumNodes()
 	deg := make([]int64, n+1)
 	for _, v := range g.adj {

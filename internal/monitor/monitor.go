@@ -1,0 +1,498 @@
+// Package monitor turns TESC from a one-shot assessment into a
+// continuous one: clients register standing queries — an event pair,
+// a vicinity level, a re-evaluation policy — against an evolving
+// graph, and the subsystem re-screens each query incrementally as
+// edge and event mutations stream in.
+//
+// The paper's motivating datasets (co-purchase networks, DBLP
+// co-authorship, intrusion alerts) are all evolving graphs, where the
+// operational question is not "are these events correlated" but "when
+// does this pair *become* (or stop being) correlated". Recomputing
+// the full test per mutation wastes the same work the §4.2 vicinity
+// index avoids wasting: a delta only perturbs densities inside a
+// bounded ball. The scheduler therefore intersects each delta's
+// flipped-vicinity node set (vicinity.DirtySet — the exact locality
+// bound the index repair already computes) with each standing query's
+// density cache, invalidates only that intersection, and re-screens
+// with every untouched reference-node density served from the cache
+// (screen.SharedMemo). The re-screen is bit-identical to a
+// from-scratch screen.Run at the same epoch — the differential tests
+// pin score, p-value and per-node densities — because cached entries
+// outside the dirty ball provably cannot have changed.
+//
+// Bursts of mutations are debounced per monitor: a batch of B deltas
+// inside the coalescing window triggers one re-screen, not B, and the
+// history entry records how many batches it folded.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/screen"
+	"tesc/internal/stats"
+)
+
+// Mode selects when a monitor re-screens.
+type Mode int
+
+const (
+	// Auto re-screens automatically: a mutation arms the debounce
+	// timer, and the re-screen fires once the window closes, folding
+	// every delta that landed meanwhile into one run.
+	Auto Mode = iota
+	// Manual accumulates invalidations but re-screens only on an
+	// explicit Refresh (the REST layer's refresh endpoint) — the mode
+	// for clients that want to pay re-evaluation on their own clock.
+	Manual
+)
+
+// String names the mode ("auto" / "manual").
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case Manual:
+		return "manual"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode inverts Mode.String; the empty string selects Auto.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "manual":
+		return Manual, nil
+	default:
+		return 0, fmt.Errorf("monitor: unknown mode %q (auto | manual)", s)
+	}
+}
+
+// Defaults applied by Definition.normalize.
+const (
+	DefaultSampleSize = 900
+	DefaultAlpha      = 0.05
+	DefaultDebounce   = 250 * time.Millisecond
+	DefaultHistory    = 64
+	// MaxHistory bounds the per-monitor history ring so a
+	// client-supplied capacity cannot pin unbounded memory.
+	MaxHistory = 4096
+)
+
+// Definition is one standing TESC query. The zero values of the
+// optional fields select the paper's defaults (n = 900, α = 0.05).
+type Definition struct {
+	// ID is the registry key, unique per graph; Manager.Create assigns
+	// one when empty.
+	ID string
+	// A and B name the monitored event pair.
+	A, B string
+	// H is the vicinity level (required, ≥ 1).
+	H int
+	// SampleSize is the reference sample size n (default 900).
+	SampleSize int
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+	// Alternative selects the tested direction (default two-sided).
+	Alternative stats.Alternative
+	// Seed drives the reference sampling deterministically; the same
+	// seed at the same epoch always reproduces the same result, which
+	// is what makes incremental-vs-from-scratch comparable at all.
+	Seed uint64
+	// Mode selects automatic (debounced) or manual re-evaluation.
+	Mode Mode
+	// Debounce is the coalescing window of Auto mode: the re-screen
+	// runs this long after the first unprocessed delta, folding every
+	// later delta in the window into the same run (default 250ms).
+	Debounce time.Duration
+	// HistoryCap bounds the history ring (default 64, max 4096).
+	HistoryCap int
+}
+
+// Normalize validates the definition and fills defaults in place.
+func (d *Definition) Normalize() error {
+	if d.A == "" || d.B == "" {
+		return fmt.Errorf("monitor: both event names are required")
+	}
+	if d.A == d.B {
+		return fmt.Errorf("monitor: a standing query needs two distinct events, got %q twice", d.A)
+	}
+	if d.H < 1 {
+		return fmt.Errorf("monitor: vicinity level must be >= 1, got %d", d.H)
+	}
+	if d.SampleSize == 0 {
+		d.SampleSize = DefaultSampleSize
+	}
+	if d.SampleSize < 2 {
+		return fmt.Errorf("monitor: sample size must be >= 2, got %d", d.SampleSize)
+	}
+	if d.Alpha == 0 {
+		d.Alpha = DefaultAlpha
+	}
+	if d.Alpha <= 0 || d.Alpha >= 1 {
+		return fmt.Errorf("monitor: alpha must be in (0,1), got %g", d.Alpha)
+	}
+	if d.Debounce == 0 {
+		d.Debounce = DefaultDebounce
+	}
+	if d.Debounce < 0 {
+		return fmt.Errorf("monitor: debounce must be >= 0, got %v", d.Debounce)
+	}
+	if d.HistoryCap == 0 {
+		d.HistoryCap = DefaultHistory
+	}
+	if d.HistoryCap < 1 || d.HistoryCap > MaxHistory {
+		return fmt.Errorf("monitor: history capacity must be in [1,%d], got %d", MaxHistory, d.HistoryCap)
+	}
+	return nil
+}
+
+// Sample is one completed (re-)screen of a standing query — a history
+// ring entry.
+type Sample struct {
+	// Epoch is the snapshot epoch the whole run was bound to.
+	Epoch uint64
+	// At is the completion time.
+	At time.Time
+	// Batches counts the coalesced delta batches this run folded; 0
+	// marks the registration-time baseline run.
+	Batches int
+	// Tau, Z, P, AdjP and Significant are the test outcome (AdjP == P
+	// for a single standing pair; the field keeps parity with sweep
+	// results). Skipped is non-empty when the pair could not be tested
+	// at this epoch (e.g. an event lost all its occurrences).
+	Tau, Z, P, AdjP float64
+	Significant     bool
+	Skipped         string
+	// Reused counts reference-node density evaluations served from the
+	// retained cache; Recomputed the h-hop traversals actually paid.
+	// Reused / (Reused+Recomputed) is the incremental win the delta's
+	// locality bought.
+	Reused     int64
+	Recomputed int64
+	// ElapsedMS is the wall time of the re-screen.
+	ElapsedMS float64
+}
+
+// State is the persistent image of a monitor: its definition plus the
+// history ring (oldest first). The density cache is deliberately not
+// part of it — it is rebuilt lazily after a restore, trading one cold
+// re-screen for not serializing O(|V|) scratch.
+type State struct {
+	Def     Definition
+	History []Sample
+}
+
+// SnapshotFunc yields the monitored graph's current consistent
+// snapshot: graph, frozen event store, and the epoch stamping both.
+// Successive calls must never observe epochs going backwards.
+type SnapshotFunc func() (g *graph.Graph, store *events.Store, epoch uint64)
+
+// pendingDelta is one queued invalidation: the dirty node set of a
+// mutation, tagged with the epoch the mutation produces. Deltas are
+// queued before their snapshot is published (the serving tier notifies
+// inside the serialized mutation path), so a drain only consumes
+// entries whose epoch the bound snapshot has caught up to — otherwise
+// a re-screen could consume an invalidation whose mutation it cannot
+// see yet and leave the cache silently wrong for the next epoch.
+type pendingDelta struct {
+	epoch uint64
+	dirty []graph.NodeID
+	all   bool // invalidate everything (fallback when no dirty set is known)
+	// batches is the number of mutation batches this entry represents:
+	// 1 for a normal notification, 0 for the synthetic catch-all queued
+	// at registration (see Manager.add), N for a re-queued drain a
+	// stale epoch pushed back.
+	batches int
+}
+
+// Monitor is one registered standing query. All methods are safe for
+// concurrent use.
+type Monitor struct {
+	def   Definition
+	graph string
+	snap  SnapshotFunc
+	mgr   *Manager
+
+	// runMu serializes re-screens; the drain loop under it is the only
+	// code that touches the memo, so cache invalidation never races an
+	// in-flight evaluation.
+	runMu sync.Mutex
+	memo  *screen.SharedMemo
+	// engines are the retained BFS engines of this monitor, rebound to
+	// each new graph snapshot before a re-screen: the O(|V|) scratch
+	// (mark arrays, frontiers) is allocated once per monitor, not once
+	// per mutation. Guarded by runMu.
+	engines []*graph.BFS
+
+	mu      sync.Mutex // guards the fields below
+	pending []pendingDelta
+	batches int // delta batches queued since the last drain
+	timer   *time.Timer
+	closed  bool
+	history []Sample
+}
+
+// Def returns the monitor's definition.
+func (m *Monitor) Def() Definition { return m.def }
+
+// GraphName returns the registry name of the monitored graph.
+func (m *Monitor) GraphName() string { return m.graph }
+
+// History returns a copy of the history ring, oldest first.
+func (m *Monitor) History() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.history...)
+}
+
+// Last returns the most recent sample, or false when none exists yet.
+func (m *Monitor) Last() (Sample, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.history) == 0 {
+		return Sample{}, false
+	}
+	return m.history[len(m.history)-1], true
+}
+
+// Pending returns the number of delta batches queued but not yet
+// folded into a re-screen.
+func (m *Monitor) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batches
+}
+
+// State snapshots the monitor for persistence.
+func (m *Monitor) State() State {
+	return State{Def: m.def, History: m.History()}
+}
+
+// notify queues a delta and, in Auto mode, arms the debounce timer.
+func (m *Monitor) notify(d pendingDelta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.pending = append(m.pending, d)
+	m.batches += d.batches
+	m.armLocked()
+}
+
+// armLocked starts the debounce timer when Auto mode needs one.
+func (m *Monitor) armLocked() {
+	if m.def.Mode != Auto || m.timer != nil || m.closed || len(m.pending) == 0 {
+		return
+	}
+	m.timer = time.AfterFunc(m.def.Debounce, func() {
+		_, _, _ = m.run(false)
+	})
+}
+
+// Refresh synchronously drains pending deltas and re-screens. Without
+// force it is a no-op (ok == false) when nothing is pending; with
+// force it re-screens at the current epoch regardless. It returns the
+// last recorded sample when a run happened.
+func (m *Monitor) Refresh(force bool) (Sample, bool, error) {
+	return m.run(force)
+}
+
+// run is the drain loop: bind the current snapshot, consume every
+// queued delta the snapshot can see, invalidate, re-screen pinned to
+// the snapshot's epoch, repeat if a mutation raced the run. Deltas
+// whose epoch is still ahead of the visible snapshot stay queued and
+// re-arm the timer.
+func (m *Monitor) run(force bool) (Sample, bool, error) {
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+
+	// Cap the stale-retry loop: under mutation churn faster than a
+	// re-screen, retrying forever would hold runMu and hang synchronous
+	// refreshes. Past the cap the drained work is re-queued, the timer
+	// re-arms (Auto), and the caller returns — the monitor catches up
+	// once the churn relents, it never livelocks.
+	const maxStaleRetries = 8
+	staleRetries := 0
+
+	var last Sample
+	ran := false
+	for {
+		g, store, epoch := m.snap()
+
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return last, ran, nil
+		}
+		var keep []pendingDelta
+		var dirty []graph.NodeID
+		drainedAll := false
+		drained, batches, kept := 0, 0, 0
+		for _, d := range m.pending {
+			if d.epoch > epoch {
+				keep = append(keep, d)
+				kept += d.batches
+				continue
+			}
+			drained++
+			batches += d.batches
+			if d.all {
+				drainedAll = true
+			}
+			dirty = append(dirty, d.dirty...)
+		}
+		m.pending = keep
+		m.batches = kept
+		m.timer = nil
+		m.mu.Unlock()
+
+		if drained == 0 && !(force && !ran) {
+			break
+		}
+		if drainedAll {
+			m.memo.Reset()
+		} else if len(dirty) > 0 {
+			m.memo.Invalidate(dirty)
+		}
+
+		sample, err := m.screenOnce(g, store, epoch, batches)
+		if errors.Is(err, screen.ErrStaleEpoch) {
+			// A mutation published a newer snapshot mid-run. Its delta
+			// was queued before publication, so the next iteration
+			// both sees the new epoch and drains its invalidation.
+			// Whatever this drain consumed goes back in the queue so
+			// the retry's history entry reports it (and a consumed
+			// catch-all is never lost).
+			if drained > 0 {
+				m.mu.Lock()
+				m.pending = append(m.pending, pendingDelta{epoch: epoch, dirty: dirty, all: drainedAll, batches: batches})
+				m.batches += batches
+				m.mu.Unlock()
+			}
+			staleRetries++
+			if staleRetries > maxStaleRetries {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			return last, ran, err
+		}
+		last = sample
+		ran = true
+		m.record(sample)
+	}
+
+	// Deltas bound to a not-yet-visible snapshot stay queued; make
+	// sure a timer exists to come back for them.
+	m.mu.Lock()
+	m.armLocked()
+	m.mu.Unlock()
+	return last, ran, nil
+}
+
+// screenOnce runs one epoch-pinned single-pair sweep against the
+// retained density cache.
+func (m *Monitor) screenOnce(g *graph.Graph, store *events.Store, epoch uint64, batches int) (Sample, error) {
+	cfg := screen.Config{
+		H:           m.def.H,
+		SampleSize:  m.def.SampleSize,
+		Alpha:       m.def.Alpha,
+		Alternative: m.def.Alternative,
+		Seed:        m.def.Seed,
+		Memo:        m.memo,
+		Epoch:       epoch,
+		CurrentEpoch: func() uint64 {
+			_, _, e := m.snap()
+			return e
+		},
+	}
+	// Hand the run this monitor's retained engines, rebound to the
+	// current snapshot (a single-pair run uses one for the sampler and
+	// one for the memo evaluator). Engines that cannot rebind (node
+	// count changed — impossible under live mutation, possible across
+	// exotic restores) are dropped and reallocated.
+	if m.engines == nil {
+		m.engines = []*graph.BFS{graph.NewBFS(g), graph.NewBFS(g)}
+	}
+	pool := graph.NewEnginePool(g)
+	kept := m.engines[:0]
+	for _, eng := range m.engines {
+		if eng.Rebind(g) == nil {
+			pool.Put(eng)
+			kept = append(kept, eng)
+		}
+	}
+	m.engines = kept
+	cfg.Engines = pool
+	start := time.Now()
+	res, err := screen.Run(g, store, [][2]string{{m.def.A, m.def.B}}, cfg)
+	if err != nil {
+		return Sample{}, err
+	}
+	p := res.Pairs[0]
+	sample := Sample{
+		Epoch:       epoch,
+		At:          time.Now(),
+		Batches:     batches,
+		Tau:         p.Tau,
+		Z:           p.Z,
+		P:           p.P,
+		AdjP:        p.AdjP,
+		Significant: p.Significant,
+		Skipped:     p.Skipped,
+		Reused:      res.MemoHits,
+		Recomputed:  res.BFSRuns,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if m.mgr != nil {
+		if batches > 0 {
+			m.mgr.reruns.Add(1)
+		}
+		m.mgr.nodesReused.Add(res.MemoHits)
+		m.mgr.nodesRecomputed.Add(res.BFSRuns)
+	}
+	return sample, nil
+}
+
+// record appends to the history ring, evicting the oldest entry past
+// capacity.
+func (m *Monitor) record(s Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.history) >= m.def.HistoryCap {
+		n := copy(m.history, m.history[len(m.history)-m.def.HistoryCap+1:])
+		m.history = m.history[:n]
+	}
+	m.history = append(m.history, s)
+}
+
+// close marks the monitor dead and stops its timer. Idempotent.
+func (m *Monitor) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.pending = nil
+	m.batches = 0
+	if m.timer != nil {
+		m.timer.Stop()
+		m.timer = nil
+	}
+}
+
+// sortSamples orders restored history by epoch then time, defensively:
+// persisted state is already ordered, but the ring invariant (oldest
+// first) is cheap to re-establish and load-bearing for Last.
+func sortSamples(h []Sample) {
+	sort.SliceStable(h, func(i, j int) bool { return h[i].Epoch < h[j].Epoch })
+}

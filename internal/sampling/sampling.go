@@ -141,6 +141,25 @@ func (u *UniformNoReplace) Next() (int, bool) {
 // Remaining returns how many draws are left.
 func (u *UniformNoReplace) Remaining() int { return len(u.idx) - u.next }
 
+// SampleKInPlace returns k distinct elements chosen uniformly from
+// population (fewer when the population is smaller) via a partial
+// Fisher–Yates shuffle: the selection lands in the slice's prefix,
+// which is returned without copying. The input's element ORDER is
+// mutated (contents are only permuted), so it suits scratch buffers —
+// the Batch BFS sampler runs it directly on its traversal engine's
+// visit buffer, paying O(k) random draws instead of the O(|population|)
+// a non-mutating reservoir costs on vicinity-scale populations.
+func SampleKInPlace[T any](population []T, k int, rng *rand.Rand) []T {
+	if k > len(population) {
+		k = len(population)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.IntN(len(population)-i)
+		population[i], population[j] = population[j], population[i]
+	}
+	return population[:k]
+}
+
 // SampleK returns k distinct elements chosen uniformly from population
 // (fewer when the population is smaller), in random order, without
 // mutating the input.

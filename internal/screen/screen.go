@@ -12,6 +12,7 @@
 package screen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"runtime"
@@ -24,6 +25,15 @@ import (
 	"tesc/internal/graph"
 	"tesc/internal/stats"
 )
+
+// ErrStaleEpoch reports that the snapshot a sweep was pinned to was
+// superseded while the sweep ran: Config.CurrentEpoch no longer
+// returns Config.Epoch. The partially computed sweep is discarded —
+// some pairs would have been tested against the old version and some
+// against states derived after the mutation, a mixed view no caller
+// should ever see silently. Callers re-bind a fresh snapshot and rerun
+// (the monitor scheduler's drain loop does exactly that).
+var ErrStaleEpoch = errors.New("screen: bound snapshot epoch advanced mid-sweep")
 
 // Correction selects the multiple-testing adjustment.
 type Correction int
@@ -78,6 +88,23 @@ type Config struct {
 	// concurrent queries share warm O(|V|) scratch (tescd passes its
 	// per-graph-version pool).
 	Engines *graph.EnginePool
+	// Memo, when non-nil (and NoMemo unset), replaces the per-run
+	// density memo with a caller-owned SharedMemo that persists across
+	// runs: entries published by earlier sweeps are served instead of
+	// re-traversed, provided the caller honored the invalidation
+	// contract (see SharedMemo). Every event named by the pair list
+	// must be in the memo's vocabulary and the memo's node universe
+	// must match g. Result.MemoHits counts only this run's hits.
+	Memo *SharedMemo
+	// Epoch and CurrentEpoch, when CurrentEpoch is non-nil, pin the
+	// sweep to one snapshot version: Run re-validates before testing
+	// each pair and once more after the last pair, and fails with
+	// ErrStaleEpoch as soon as CurrentEpoch() != Epoch — a mutation
+	// landed mid-sweep and the caller's (graph, store, memo) view can
+	// no longer be assumed internally consistent. Leave CurrentEpoch
+	// nil when g and store are immutable for the sweep's lifetime.
+	Epoch        uint64
+	CurrentEpoch func() uint64
 }
 
 // PairResult is one screened pair. Results are ordered by adjusted
@@ -149,13 +176,30 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 		workers = len(pairs)
 	}
 
+	stale := func() bool { return cfg.CurrentEpoch != nil && cfg.CurrentEpoch() != cfg.Epoch }
+	if stale() {
+		return Result{}, ErrStaleEpoch
+	}
+
 	// The cross-pair density memo needs the event vocabulary of the
 	// sweep as an indexed set: collect the distinct event names of the
-	// pair list (sorted for determinism) and their occurrence sets.
+	// pair list (sorted for determinism) and their occurrence sets. A
+	// caller-owned SharedMemo supplies its own (fixed) vocabulary
+	// instead, so its cached count vectors keep their layout across
+	// runs.
 	var memo *densityMemo
 	var mem *core.EventMembership
 	eventIdx := make(map[string]int)
-	if !cfg.NoMemo {
+	switch {
+	case cfg.NoMemo:
+	case cfg.Memo != nil:
+		m, err := cfg.Memo.bind(g.NumNodes(), store, pairs, eventIdx)
+		if err != nil {
+			return Result{}, err
+		}
+		mem = m
+		memo = cfg.Memo.memo
+	default:
 		var names []string
 		for _, p := range pairs {
 			for _, name := range []string{p[0], p[1]} {
@@ -176,6 +220,10 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 			memo = newDensityMemo(g.NumNodes(), len(names))
 		}
 	}
+	var hitsBefore int64
+	if memo != nil {
+		hitsBefore = memo.memoHits.Load()
+	}
 
 	results := make([]PairResult, len(pairs))
 	var wg sync.WaitGroup
@@ -186,45 +234,68 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	// instead of a feeder goroutine pushing indexes down a channel.
 	var completed, nextPair atomic.Int64
 	var bfsRuns atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sampler := &core.BatchBFSSampler{Engines: cfg.Engines}
-			var src *memoSource
-			if memo != nil {
-				var bfs *graph.BFS
-				if cfg.Engines != nil && cfg.Engines.Graph() == g {
-					bfs = cfg.Engines.Get()
-					defer cfg.Engines.Put(bfs)
-				}
-				multi, err := core.NewMultiEvaluator(g, mem, cfg.H, bfs)
-				if err == nil {
-					src = &memoSource{memo: memo, multi: multi, scratch: make([]int32, mem.NumEvents())}
-				}
+	var staleStop atomic.Bool
+	worker := func() {
+		sampler := &core.BatchBFSSampler{Engines: cfg.Engines}
+		var src *memoSource
+		if memo != nil {
+			var bfs *graph.BFS
+			if cfg.Engines != nil && cfg.Engines.Graph() == g {
+				bfs = cfg.Engines.Get()
+				defer cfg.Engines.Put(bfs)
 			}
-			var localBFS int64
-			for {
-				i := int(nextPair.Add(1)) - 1
-				if i >= len(pairs) {
-					break
-				}
-				var pairBFS int64
-				if src != nil {
-					src.retarget(eventIdx[pairs[i][0]], eventIdx[pairs[i][1]])
-					results[i], pairBFS = screenOne(g, store, pairs[i], cfg, sampler, src)
-				} else {
-					results[i], pairBFS = screenOne(g, store, pairs[i], cfg, sampler, nil)
-				}
-				localBFS += pairBFS
-				if cfg.Progress != nil {
-					cfg.Progress(int(completed.Add(1)), len(pairs))
-				}
+			multi, err := core.NewMultiEvaluator(g, mem, cfg.H, bfs)
+			if err == nil {
+				src = &memoSource{memo: memo, multi: multi, scratch: make([]int32, mem.NumEvents()), shared: cfg.Memo}
 			}
-			bfsRuns.Add(localBFS)
-		}()
+		}
+		var localBFS int64
+		for {
+			i := int(nextPair.Add(1)) - 1
+			if i >= len(pairs) {
+				break
+			}
+			// Re-validate the pinned epoch before spending BFS work
+			// on this pair; a stale sweep is discarded whole.
+			if stale() {
+				staleStop.Store(true)
+				break
+			}
+			var pairBFS int64
+			if src != nil {
+				src.retarget(eventIdx[pairs[i][0]], eventIdx[pairs[i][1]])
+				results[i], pairBFS = screenOne(g, store, pairs[i], cfg, sampler, src)
+			} else {
+				results[i], pairBFS = screenOne(g, store, pairs[i], cfg, sampler, nil)
+			}
+			localBFS += pairBFS
+			if cfg.Progress != nil {
+				cfg.Progress(int(completed.Add(1)), len(pairs))
+			}
+		}
+		bfsRuns.Add(localBFS)
 	}
-	wg.Wait()
+	if workers == 1 {
+		// A single-worker sweep (every standing-query re-screen is one)
+		// runs inline: no goroutine spawn, no scheduler handoff, and
+		// the caller's warm stack.
+		worker()
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	// The closing re-validation: a delta that landed after the last
+	// per-pair check still invalidates the sweep — some pairs may have
+	// sampled reference nodes from the superseded snapshot's view.
+	if staleStop.Load() || stale() {
+		return Result{}, ErrStaleEpoch
+	}
 
 	// correction over the tested pairs only
 	var tested []int
@@ -246,7 +317,9 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	}
 	out := Result{Pairs: results, Tested: len(tested), Skipped: len(results) - len(tested), BFSRuns: bfsRuns.Load()}
 	if memo != nil {
-		out.MemoHits = memo.memoHits.Load()
+		// Report this run's hits only: a SharedMemo's counter spans its
+		// whole lifetime across many runs.
+		out.MemoHits = memo.memoHits.Load() - hitsBefore
 	}
 	for k, i := range tested {
 		results[i].AdjP = adj[k]
@@ -293,7 +366,16 @@ func screenOne(g *graph.Graph, store *events.Store, pair [2]string, cfg Config, 
 		res.Skipped = "below occurrence threshold"
 		return res, 0
 	}
-	p, err := core.NewProblem(g, store.Set(pair[0]), store.Set(pair[1]))
+	var p *core.Problem
+	var err error
+	if ms, ok := densities.(*memoSource); ok && ms.shared != nil {
+		// Standing queries re-test the same pair across snapshots; the
+		// shared memo caches the pair's Va∪b so only real occurrence
+		// changes rebuild it.
+		p, err = ms.shared.problemFor(g, store, pair)
+	} else {
+		p, err = core.NewProblem(g, store.Set(pair[0]), store.Set(pair[1]))
+	}
 	if err != nil {
 		res.Skipped = err.Error()
 		return res, 0

@@ -1,0 +1,210 @@
+package screen
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tesc/internal/core"
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/graphgen"
+	"tesc/internal/vicinity"
+)
+
+// TestRunStaleEpoch is the regression test for the mixed-view hazard:
+// a mutator goroutine advances the live epoch mid-sweep, and Run must
+// come back with the typed ErrStaleEpoch instead of silently finishing
+// a sweep whose pairs straddle two snapshot versions.
+func TestRunStaleEpoch(t *testing.T) {
+	g, store := fixture(t)
+	var epoch atomic.Uint64
+	epoch.Store(1)
+
+	var once sync.Once
+	cfg := Config{
+		H:          1,
+		SampleSize: 50,
+		Seed:       3,
+		Workers:    2,
+		Epoch:      1,
+		CurrentEpoch: func() uint64 {
+			return epoch.Load()
+		},
+		Progress: func(done, total int) {
+			// The "mutator": as soon as the first pair lands, the live
+			// epoch moves past the bound snapshot while pairs are still
+			// in flight. The store happens-before Run's closing
+			// re-validation, so the sweep must come back stale.
+			once.Do(func() { epoch.Store(2) })
+		},
+	}
+	_, err := Run(g, store, AllPairs(store, 1), cfg)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("Run with a mid-sweep epoch advance returned %v, want ErrStaleEpoch", err)
+	}
+
+	// Already-stale at entry fails fast too.
+	cfg.Progress = nil
+	cfg.Epoch = 7
+	if _, err := Run(g, store, AllPairs(store, 1), cfg); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("Run bound to a dead epoch returned %v, want ErrStaleEpoch", err)
+	}
+
+	// And a quiet epoch completes normally.
+	cfg.Epoch = 2
+	res, err := Run(g, store, AllPairs(store, 1), cfg)
+	if err != nil {
+		t.Fatalf("Run at a stable epoch: %v", err)
+	}
+	if res.Tested == 0 {
+		t.Fatal("stable-epoch run tested nothing")
+	}
+}
+
+// TestSharedMemoValidation pins the bind-time contract: vocabulary and
+// universe mismatches fail loudly instead of serving garbage.
+func TestSharedMemoValidation(t *testing.T) {
+	g, store := fixture(t)
+	if _, err := NewSharedMemo(g.NumNodes(), nil); err == nil {
+		t.Fatal("empty vocabulary accepted")
+	}
+	if _, err := NewSharedMemo(g.NumNodes(), []string{"x", "x"}); err == nil {
+		t.Fatal("duplicate vocabulary accepted")
+	}
+	memo, err := NewSharedMemo(g.NumNodes(), []string{"signal-b", "signal-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := memo.Names(); got[0] != "signal-a" || got[1] != "signal-b" {
+		t.Fatalf("vocabulary not sorted: %v", got)
+	}
+	pairs := [][2]string{{"signal-a", "signal-b"}}
+	// Wrong universe.
+	smallG := graphgen.WattsStrogatz(10, 2, 0, rand.New(rand.NewPCG(1, 1)))
+	smallB := events.NewBuilder(10)
+	smallB.Add("signal-a", 0)
+	smallB.Add("signal-b", 1)
+	if _, err := Run(smallG, smallB.Build(), pairs, Config{H: 1, SampleSize: 5, Memo: memo}); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+	// Event outside the vocabulary.
+	if _, err := Run(g, store, [][2]string{{"signal-a", "noise-a"}}, Config{H: 1, SampleSize: 5, Memo: memo}); err == nil {
+		t.Fatal("foreign event accepted")
+	}
+}
+
+// TestSharedMemoReuseAcrossRuns: a second identical run over a
+// SharedMemo reuses every density evaluation (MemoHits == sample
+// size), stays bit-identical, and per-run MemoHits accounting does not
+// leak across runs.
+func TestSharedMemoReuseAcrossRuns(t *testing.T) {
+	g, store := fixture(t)
+	memo, err := NewSharedMemo(g.NumNodes(), []string{"signal-a", "signal-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]string{{"signal-a", "signal-b"}}
+	cfg := Config{H: 2, SampleSize: 120, Seed: 11, Memo: memo}
+
+	cold, err := Run(g, store, pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.MemoHits != 0 {
+		t.Fatalf("cold run reported %d memo hits", cold.MemoHits)
+	}
+	if cold.BFSRuns == 0 {
+		t.Fatal("cold run paid no traversals")
+	}
+	warm, err := Run(g, store, pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.BFSRuns != 0 {
+		t.Fatalf("warm run paid %d traversals, want 0 (full reuse)", warm.BFSRuns)
+	}
+	if warm.MemoHits != cold.BFSRuns {
+		t.Fatalf("warm run reused %d evaluations, want %d", warm.MemoHits, cold.BFSRuns)
+	}
+	if warm.Pairs[0] != cold.Pairs[0] {
+		t.Fatalf("warm result diverged:\n cold %+v\n warm %+v", cold.Pairs[0], warm.Pairs[0])
+	}
+	// Invalidate everything: the next run is cold again.
+	memo.Reset()
+	cold2, err := Run(g, store, pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold2.MemoHits != 0 || cold2.BFSRuns != cold.BFSRuns {
+		t.Fatalf("post-reset run: hits=%d bfs=%d, want 0/%d", cold2.MemoHits, cold2.BFSRuns, cold.BFSRuns)
+	}
+}
+
+// TestSharedMemoEntriesMatchFresh is the per-node density half of the
+// differential acceptance criterion: across seeded edge-mutation
+// batches with dirty-set invalidation, every published cache entry
+// (count vector and vicinity size) equals a fresh evaluation on the
+// current graph — not just the aggregated statistics.
+func TestSharedMemoEntriesMatchFresh(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	g := graphgen.WattsStrogatz(300, 2, 0.1, rng)
+	b := events.NewBuilder(g.NumNodes())
+	for i := 0; i < 30; i++ {
+		b.Add("pair-a", graph.NodeID(rng.IntN(g.NumNodes())))
+		b.Add("pair-b", graph.NodeID(rng.IntN(g.NumNodes())))
+	}
+	store := b.Build()
+	const h = 2
+	memo, err := NewSharedMemo(g.NumNodes(), []string{"pair-a", "pair-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]string{{"pair-a", "pair-b"}}
+	stream := graphgen.NewFlipStream(g, 0.5, rng)
+	for batch := 0; batch < 40; batch++ {
+		if _, err := Run(g, store, pairs, Config{H: h, SampleSize: 60, Seed: 5, Memo: memo}); err != nil {
+			t.Fatal(err)
+		}
+		// Verify every published entry against a fresh evaluator.
+		sets := []*graph.NodeSet{store.Set("pair-a"), store.Set("pair-b")}
+		mem, err := core.NewEventMembership(g.NumNodes(), sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := core.NewMultiEvaluator(g, mem, h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := make([]int32, 2)
+		for v := 0; v < g.NumNodes(); v++ {
+			st := memo.memo.states[v].Load()
+			if st != 2 {
+				continue
+			}
+			size := multi.Eval(graph.NodeID(v), fresh)
+			lo := int64(v) * 2
+			if memo.memo.sizes[v] != int32(size) ||
+				memo.memo.counts[lo] != fresh[0] || memo.memo.counts[lo+1] != fresh[1] {
+				t.Fatalf("batch %d node %d: cached (size=%d counts=%v) != fresh (size=%d counts=%v)",
+					batch, v, memo.memo.sizes[v], memo.memo.counts[lo:lo+2], size, fresh)
+			}
+		}
+		// Mutate and invalidate via the locality dirty set.
+		changes := stream.Take(1 + rng.IntN(4))
+		d := graph.NewDelta(g)
+		applied, err := d.Apply(changes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newG := d.Compact()
+		dirty, err := vicinity.DirtySet(g, newG, applied, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo.Invalidate(dirty)
+		g = newG
+	}
+}

@@ -225,8 +225,12 @@ func (c *IndexCache) IndexesFor(e *GraphEntry, gv uint64) []*tesc.VicinityIndex 
 // mutation path with the entry's mutations serialized. In-flight
 // builds are left behind on the old version; a later Get at the new
 // version replaces them. It returns the number of migrated indexes and
-// the total index entries recomputed across them.
-func (c *IndexCache) Refresh(e *GraphEntry, old, next Snapshot, applied []tesc.EdgeChange, workers int) (migrated, nodesRecomputed int) {
+// the total index entries recomputed across them, plus the
+// flipped-vicinity node set of the deepest migrated index (and its
+// level): the dirty ball the repair already had to compute, surfaced
+// so the monitor scheduler can invalidate standing-query density
+// caches without re-walking it. dirty is nil when nothing migrated.
+func (c *IndexCache) Refresh(e *GraphEntry, old, next Snapshot, applied []tesc.EdgeChange, workers int) (migrated, nodesRecomputed int, dirty []int, dirtyLevel int) {
 	c.mu.Lock()
 	var stale []*cacheEntry
 	for key, ce := range c.entries {
@@ -238,7 +242,11 @@ func (c *IndexCache) Refresh(e *GraphEntry, old, next Snapshot, applied []tesc.E
 
 	for _, ce := range stale {
 		clone := ce.idx.Clone()
-		n, err := clone.ApplyDelta(next.Graph, applied, workers)
+		d, err := clone.ApplyDeltaDirty(next.Graph, applied, workers)
+		n := len(d)
+		if err == nil && ce.key.MaxLevel > dirtyLevel {
+			dirty, dirtyLevel = d, ce.key.MaxLevel
+		}
 		fresh := &cacheEntry{
 			key:   ce.key,
 			gv:    next.GraphVersion,
@@ -264,7 +272,7 @@ func (c *IndexCache) Refresh(e *GraphEntry, old, next Snapshot, applied []tesc.E
 	}
 	c.refreshes.Add(int64(migrated))
 	c.recomputed.Add(int64(nodesRecomputed))
-	return migrated, nodesRecomputed
+	return migrated, nodesRecomputed, dirty, dirtyLevel
 }
 
 // EvictGraph drops every cached index of the graph entry (all levels).

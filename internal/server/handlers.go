@@ -316,6 +316,7 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.EvictGraph(e)
+	s.monitors.DropGraph(name)
 	s.removeSnapshot(name)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -334,7 +335,7 @@ func (s *Server) handleRegisterEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "events or remove must be non-empty")
 		return
 	}
-	if err := e.MutateEvents(req.Events, req.Remove); err != nil {
+	if err := e.MutateEventsNotify(req.Events, req.Remove, s.monitorEventNotify(e)); err != nil {
 		code := http.StatusBadRequest
 		if strings.HasPrefix(err.Error(), "unknown event") {
 			code = http.StatusNotFound
@@ -355,7 +356,7 @@ func (s *Server) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	event := r.PathValue("event")
-	if err := e.RemoveEvents(map[string][]int{event: nil}); err != nil {
+	if err := e.MutateEventsNotify(nil, map[string][]int{event: nil}, s.monitorEventNotify(e)); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -393,7 +394,16 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 
 	var migrated, recomputed int
 	snap, applied, err := e.MutateEdges(changes, func(old, next Snapshot, applied []tesc.EdgeChange) {
-		migrated, recomputed = s.cache.Refresh(e, old, next, applied, s.indexWorkers)
+		var dirty []int
+		var dirtyLevel int
+		migrated, recomputed, dirty, dirtyLevel = s.cache.Refresh(e, old, next, applied, s.indexWorkers)
+		// Standing queries are notified inside the serialized mutation
+		// path, before the successor snapshot publishes: no re-screen
+		// can bind the new epoch without its invalidation queued. The
+		// index repair's flipped-vicinity set rides along so the ball
+		// BFS is not paid twice.
+		s.monitors.NotifyEdgeDelta(e.Name(), old.Graph.Internal(), next.Graph.Internal(),
+			internalChanges(applied), next.Epoch, internalNodes(dirty), dirtyLevel)
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -633,5 +643,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"snapshot_loaded":        s.snapLoaded.Load(),
 		"bfs_runs":               s.bfsRuns.Load(),
 		"density_memo_hits":      s.memoHits.Load(),
+		"monitors_active":        s.monitors.Active(),
+		"monitor_reruns":         s.monitors.Reruns(),
+		"monitor_nodes_reused":   s.monitors.NodesReused(),
 	})
 }

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"tesc"
+	"tesc/internal/events"
+	"tesc/internal/graph"
+	"tesc/internal/monitor"
+	"tesc/internal/stats"
+)
+
+// ---- wire types -----------------------------------------------------
+
+type createMonitorRequest struct {
+	// ID optionally names the monitor; the server generates one when
+	// empty.
+	ID string `json:"id,omitempty"`
+	// A and B name the monitored (registered) event pair.
+	A string `json:"a"`
+	B string `json:"b"`
+	// The test parameters mirror the correlate request.
+	H          int     `json:"h"`
+	SampleSize int     `json:"sample_size,omitempty"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	Tail       string  `json:"tail,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	// Policy selects re-evaluation: "auto" (default; debounced
+	// re-screens as deltas land) or "manual" (accumulate invalidations,
+	// re-screen only on POST .../refresh).
+	Policy string `json:"policy,omitempty"`
+	// DebounceMS is the auto-mode coalescing window in milliseconds
+	// (default 250): a burst of B mutation batches inside the window
+	// triggers one re-screen, not B.
+	DebounceMS int `json:"debounce_ms,omitempty"`
+	// History bounds the per-monitor result ring (default 64).
+	History int `json:"history,omitempty"`
+}
+
+type monitorSampleView struct {
+	Epoch       uint64    `json:"epoch"`
+	At          time.Time `json:"at"`
+	Batches     int       `json:"batches"`
+	Tau         float64   `json:"tau"`
+	Z           float64   `json:"z"`
+	P           float64   `json:"p"`
+	Significant bool      `json:"significant"`
+	Skipped     string    `json:"skipped,omitempty"`
+	Reused      int64     `json:"nodes_reused"`
+	Recomputed  int64     `json:"nodes_recomputed"`
+	ElapsedMS   float64   `json:"elapsed_ms"`
+}
+
+type monitorView struct {
+	ID         string  `json:"id"`
+	Graph      string  `json:"graph"`
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	H          int     `json:"h"`
+	SampleSize int     `json:"sample_size"`
+	Alpha      float64 `json:"alpha"`
+	Tail       string  `json:"tail"`
+	Seed       uint64  `json:"seed"`
+	Policy     string  `json:"policy"`
+	DebounceMS int64   `json:"debounce_ms"`
+	HistoryCap int     `json:"history_cap"`
+	Pending    int     `json:"pending_batches"`
+	// Last is the most recent (re-)screen, when one exists.
+	Last *monitorSampleView `json:"last,omitempty"`
+}
+
+type monitorDetailView struct {
+	monitorView
+	History []monitorSampleView `json:"history"`
+}
+
+func sampleView(s monitor.Sample) monitorSampleView {
+	return monitorSampleView{
+		Epoch:       s.Epoch,
+		At:          s.At,
+		Batches:     s.Batches,
+		Tau:         s.Tau,
+		Z:           s.Z,
+		P:           s.P,
+		Significant: s.Significant,
+		Skipped:     s.Skipped,
+		Reused:      s.Reused,
+		Recomputed:  s.Recomputed,
+		ElapsedMS:   s.ElapsedMS,
+	}
+}
+
+func (s *Server) monitorInfo(m *monitor.Monitor) monitorView {
+	def := m.Def()
+	v := monitorView{
+		ID:         def.ID,
+		Graph:      m.GraphName(),
+		A:          def.A,
+		B:          def.B,
+		H:          def.H,
+		SampleSize: def.SampleSize,
+		Alpha:      def.Alpha,
+		Tail:       tailName(def.Alternative),
+		Seed:       def.Seed,
+		Policy:     def.Mode.String(),
+		DebounceMS: def.Debounce.Milliseconds(),
+		HistoryCap: def.HistoryCap,
+		Pending:    m.Pending(),
+	}
+	if last, ok := m.Last(); ok {
+		sv := sampleView(last)
+		v.Last = &sv
+	}
+	return v
+}
+
+func tailName(alt stats.Alternative) string {
+	switch alt {
+	case stats.Greater:
+		return "positive"
+	case stats.Less:
+		return "negative"
+	default:
+		return "both"
+	}
+}
+
+// parseTailAlt maps the wire tail names onto the statistic's
+// alternative hypothesis (the monitor layer works in stats terms).
+func parseTailAlt(s string) (stats.Alternative, error) {
+	switch s {
+	case "", "both":
+		return stats.TwoSided, nil
+	case "positive":
+		return stats.Greater, nil
+	case "negative":
+		return stats.Less, nil
+	default:
+		return 0, fmt.Errorf("unknown tail %q (both | positive | negative)", s)
+	}
+}
+
+// ---- mutation-path plumbing ----------------------------------------
+
+// entrySnapshotFunc adapts a registry entry to the monitor package's
+// snapshot source: one consistent (graph, store, epoch) triple per
+// call.
+func entrySnapshotFunc(e *GraphEntry) monitor.SnapshotFunc {
+	return func() (*graph.Graph, *events.Store, uint64) {
+		snap := e.Snapshot()
+		return snap.Graph.Internal(), snap.Store, snap.Epoch
+	}
+}
+
+// monitorEventNotify builds the pre-publication hook event mutations
+// hand to MutateEventsNotify.
+func (s *Server) monitorEventNotify(e *GraphEntry) func(changed map[string][]graph.NodeID, nextEpoch uint64) {
+	return func(changed map[string][]graph.NodeID, nextEpoch uint64) {
+		s.monitors.NotifyEventDelta(e.Name(), changed, nextEpoch)
+	}
+}
+
+// internalChanges converts public edge changes to the internal type.
+func internalChanges(changes []tesc.EdgeChange) []graph.EdgeChange {
+	out := make([]graph.EdgeChange, len(changes))
+	for i, c := range changes {
+		out[i] = graph.EdgeChange{U: graph.NodeID(c.U), V: graph.NodeID(c.V), Insert: c.Insert}
+	}
+	return out
+}
+
+// internalNodes converts public node IDs to the internal type,
+// preserving nil.
+func internalNodes(nodes []int) []graph.NodeID {
+	if nodes == nil {
+		return nil
+	}
+	out := make([]graph.NodeID, len(nodes))
+	for i, v := range nodes {
+		out[i] = graph.NodeID(v)
+	}
+	return out
+}
+
+// ---- handlers -------------------------------------------------------
+
+// handleCreateMonitor implements POST /v1/graphs/{name}/monitors: it
+// registers a standing query and runs its baseline screen
+// synchronously, so the 201 response already carries a result at the
+// current epoch.
+func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req createMonitorRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	alt, err := parseTailAlt(req.Tail)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode, err := monitor.ParseMode(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap := e.Snapshot()
+	for _, name := range []string{req.A, req.B} {
+		if name != "" && !snap.Store.Has(name) {
+			writeError(w, http.StatusNotFound, "unknown event %q", name)
+			return
+		}
+	}
+	def := monitor.Definition{
+		ID:          req.ID,
+		A:           req.A,
+		B:           req.B,
+		H:           req.H,
+		SampleSize:  req.SampleSize,
+		Alpha:       req.Alpha,
+		Alternative: alt,
+		Seed:        req.Seed,
+		Mode:        mode,
+		Debounce:    time.Duration(req.DebounceMS) * time.Millisecond,
+		HistoryCap:  req.History,
+	}
+	m, err := s.monitors.Create(e.Name(), def, entrySnapshotFunc(e))
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.markDirty(e.Name())
+	writeJSON(w, http.StatusCreated, s.monitorInfo(m))
+}
+
+// handleListMonitors implements GET /v1/graphs/{name}/monitors.
+func (s *Server) handleListMonitors(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	ms := s.monitors.List(e.Name())
+	out := make([]monitorView, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, s.monitorInfo(m))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// monitorByPath resolves {name}/{id} to a registered monitor.
+func (s *Server) monitorByPath(w http.ResponseWriter, r *http.Request) (*monitor.Monitor, *GraphEntry, bool) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return nil, nil, false
+	}
+	id := r.PathValue("id")
+	m, ok := s.monitors.Get(e.Name(), id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q has no monitor %q", e.Name(), id)
+		return nil, nil, false
+	}
+	return m, e, true
+}
+
+// handleGetMonitor implements GET /v1/graphs/{name}/monitors/{id}:
+// definition, pending-delta count, and the full history ring.
+func (s *Server) handleGetMonitor(w http.ResponseWriter, r *http.Request) {
+	m, _, ok := s.monitorByPath(w, r)
+	if !ok {
+		return
+	}
+	hist := m.History()
+	detail := monitorDetailView{monitorView: s.monitorInfo(m), History: make([]monitorSampleView, len(hist))}
+	for i, smp := range hist {
+		detail.History[i] = sampleView(smp)
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleDeleteMonitor implements DELETE /v1/graphs/{name}/monitors/{id}.
+func (s *Server) handleDeleteMonitor(w http.ResponseWriter, r *http.Request) {
+	m, e, ok := s.monitorByPath(w, r)
+	if !ok {
+		return
+	}
+	s.monitors.Delete(e.Name(), m.Def().ID)
+	s.markDirty(e.Name())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRefreshMonitor implements POST
+// /v1/graphs/{name}/monitors/{id}/refresh: a synchronous drain —
+// pending deltas are folded into one re-screen now. With ?force=1 the
+// monitor re-screens even when nothing is pending (clients of manual
+// monitors use it to re-evaluate on their own clock). Responds with
+// the monitor detail; 200 when a re-screen ran, 204-equivalent body
+// (ran=false) otherwise.
+func (s *Server) handleRefreshMonitor(w http.ResponseWriter, r *http.Request) {
+	m, e, ok := s.monitorByPath(w, r)
+	if !ok {
+		return
+	}
+	force := r.URL.Query().Get("force") == "1" || r.URL.Query().Get("force") == "true"
+	_, ran, err := m.Refresh(force)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if ran {
+		s.markDirty(e.Name())
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Ran bool `json:"ran"`
+		monitorView
+	}{Ran: ran, monitorView: s.monitorInfo(m)})
+}

@@ -125,6 +125,16 @@ func (s *Server) loadSnapshotFile(name, path string) (*GraphEntry, error) {
 	for _, idx := range snap.Indexes {
 		s.cache.Put(entry, cur, tesc.VicinityIndexFromInternal(idx))
 	}
+	// Standing queries come back with their history rings; the density
+	// caches refill on the first post-restore re-screen. A monitor that
+	// fails to restore (e.g. its events were persisted by a newer
+	// writer) is skipped with a log line, like a bad snapshot file —
+	// the graph must still serve.
+	for _, st := range snap.Monitors {
+		if _, err := s.monitors.Restore(name, st, entrySnapshotFunc(entry)); err != nil {
+			s.logf("snapshot %s: monitor %q skipped: %v", name, st.Def.ID, err)
+		}
+	}
 	s.snapLoaded.Add(1)
 	return entry, nil
 }
@@ -194,6 +204,7 @@ type checkpointInfo struct {
 	GraphVersion uint64 `json:"graph_version"`
 	Events       int    `json:"events"`
 	IndexLevels  []int  `json:"index_levels"`
+	Monitors     int    `json:"monitors"`
 }
 
 // Checkpoint writes the named graph's current snapshot — graph, event
@@ -231,6 +242,7 @@ func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
 		indexes = append(indexes, idx.Internal())
 		levels = append(levels, idx.MaxLevel())
 	}
+	monitors := s.monitors.States(name)
 	path := p.snapshotPath(name)
 	err := snapshot.SaveFile(path, &snapshot.Snapshot{
 		Graph:        cur.Graph.Internal(),
@@ -238,6 +250,7 @@ func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
 		Indexes:      indexes,
 		Epoch:        cur.Epoch,
 		GraphVersion: cur.GraphVersion,
+		Monitors:     monitors,
 	})
 	if err != nil {
 		return checkpointInfo{}, err
@@ -250,6 +263,7 @@ func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
 		GraphVersion: cur.GraphVersion,
 		Events:       cur.Store.NumEvents(),
 		IndexLevels:  levels,
+		Monitors:     len(monitors),
 	}
 	if st, err := os.Stat(path); err == nil {
 		info.Bytes = st.Size()

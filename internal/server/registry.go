@@ -161,7 +161,7 @@ func (e *GraphEntry) MutateEdges(changes []tesc.EdgeChange, refresh func(old, ne
 // Repeated registrations of the same occurrence accumulate intensity,
 // matching events.Builder semantics.
 func (e *GraphEntry) AddEvents(ev map[string][]int) error {
-	return e.mutateEvents(ev, nil)
+	return e.mutateEvents(ev, nil, nil)
 }
 
 // RemoveEvents deletes event occurrences: each name maps to the node
@@ -169,16 +169,29 @@ func (e *GraphEntry) AddEvents(ev map[string][]int) error {
 // batch is validated against the current snapshot first and rejected
 // whole on an unknown event or absent occurrence.
 func (e *GraphEntry) RemoveEvents(ev map[string][]int) error {
-	return e.mutateEvents(nil, ev)
+	return e.mutateEvents(nil, ev, nil)
 }
 
 // MutateEvents applies additions and removals as one mutation (one
 // epoch bump, one published snapshot).
 func (e *GraphEntry) MutateEvents(add, remove map[string][]int) error {
-	return e.mutateEvents(add, remove)
+	return e.mutateEvents(add, remove, nil)
 }
 
-func (e *GraphEntry) mutateEvents(add, remove map[string][]int) error {
+// MutateEventsNotify is MutateEvents with a pre-publication hook: when
+// the batch will take effect, notify runs — with mutations still
+// serialized, before any reader can observe the successor snapshot —
+// receiving the per-event occurrence nodes the batch touches and the
+// epoch the mutation publishes. The monitor scheduler queues its
+// density-cache invalidations there, so a standing query can never
+// bind the new epoch without its invalidation already being queued
+// (the same ordering the edge path gets from MutateEdges' refresh
+// callback).
+func (e *GraphEntry) MutateEventsNotify(add, remove map[string][]int, notify func(changed map[string][]graph.NodeID, nextEpoch uint64)) error {
+	return e.mutateEvents(add, remove, notify)
+}
+
+func (e *GraphEntry) mutateEvents(add, remove map[string][]int, notify func(changed map[string][]graph.NodeID, nextEpoch uint64)) error {
 	e.mutMu.Lock()
 	defer e.mutMu.Unlock()
 	old := e.Snapshot()
@@ -219,6 +232,28 @@ func (e *GraphEntry) mutateEvents(add, remove map[string][]int) error {
 				return fmt.Errorf("event %q has no occurrence on node %d", name, v)
 			}
 		}
+	}
+	if notify != nil {
+		// The batch is fully validated and will apply; gather the
+		// occurrence nodes it touches per event (a whole-event removal
+		// touches every former occurrence) and notify before taking
+		// e.mu — publication is still ahead of us.
+		changed := make(map[string][]graph.NodeID, len(add)+len(remove))
+		for name, nodes := range add {
+			for _, v := range nodes {
+				changed[name] = append(changed[name], graph.NodeID(v))
+			}
+		}
+		for name, nodes := range remove {
+			if len(nodes) == 0 {
+				changed[name] = append(changed[name], old.Store.Occurrences(name)...)
+				continue
+			}
+			for _, v := range nodes {
+				changed[name] = append(changed[name], graph.NodeID(v))
+			}
+		}
+		notify(changed, old.Epoch+1)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"tesc/internal/monitor"
 )
 
 // Config parameterizes the service.
@@ -40,6 +42,7 @@ type Server struct {
 	registry     *Registry
 	cache        *IndexCache
 	jobs         *Jobs
+	monitors     *monitor.Manager
 	indexWorkers int
 	logger       *log.Logger
 	mux          *http.ServeMux
@@ -72,6 +75,7 @@ func New(cfg Config) *Server {
 		registry:     NewRegistry(),
 		cache:        NewIndexCache(cfg.IndexCacheCapacity),
 		jobs:         NewJobs(),
+		monitors:     monitor.NewManager(),
 		indexWorkers: cfg.IndexWorkers,
 		logger:       cfg.Log,
 		mux:          http.NewServeMux(),
@@ -93,10 +97,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.handleCorrelate)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.handleScreen)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors", s.handleCreateMonitor)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors", s.handleListMonitors)
+	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors/{id}", s.handleGetMonitor)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}/monitors/{id}", s.handleDeleteMonitor)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors/{id}/refresh", s.handleRefreshMonitor)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
+
+// Monitors exposes the standing-query manager (for tests and tooling).
+func (s *Server) Monitors() *monitor.Manager { return s.monitors }
 
 // Registry exposes the graph registry (for preloading at startup).
 func (s *Server) Registry() *Registry { return s.registry }

@@ -29,6 +29,11 @@
 //	       [intensities count×f64 when weighted]
 //	VIDX — max level u32, n u64, |V^h_v| columns level-major
 //	       maxLevel×n×u32 (repeatable, one section per cached index)
+//	MNTR — standing-query monitors: count u32, then per monitor the
+//	       definition (id/a/b strings, h, sample size, alpha,
+//	       alternative, seed, mode, debounce, history cap) and the
+//	       history ring (epoch, timestamp, batches, statistics,
+//	       reuse counters per sample)
 //
 // # Trust model
 //
@@ -60,9 +65,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"tesc/internal/events"
 	"tesc/internal/graph"
+	"tesc/internal/monitor"
+	"tesc/internal/stats"
 	"tesc/internal/vicinity"
 )
 
@@ -76,7 +84,11 @@ var (
 	tagGraph = [4]byte{'G', 'R', 'P', 'H'}
 	tagEvent = [4]byte{'E', 'V', 'T', 'S'}
 	tagVidx  = [4]byte{'V', 'I', 'D', 'X'}
+	tagMntr  = [4]byte{'M', 'N', 'T', 'R'}
 )
+
+// MaxMonitors bounds the monitor count an MNTR section may declare.
+const MaxMonitors = 4096
 
 // MaxVicinityLevels bounds VIDX depth, enforced symmetrically by Save
 // and Load so a writer can never produce a file its own reader
@@ -103,6 +115,10 @@ type Snapshot struct {
 	// present.
 	Epoch        uint64
 	GraphVersion uint64
+	// Monitors holds the graph's standing queries (definitions plus
+	// history rings), so a warm start restores continuous monitoring,
+	// not just the data it runs over. May be empty (no MNTR section).
+	Monitors []monitor.State
 }
 
 // SectionInfo describes one section of a snapshot file.
@@ -158,6 +174,52 @@ func Save(w io.Writer, s *Snapshot) error {
 		}
 		seenLevel[idx.MaxLevel()] = true
 	}
+	if len(s.Monitors) > MaxMonitors {
+		return fmt.Errorf("snapshot: %d monitors exceed the format limit %d", len(s.Monitors), MaxMonitors)
+	}
+	// The encoded definitions are the NORMALIZED ones: Normalize fills
+	// defaults in place, and encoding the raw input instead would let
+	// Save write a file its own Load rejects (e.g. HistoryCap 0 with a
+	// non-empty history ring) — the writer/reader symmetry every other
+	// section keeps.
+	monitors := make([]monitor.State, len(s.Monitors))
+	seenMonitor := make(map[string]bool, len(s.Monitors))
+	for i, st := range s.Monitors {
+		def := st.Def
+		if err := (&def).Normalize(); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if def.ID == "" {
+			return fmt.Errorf("snapshot: monitor without an ID")
+		}
+		if seenMonitor[def.ID] {
+			return fmt.Errorf("snapshot: duplicate monitor ID %q", def.ID)
+		}
+		seenMonitor[def.ID] = true
+		if def.H > MaxVicinityLevels {
+			return fmt.Errorf("snapshot: monitor %q level %d exceeds format limit %d", def.ID, def.H, MaxVicinityLevels)
+		}
+		if def.Alternative > stats.Less {
+			return fmt.Errorf("snapshot: monitor %q unknown alternative %d", def.ID, def.Alternative)
+		}
+		if def.Mode > monitor.Manual {
+			return fmt.Errorf("snapshot: monitor %q unknown mode %d", def.ID, def.Mode)
+		}
+		if len(st.History) > def.HistoryCap {
+			return fmt.Errorf("snapshot: monitor %q history %d exceeds its capacity %d", def.ID, len(st.History), def.HistoryCap)
+		}
+		for _, name := range []string{def.ID, def.A, def.B} {
+			if len(name) > math.MaxUint16 {
+				return fmt.Errorf("snapshot: monitor string of %d bytes exceeds the format's %d-byte limit", len(name), math.MaxUint16)
+			}
+		}
+		for _, smp := range st.History {
+			if len(smp.Skipped) > math.MaxUint16 {
+				return fmt.Errorf("snapshot: monitor %q skipped reason of %d bytes exceeds the format's %d-byte limit", def.ID, len(smp.Skipped), math.MaxUint16)
+			}
+		}
+		monitors[i] = monitor.State{Def: def, History: st.History}
+	}
 	epoch, gv := s.Epoch, s.GraphVersion
 	if epoch == 0 {
 		epoch = 1
@@ -169,6 +231,9 @@ func Save(w io.Writer, s *Snapshot) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	sections := 2 + len(s.Indexes) // META + GRPH + VIDX*
 	if s.Store != nil {
+		sections++
+	}
+	if len(s.Monitors) > 0 {
 		sections++
 	}
 	var hdr [16]byte
@@ -194,6 +259,11 @@ func Save(w io.Writer, s *Snapshot) error {
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i].MaxLevel() < idxs[j].MaxLevel() })
 	for _, idx := range idxs {
 		if err := writeSection(bw, tagVidx, encodeIndex(idx)); err != nil {
+			return err
+		}
+	}
+	if len(monitors) > 0 {
+		if err := writeSection(bw, tagMntr, encodeMonitors(monitors)); err != nil {
 			return err
 		}
 	}
@@ -271,6 +341,48 @@ func encodeEvents(s *events.Store) []byte {
 			for _, v := range occ {
 				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Intensity(name, v)))
 			}
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func encodeMonitors(monitors []monitor.State) []byte {
+	buf := make([]byte, 0, 1<<10)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(monitors)))
+	for _, st := range monitors {
+		def := st.Def
+		buf = appendString(buf, def.ID)
+		buf = appendString(buf, def.A)
+		buf = appendString(buf, def.B)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(def.H))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(def.SampleSize))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(def.Alpha))
+		buf = append(buf, byte(def.Alternative), byte(def.Mode))
+		buf = binary.LittleEndian.AppendUint64(buf, def.Seed)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(def.Debounce))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(def.HistoryCap))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.History)))
+		for _, smp := range st.History {
+			buf = binary.LittleEndian.AppendUint64(buf, smp.Epoch)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(smp.At.UnixNano()))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(smp.Batches))
+			for _, f := range [4]float64{smp.Tau, smp.Z, smp.P, smp.AdjP} {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+			var flags byte
+			if smp.Significant {
+				flags |= 1
+			}
+			buf = append(buf, flags)
+			buf = appendString(buf, smp.Skipped)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(smp.Reused))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(smp.Recomputed))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(smp.ElapsedMS))
 		}
 	}
 	return buf
@@ -391,6 +503,15 @@ func load(r io.Reader) (*Info, error) {
 			}
 			seenLevel[idx.MaxLevel()] = true
 			snap.Indexes = append(snap.Indexes, idx)
+		case tagMntr:
+			if snap.Monitors != nil {
+				return nil, fmt.Errorf("snapshot: duplicate MNTR section")
+			}
+			monitors, err := decodeMonitors(payload)
+			if err != nil {
+				return nil, err
+			}
+			snap.Monitors = monitors
 		default:
 			// Unknown section from a newer writer: CRC verified, payload
 			// skipped.
@@ -632,6 +753,187 @@ func decodeIndex(b []byte, g *graph.Graph) (*vicinity.Index, error) {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 	return idx, nil
+}
+
+func decodeMonitors(b []byte) ([]monitor.State, error) {
+	c := cursor{b: b, what: "MNTR"}
+	count, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count > MaxMonitors {
+		return nil, fmt.Errorf("snapshot: MNTR declares %d monitors, limit %d", count, MaxMonitors)
+	}
+	// Every monitor record is at least 44 bytes of fixed fields; a
+	// lying count fails before sizing anything.
+	if uint64(count)*44 > uint64(c.remaining()) {
+		return nil, fmt.Errorf("snapshot: MNTR declares %d monitors in %d remaining bytes", count, c.remaining())
+	}
+	readString := func(what string) (string, error) {
+		n, err := c.u16()
+		if err != nil {
+			return "", err
+		}
+		sb, err := c.bytes(int(n))
+		if err != nil {
+			return "", fmt.Errorf("snapshot: MNTR %s: %w", what, err)
+		}
+		return string(sb), nil
+	}
+	out := make([]monitor.State, 0, count)
+	seen := make(map[string]bool, count)
+	for i := uint32(0); i < count; i++ {
+		var def monitor.Definition
+		if def.ID, err = readString("id"); err != nil {
+			return nil, err
+		}
+		if def.A, err = readString("event a"); err != nil {
+			return nil, err
+		}
+		if def.B, err = readString("event b"); err != nil {
+			return nil, err
+		}
+		h, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		sample, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		alphaBits, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		alt, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		mode, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		seed, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		debounce, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		histCap, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		histLen, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		def.H = int(h)
+		def.SampleSize = int(sample)
+		def.Alpha = math.Float64frombits(alphaBits)
+		def.Alternative = stats.Alternative(alt)
+		def.Seed = seed
+		def.Mode = monitor.Mode(mode)
+		def.HistoryCap = int(histCap)
+		switch {
+		case def.ID == "":
+			return nil, fmt.Errorf("snapshot: MNTR monitor %d has no ID", i)
+		case seen[def.ID]:
+			return nil, fmt.Errorf("snapshot: MNTR duplicate monitor ID %q", def.ID)
+		case h > MaxVicinityLevels:
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q level %d exceeds limit %d", def.ID, h, MaxVicinityLevels)
+		case math.IsNaN(def.Alpha) || math.IsInf(def.Alpha, 0):
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q has non-finite alpha", def.ID)
+		case alt > uint8(stats.Less):
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q unknown alternative %d", def.ID, alt)
+		case mode > uint8(monitor.Manual):
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q unknown mode %d", def.ID, mode)
+		case debounce > math.MaxInt64:
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q debounce %d overflows", def.ID, debounce)
+		case histLen > histCap:
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q history %d exceeds its capacity %d", def.ID, histLen, histCap)
+		}
+		seen[def.ID] = true
+		def.Debounce = time.Duration(debounce)
+		if err := def.Normalize(); err != nil {
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q: %w", def.ID, err)
+		}
+		// Each history record is at least 77 bytes; check before sizing.
+		if uint64(histLen)*77 > uint64(c.remaining()) {
+			return nil, fmt.Errorf("snapshot: MNTR monitor %q declares %d samples in %d remaining bytes", def.ID, histLen, c.remaining())
+		}
+		st := monitor.State{Def: def}
+		prevEpoch := uint64(0)
+		for k := uint32(0); k < histLen; k++ {
+			var smp monitor.Sample
+			epoch, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			atNanos, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			batches, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			var stat [4]float64
+			for j := range stat {
+				bits, err := c.u64()
+				if err != nil {
+					return nil, err
+				}
+				stat[j] = math.Float64frombits(bits)
+			}
+			flags, err := c.u8()
+			if err != nil {
+				return nil, err
+			}
+			if flags&^byte(1) != 0 {
+				return nil, fmt.Errorf("snapshot: MNTR monitor %q sample %d unknown flag bits %#02x", def.ID, k, flags)
+			}
+			skipped, err := readString("skipped reason")
+			if err != nil {
+				return nil, err
+			}
+			reused, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			recomputed, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			elapsedBits, err := c.u64()
+			if err != nil {
+				return nil, err
+			}
+			if epoch < prevEpoch {
+				return nil, fmt.Errorf("snapshot: MNTR monitor %q history epochs not non-decreasing (%d after %d)", def.ID, epoch, prevEpoch)
+			}
+			prevEpoch = epoch
+			if reused > math.MaxInt64 || recomputed > math.MaxInt64 {
+				return nil, fmt.Errorf("snapshot: MNTR monitor %q sample %d reuse counters overflow", def.ID, k)
+			}
+			smp.Epoch = epoch
+			smp.At = time.Unix(0, int64(atNanos))
+			smp.Batches = int(batches)
+			smp.Tau, smp.Z, smp.P, smp.AdjP = stat[0], stat[1], stat[2], stat[3]
+			smp.Significant = flags&1 != 0
+			smp.Skipped = skipped
+			smp.Reused = int64(reused)
+			smp.Recomputed = int64(recomputed)
+			smp.ElapsedMS = math.Float64frombits(elapsedBits)
+			st.History = append(st.History, smp)
+		}
+		out = append(out, st)
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: MNTR has %d trailing bytes", c.remaining())
+	}
+	return out, nil
 }
 
 // cursor is a bounds-checked reader over a section payload.

@@ -11,8 +11,11 @@
 package stats
 
 import (
+	"cmp"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 )
 
 // TauResult carries every quantity of a Kendall rank-correlation test
@@ -80,9 +83,34 @@ func KendallNaive(x, y []float64) TauResult {
 	return r
 }
 
+// keyPair packs one paired observation as order-encoded uint64 keys
+// (floatKey), so Knight's (x, y) sort runs branch-free over radix
+// passes instead of paying a comparison per element pair — the sort
+// was the hottest loop of a Kendall evaluation at the paper's n = 900,
+// and a standing-query re-screen pays one Kendall per mutation batch.
+type keyPair struct{ kx, ky uint64 }
+
+// floatKey maps a float64 to a uint64 whose unsigned order equals the
+// float order, with -0 normalized to +0 so key equality coincides with
+// float equality. NaNs map to the extremes of the key space; like the
+// rest of the package, Kendall's output on NaN inputs is unspecified.
+func floatKey(f float64) uint64 {
+	if f == 0 {
+		f = 0 // collapse -0 onto +0: they compare equal as floats
+	}
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
 // Kendall computes the same TauResult as KendallNaive in O(n log n) using
 // Knight's algorithm: sort by (x, y), count pairwise ties from run
 // lengths, and count discordant pairs as y-inversions via merge sort.
+// The tie-group sizes Eq. 6 needs fall out of the same two sorts (in
+// the same ascending order TieSizes would produce, so the variance sums
+// are bit-identical), saving two further O(n log n) passes.
 func Kendall(x, y []float64) TauResult {
 	n := mustSameLen(x, y)
 	var r TauResult
@@ -92,29 +120,27 @@ func Kendall(x, y []float64) TauResult {
 		return r
 	}
 
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	sc := scratchPool.Get().(*kendallScratch)
+	defer scratchPool.Put(sc)
+	pts := sc.pairs(n)
+	for i := range pts {
+		pts[i] = keyPair{floatKey(x[i]), floatKey(y[i])}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if x[ia] != x[ib] {
-			return x[ia] < x[ib]
-		}
-		return y[ia] < y[ib]
-	})
+	sortKeyPairs(pts, sc.pairBuf(n))
 
-	// Pair-tie counts from run lengths in the sorted order.
+	// Pair-tie counts and x tie-group sizes from run lengths in the
+	// sorted order (key equality == float equality).
 	pairs := func(c int64) int64 { return c * (c - 1) / 2 }
 	var tiesXpairs, tiesBothPairs int64 // pairs tied in x (incl. both), both
+	xSizes := sc.xSizes[:0]
 	runX, runXY := int64(1), int64(1)
-	ys := make([]float64, n)
-	ys[0] = y[idx[0]]
+	kys := sc.keys(n)
+	kys[0] = pts[0].ky
 	for i := 1; i < n; i++ {
-		ys[i] = y[idx[i]]
-		if x[idx[i]] == x[idx[i-1]] {
+		kys[i] = pts[i].ky
+		if pts[i].kx == pts[i-1].kx {
 			runX++
-			if y[idx[i]] == y[idx[i-1]] {
+			if pts[i].ky == pts[i-1].ky {
 				runXY++
 			} else {
 				tiesBothPairs += pairs(runXY)
@@ -123,27 +149,35 @@ func Kendall(x, y []float64) TauResult {
 		} else {
 			tiesXpairs += pairs(runX)
 			tiesBothPairs += pairs(runXY)
+			xSizes = append(xSizes, runX)
 			runX, runXY = 1, 1
 		}
 	}
 	tiesXpairs += pairs(runX)
 	tiesBothPairs += pairs(runXY)
+	xSizes = append(xSizes, runX)
+
+	// countInversions merge-sorts kys in place as a side effect, so the
+	// y tie-group scan below reads the sorted vector for free — no
+	// separate O(n log n) pass over y. Inversion and tie structure are
+	// identical on keys and floats (floatKey is order- and
+	// equality-preserving).
+	swaps := countInversionsBuf(kys, sc.keyBuf(n))
 
 	var tiesYpairs int64 // pairs tied in y (incl. both)
-	sortedY := append([]float64(nil), y...)
-	sort.Float64s(sortedY)
+	ySizes := sc.ySizes[:0]
 	runY := int64(1)
 	for i := 1; i < n; i++ {
-		if sortedY[i] == sortedY[i-1] {
+		if kys[i] == kys[i-1] {
 			runY++
 		} else {
 			tiesYpairs += pairs(runY)
+			ySizes = append(ySizes, runY)
 			runY = 1
 		}
 	}
 	tiesYpairs += pairs(runY)
-
-	swaps := countInversions(ys)
+	ySizes = append(ySizes, runY)
 
 	n0 := pairs(int64(n))
 	// Discordant pairs are exactly the y-inversions among pairs not tied
@@ -154,7 +188,11 @@ func Kendall(x, y []float64) TauResult {
 	r.TiesY = tiesYpairs - tiesBothPairs
 	r.Concordant = n0 - r.TiesX - r.TiesY - r.TiesBoth - r.Discordant
 
-	finishTau(&r, TieSizes(x), TieSizes(y))
+	finishTau(&r, xSizes, ySizes)
+	// Retain the grown tie-run capacity in the pooled scratch (append
+	// may have reallocated past it). NumeratorVariance consumed the
+	// slices synchronously; nothing aliases them after return.
+	sc.xSizes, sc.ySizes = xSizes, ySizes
 	return r
 }
 
@@ -196,11 +234,117 @@ func finishTau(r *TauResult, tiesX, tiesY []int64) {
 	r.Z = ZFromNumerator(float64(r.Numerator()), r.VarNum)
 }
 
+// kendallScratch pools Kendall's O(n) working arrays (key pairs, the
+// radix double-buffer, the inversion-merge buffers). A standing query
+// pays one Kendall per mutation batch and a screening sweep one per
+// pair; without pooling each call allocates ~48KB at n = 900.
+type kendallScratch struct {
+	pts, buf       []keyPair
+	ks, kbuf       []uint64
+	xSizes, ySizes []int64 // tie-group runs (appended; capacity retained)
+}
+
+var scratchPool = sync.Pool{New: func() any { return &kendallScratch{} }}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (s *kendallScratch) pairs(n int) []keyPair {
+	s.pts = grow(s.pts, n)
+	return s.pts
+}
+
+func (s *kendallScratch) pairBuf(n int) []keyPair {
+	s.buf = grow(s.buf, n)
+	return s.buf
+}
+
+func (s *kendallScratch) keys(n int) []uint64 {
+	s.ks = grow(s.ks, n)
+	return s.ks
+}
+
+func (s *kendallScratch) keyBuf(n int) []uint64 {
+	s.kbuf = grow(s.kbuf, n)
+	return s.kbuf
+}
+
+// sortKeyPairs sorts observations by (kx, ky) ascending with an LSD
+// radix sort: 8 byte-passes over ky then 8 over kx (LSD stability
+// makes the ky order survive as the secondary key). Each pass is a
+// counting sort — no comparisons, no data-dependent branches, which is
+// what beats comparison sorts on density vectors: their heavy ties
+// make every comparison branch a coin flip. Passes whose byte is
+// uniform across the input (the common case for the high exponent
+// bytes of same-magnitude densities) are skipped after the histogram.
+func sortKeyPairs(a, buf []keyPair) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	// All 16 histograms are filled in ONE counting sweep (classic
+	// multi-histogram radix): the scatter passes each read the data
+	// once, so the total traffic is 17 passes instead of 32.
+	var hist [16][256]int32
+	for i := range a {
+		kx, ky := a[i].kx, a[i].ky
+		for b := 0; b < 8; b++ {
+			hist[b][byte(ky>>(8*uint(b)))]++
+			hist[8+b][byte(kx>>(8*uint(b)))]++
+		}
+	}
+	src, dst := a, buf
+	for p := 0; p < 16; p++ {
+		h := &hist[p]
+		shift := uint(8 * (p % 8))
+		useX := p >= 8
+		var first byte
+		if useX {
+			first = byte(src[0].kx >> shift)
+		} else {
+			first = byte(src[0].ky >> shift)
+		}
+		if int(h[first]) == n {
+			continue // uniform byte: the pass would be the identity
+		}
+		sum := int32(0)
+		for b := range h {
+			h[b], sum = sum, sum+h[b]
+		}
+		if useX {
+			for i := range src {
+				b := byte(src[i].kx >> shift)
+				dst[h[b]] = src[i]
+				h[b]++
+			}
+		} else {
+			for i := range src {
+				b := byte(src[i].ky >> shift)
+				dst[h[b]] = src[i]
+				h[b]++
+			}
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
 // countInversions counts pairs i<j with ys[i] > ys[j] via bottom-up merge
 // sort, destroying ys.
-func countInversions(ys []float64) int64 {
+func countInversions[T cmp.Ordered](ys []T) int64 {
+	return countInversionsBuf(ys, make([]T, len(ys)))
+}
+
+// countInversionsBuf is countInversions over caller-supplied merge
+// scratch (len(buf) >= len(ys)).
+func countInversionsBuf[T cmp.Ordered](ys, buf []T) int64 {
 	n := len(ys)
-	buf := make([]float64, n)
 	var inv int64
 	for width := 1; width < n; width *= 2 {
 		for lo := 0; lo < n-width; lo += 2 * width {
@@ -208,6 +352,9 @@ func countInversions(ys []float64) int64 {
 			hi := mid + width
 			if hi > n {
 				hi = n
+			}
+			if ys[mid-1] <= ys[mid] {
+				continue // blocks already ordered: zero inversions here
 			}
 			i, j, k := lo, mid, lo
 			for i < mid && j < hi {

@@ -238,39 +238,38 @@ func (idx *Index) Clone() *Index {
 	return out
 }
 
-// ApplyDelta repairs the index after the graph changed from its bound
-// graph to newG by the given edge flips, rebinding it to newG. It
-// implements the incremental maintenance the paper alludes to ("once we
-// obtain the index, it can be efficiently updated as the graph
-// changes", §4.2) via the locality argument: |V^h_x| can only change if
-// some shortest path from x crossed the h threshold, and any such path
-// runs through an endpoint of a flipped edge — in the new graph for
-// insertions (the path uses the new edge), in the old graph for
-// deletions (the vanished path used the old edge). The dirty set is
-// therefore the union of the maxLevel-hop balls around the flipped
-// endpoints in the old and new graphs — two multi-source Batch BFS
-// (Algorithm 1) — and only those entries are recomputed, fanned out
-// over opts.Workers goroutines like Build.
+// DirtySet returns the nodes whose level-1..maxLevel vicinities can
+// differ between oldG and newG when the two graphs are related by the
+// given edge flips — the locality argument of §4.2 made explicit:
+// |V^h_x| (and any derived quantity, such as an event density measured
+// over V^h_x) can only change if some shortest path from x crossed the
+// h threshold, and any such path runs through an endpoint of a flipped
+// edge — in the new graph for insertions (the path uses the new edge),
+// in the old graph for deletions (the vanished path used the old
+// edge). The dirty set is therefore the union of the maxLevel-hop
+// balls around the flipped endpoints in the old and new graphs — two
+// multi-source Batch BFS (Algorithm 1).
 //
 // On directed graphs the forward vicinity V^h_x changes only for nodes
-// that can *reach* a flipped endpoint, so the dirty balls are traversed
-// on the transposed graphs.
+// that can *reach* a flipped endpoint, so the dirty balls are
+// traversed on the transposed graphs.
 //
-// It returns the number of recomputed entries. newG must have the same
-// node count and directedness as the bound graph; changes may be empty
-// (then newG must equal the bound graph's edge set and nothing is
-// recomputed).
-func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts Options) (int, error) {
-	oldG := idx.g
+// Besides index repair (ApplyDelta), the set is exactly the
+// invalidation set a density cache keyed by reference node needs after
+// an edge mutation — the monitor subsystem's standing queries
+// recompute densities only for sampled reference nodes in this set.
+func DirtySet(oldG, newG *graph.Graph, changes []graph.EdgeChange, maxLevel int) ([]graph.NodeID, error) {
+	if maxLevel < 1 {
+		return nil, fmt.Errorf("vicinity: maxLevel must be >= 1, got %d", maxLevel)
+	}
 	if newG.NumNodes() != oldG.NumNodes() {
-		return 0, fmt.Errorf("vicinity: delta node count %d != %d", newG.NumNodes(), oldG.NumNodes())
+		return nil, fmt.Errorf("vicinity: delta node count %d != %d", newG.NumNodes(), oldG.NumNodes())
 	}
 	if newG.Directed() != oldG.Directed() {
-		return 0, fmt.Errorf("vicinity: delta changes graph directedness")
+		return nil, fmt.Errorf("vicinity: delta changes graph directedness")
 	}
 	if len(changes) == 0 {
-		idx.g = newG
-		return 0, nil
+		return nil, nil
 	}
 
 	// Distinct flipped endpoints.
@@ -279,7 +278,7 @@ func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts
 	for _, c := range changes {
 		for _, v := range [2]graph.NodeID{c.U, c.V} {
 			if !oldG.Valid(v) {
-				return 0, fmt.Errorf("vicinity: change endpoint %d outside node range [0,%d)", v, oldG.NumNodes())
+				return nil, fmt.Errorf("vicinity: change endpoint %d outside node range [0,%d)", v, oldG.NumNodes())
 			}
 			if _, ok := seen[v]; !ok {
 				seen[v] = struct{}{}
@@ -288,9 +287,6 @@ func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts
 		}
 	}
 
-	// Dirty set: maxLevel-hop balls around the endpoints in both the old
-	// and the new graph (transposed when directed, so the ball holds the
-	// nodes whose forward vicinity can contain an endpoint).
 	reachOld, reachNew := oldG, newG
 	if oldG.Directed() {
 		reachOld, reachNew = oldG.Transpose(), newG.Transpose()
@@ -298,14 +294,45 @@ func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts
 	dirtyMark := make([]bool, oldG.NumNodes())
 	var dirty []graph.NodeID
 	for _, rg := range [2]*graph.Graph{reachOld, reachNew} {
-		graph.NewBFS(rg).Run(endpoints, idx.maxLevel, func(v graph.NodeID, _ int) {
+		graph.NewBFS(rg).Run(endpoints, maxLevel, func(v graph.NodeID, _ int) {
 			if !dirtyMark[v] {
 				dirtyMark[v] = true
 				dirty = append(dirty, v)
 			}
 		})
 	}
+	return dirty, nil
+}
 
+// ApplyDelta repairs the index after the graph changed from its bound
+// graph to newG by the given edge flips, rebinding it to newG. It
+// implements the incremental maintenance the paper alludes to ("once we
+// obtain the index, it can be efficiently updated as the graph
+// changes", §4.2): only the DirtySet entries are recomputed, fanned out
+// over opts.Workers goroutines like Build.
+//
+// It returns the number of recomputed entries. newG must have the same
+// node count and directedness as the bound graph; changes may be empty
+// (then newG must equal the bound graph's edge set and nothing is
+// recomputed).
+func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts Options) (int, error) {
+	dirty, err := idx.ApplyDeltaDirty(newG, changes, opts)
+	return len(dirty), err
+}
+
+// ApplyDeltaDirty is ApplyDelta surfacing the repaired node set itself
+// instead of just its size. The serving tier forwards the set to the
+// monitor scheduler, which intersects it with each standing query's
+// sampled reference nodes — the same locality bound drives both the
+// index repair and the density-cache invalidation, so the ball BFS is
+// paid once per mutation. The returned slice is in BFS discovery order
+// and owned by the caller.
+func (idx *Index) ApplyDeltaDirty(newG *graph.Graph, changes []graph.EdgeChange, opts Options) ([]graph.NodeID, error) {
+	oldG := idx.g
+	dirty, err := DirtySet(oldG, newG, changes, idx.maxLevel)
+	if err != nil {
+		return nil, err
+	}
 	idx.g = newG
 	workers := opts.Workers
 	if workers <= 0 {
@@ -319,7 +346,7 @@ func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts
 		for _, v := range dirty {
 			idx.computeNode(bfs, v, counts)
 		}
-		return len(dirty), nil
+		return dirty, nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -344,7 +371,7 @@ func (idx *Index) ApplyDelta(newG *graph.Graph, changes []graph.EdgeChange, opts
 		}()
 	}
 	wg.Wait()
-	return len(dirty), nil
+	return dirty, nil
 }
 
 func (idx *Index) checkLevel(h int) {

@@ -204,11 +204,30 @@ func VicinityIndexFromInternal(idx *vicinity.Index) *VicinityIndex {
 // this). Not safe to call concurrently with queries on the same index;
 // use Clone for copy-on-write.
 func (x *VicinityIndex) ApplyDelta(g *Graph, changes []EdgeChange, workers int) (int, error) {
+	dirty, err := x.ApplyDeltaDirty(g, changes, workers)
+	return len(dirty), err
+}
+
+// ApplyDeltaDirty is ApplyDelta surfacing the repaired node IDs
+// themselves instead of just their count. The repaired set is exactly
+// the set of nodes whose h-vicinities (h ≤ MaxLevel) the delta can
+// have perturbed, so consumers that cache any per-node vicinity
+// quantity — the monitor subsystem's standing-query density caches —
+// invalidate precisely this set and keep everything else.
+func (x *VicinityIndex) ApplyDeltaDirty(g *Graph, changes []EdgeChange, workers int) ([]int, error) {
 	staged := make([]graph.EdgeChange, len(changes))
 	for i, c := range changes {
 		staged[i] = graph.EdgeChange{U: graph.NodeID(c.U), V: graph.NodeID(c.V), Insert: c.Insert}
 	}
-	return x.idx.ApplyDelta(g.g, staged, vicinity.Options{Workers: workers})
+	dirty, err := x.idx.ApplyDeltaDirty(g.g, staged, vicinity.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(dirty))
+	for i, v := range dirty {
+		out[i] = int(v)
+	}
+	return out, nil
 }
 
 // MaxLevel returns the largest vicinity level the index covers.
