@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand/v2"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -20,6 +23,7 @@ import (
 	"tesc/internal/server"
 	"tesc/internal/stats"
 	"tesc/internal/vicinity"
+	"tesc/internal/wal"
 )
 
 // churnConfig parameterizes the -churn workload: FlipStream mutation
@@ -36,6 +40,9 @@ type churnConfig struct {
 	Occ        int // occurrences per event
 	Region     int // nodes of the community region events cluster in
 	Seed       uint64
+	// Fsync lists WAL policies ("always", "interval", "off") to time
+	// the mutation log against; empty skips the WAL column.
+	Fsync []string
 }
 
 // churnWorld is the evolving state driven by runChurn, mirroring the
@@ -191,6 +198,58 @@ func runChurn(cfg churnConfig, w io.Writer) error {
 	fmt.Fprintf(w, "density evaluations:    %d reused / %d total (%.1f%% served from cache)\n",
 		reused, evals, 100*float64(reused)/float64(evals))
 	fmt.Fprintf(w, "results: bit-identical to from-scratch screen at every epoch\n")
+	if len(cfg.Fsync) > 0 {
+		if err := churnFsyncColumn(batches, cfg.Fsync, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// churnFsyncColumn times the mutation WAL's append path — the cost
+// every acknowledged edge batch now pays before publication — for the
+// same batch sequence the churn phases used, one row per fsync policy.
+// The spread between "off" and "always" is the price of the
+// no-lost-acks durability contract on this hardware.
+func churnFsyncColumn(batches [][]graph.EdgeChange, policies []string, w io.Writer) error {
+	fmt.Fprintf(w, "wal append (per batch, %d batches):\n", len(batches))
+	for _, name := range policies {
+		policy, err := wal.ParsePolicy(name)
+		if err != nil {
+			return fmt.Errorf("churn: %w", err)
+		}
+		dir, err := os.MkdirTemp("", "tescbench-wal-")
+		if err != nil {
+			return err
+		}
+		lg, _, err := wal.Open(dir, wal.Options{FS: wal.OSFS{}, Policy: policy})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		appendMS := make([]float64, 0, len(batches))
+		epoch := uint64(1)
+		for _, applied := range batches {
+			changes := make([]wal.EdgeChange, len(applied))
+			for i, c := range applied {
+				changes[i] = wal.EdgeChange{U: int(c.U), V: int(c.V), Insert: c.Insert}
+			}
+			epoch++
+			start := time.Now()
+			err := lg.Append(&wal.Record{Kind: wal.KindEdges, Graph: "churn", Epoch: epoch, GraphVersion: epoch, Changes: changes})
+			appendMS = append(appendMS, float64(time.Since(start).Microseconds())/1000)
+			if err != nil {
+				lg.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+		}
+		fsyncs := lg.Fsyncs()
+		lg.Close()
+		os.RemoveAll(dir)
+		mean, p50 := meanMedian(appendMS)
+		fmt.Fprintf(w, "  fsync=%-9s mean %8.4f ms   p50 %8.4f ms   (%d fsyncs)\n", name, mean, p50, fsyncs)
+	}
 	return nil
 }
 
@@ -359,4 +418,145 @@ func runSoak(d time.Duration, seed uint64, w io.Writer) error {
 	fmt.Fprintf(w, "monitors: %d active, %d re-screens, %d density evals reused, %d recomputed\n",
 		mons.Active(), mons.Reruns(), mons.NodesReused(), mons.NodesRecomputed())
 	return nil
+}
+
+// runSoakRecover exercises the durability contract end to end on the
+// real filesystem: a tescd with a data directory ingests FlipStream
+// edge batches over HTTP, is torn down — srv.Kill() on odd cycles (a
+// crash: nothing flushed beyond what the WAL fsynced), srv.Close() on
+// even ones (clean shutdown: snapshots flushed, WAL compacted) — and
+// rebooted from snapshot + WAL tail. Every cycle asserts the recovered
+// epoch equals the last acknowledged one: zero lost acks, by
+// construction of the fsync=always append-before-publish path. Built
+// for the nightly job; see docs/DURABILITY.md.
+func runSoakRecover(d time.Duration, seed uint64, w io.Writer) error {
+	dir, err := os.MkdirTemp("", "tescbench-soak-recover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	boot := func() (*server.Server, *httptest.Server, error) {
+		srv := server.New(server.Config{
+			IndexCacheCapacity: 4,
+			DataDir:            dir,
+			// A debounce longer than any cycle forces crash recovery to
+			// run through the WAL tail, not a conveniently fresh snapshot.
+			CheckpointDelay: time.Hour,
+			FsyncPolicy:     "always",
+		})
+		if _, err := srv.LoadData(); err != nil {
+			return nil, nil, err
+		}
+		return srv, httptest.NewServer(srv.Handler()), nil
+	}
+
+	srv, ts, err := boot()
+	if err != nil {
+		return err
+	}
+	g := tesc.RandomCommunityGraph(4, 500, 6, 0.5, seed)
+	var sb strings.Builder
+	if err := g.WriteGraph(&sb); err != nil {
+		return err
+	}
+	if err := postJSON(ts.Client(), ts.URL+"/v1/graphs", map[string]any{"name": "soak", "edge_list": sb.String()}, nil); err != nil {
+		return fmt.Errorf("registering graph: %w", err)
+	}
+	reg, ok := srv.Registry().Get("soak")
+	if !ok {
+		return fmt.Errorf("graph vanished after registration")
+	}
+	wantEpoch := reg.Epoch()
+
+	rng := rand.New(rand.NewPCG(seed, seed^99))
+	deadline := time.Now().Add(d)
+	var cycles, crashes, batches int
+	var replayed uint64
+	for {
+		// Stream a cycle of mutation batches. The FlipStream mirrors the
+		// recovered edge set, so flips stay genuine and every acked batch
+		// bumps the epoch by exactly one.
+		entry, ok := srv.Registry().Get("soak")
+		if !ok {
+			return fmt.Errorf("cycle %d: graph missing after recovery", cycles)
+		}
+		stream := graphgen.NewFlipStream(entry.Graph().Internal(), 0.5, rand.New(rand.NewPCG(seed^uint64(cycles), 3)))
+		for i := 0; i < 10+rng.IntN(20); i++ {
+			var ins, del [][2]int
+			for _, c := range stream.Take(1 + rng.IntN(8)) {
+				p := [2]int{int(c.U), int(c.V)}
+				if c.Insert {
+					ins = append(ins, p)
+				} else {
+					del = append(del, p)
+				}
+			}
+			if err := postJSON(ts.Client(), ts.URL+"/v1/graphs/soak/edges",
+				map[string]any{"insert": ins, "delete": del}, nil); err != nil {
+				return fmt.Errorf("cycle %d: edge batch: %w", cycles, err)
+			}
+			wantEpoch++
+			batches++
+		}
+		cycles++
+
+		crash := cycles%2 == 1
+		ts.Close()
+		if crash {
+			crashes++
+			srv.Kill()
+		} else {
+			srv.Close()
+		}
+
+		if srv, ts, err = boot(); err != nil {
+			return fmt.Errorf("cycle %d: reboot: %w", cycles, err)
+		}
+		entry, ok = srv.Registry().Get("soak")
+		if !ok {
+			return fmt.Errorf("cycle %d: graph lost across restart", cycles)
+		}
+		if got := entry.Epoch(); got != wantEpoch {
+			return fmt.Errorf("cycle %d: recovered epoch %d, want %d — lost acknowledged mutations", cycles, got, wantEpoch)
+		}
+		var health struct {
+			WALReplayed uint64 `json:"wal_replayed"`
+		}
+		if err := getJSON(ts.Client(), ts.URL+"/healthz", &health); err != nil {
+			return fmt.Errorf("cycle %d: healthz: %w", cycles, err)
+		}
+		if crash && health.WALReplayed == 0 {
+			return fmt.Errorf("cycle %d: crash recovery replayed no WAL records", cycles)
+		}
+		if !crash && health.WALReplayed != 0 {
+			return fmt.Errorf("cycle %d: clean restart replayed %d WAL records, want 0", cycles, health.WALReplayed)
+		}
+		replayed += health.WALReplayed
+
+		if !time.Now().Before(deadline) {
+			srv.Close()
+			ts.Close()
+			break
+		}
+	}
+	fmt.Fprintf(w, "== soak-recover (%v) ==\n", d)
+	fmt.Fprintf(w, "cycles: %d (%d crash, %d clean); batches acked: %d; WAL records replayed: %d; final epoch: %d\n",
+		cycles, crashes, cycles-crashes, batches, replayed, wantEpoch)
+	fmt.Fprintf(w, "epoch continuity held on every restart: zero lost acknowledged mutations\n")
+	return nil
+}
+
+// getJSON decodes a GET response body into out.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

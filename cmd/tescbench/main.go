@@ -49,7 +49,9 @@ func main() {
 		churnFlips   = flag.Int("churn-flips", 10, "edge flips per batch in -churn mode")
 		churnOcc     = flag.Int("churn-occurrences", 500, "occurrences per event in -churn mode")
 		churnRegion  = flag.Int("churn-region", 2000, "community-region size the events cluster in (-churn mode)")
+		churnFsync   = flag.String("churn-fsync", "always,interval,off", "comma-separated WAL fsync policies to time in -churn mode (empty skips the WAL column)")
 		soak         = flag.Duration("soak", 0, "run an in-process tescd soak for this duration: FlipStream mutations against live monitors (built for the nightly -race job)")
+		soakRecover  = flag.Duration("soak-recover", 0, "run a kill-and-recover soak for this duration: a durable tescd is killed mid-stream and rebooted from snapshot+WAL in a loop, verifying epoch continuity each cycle")
 
 		serve      = flag.String("serve", "", "load-test a running tescd daemon at this base URL instead of running experiments")
 		serveReqs  = flag.Int("serve-requests", 200, "number of correlate queries in -serve mode")
@@ -71,6 +73,7 @@ func main() {
 			Occ:        *churnOcc,
 			Region:     *churnRegion,
 			Seed:       *seed,
+			Fsync:      splitList(*churnFsync),
 		}, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tescbench:", err)
@@ -80,6 +83,13 @@ func main() {
 	}
 	if *soak > 0 {
 		if err := runSoak(*soak, *seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soakRecover > 0 {
+		if err := runSoakRecover(*soakRecover, *seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "tescbench:", err)
 			os.Exit(1)
 		}
@@ -132,4 +142,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tescbench:", err)
 		os.Exit(1)
 	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }

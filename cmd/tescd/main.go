@@ -54,6 +54,7 @@ import (
 	"tesc"
 	"tesc/internal/graphio"
 	"tesc/internal/server"
+	"tesc/internal/wal"
 )
 
 func main() {
@@ -62,8 +63,11 @@ func main() {
 		cache     = flag.Int("cache", 8, "vicinity-index cache capacity (indexes, across all graphs and levels)")
 		workers   = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
 		quiet     = flag.Bool("quiet", false, "disable request logging")
-		dataDir   = flag.String("data", "", "snapshot directory: warm-start from its *.tescsnap files at boot, checkpoint mutated graphs back")
+		dataDir   = flag.String("data", "", "data directory: warm-start from its *.tescsnap files and WAL tail at boot, log mutations, checkpoint mutated graphs back")
 		ckptDelay = flag.Duration("checkpoint-delay", 2*time.Second, "debounce between a mutation and its background checkpoint (with -data)")
+		fsync     = flag.String("fsync", "always", "WAL durability: always (fsync per acknowledged mutation), interval (group fsync), off (OS page cache only)")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "group-fsync period with -fsync interval")
+		walSeg    = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment size before rotation")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof diagnostics on this address (off by default; bind loopback only, e.g. 127.0.0.1:6060 — the profiler exposes heap contents and must never face untrusted networks)")
 	)
 	var loads, eventLoads []string
@@ -78,11 +82,17 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "tescd: ", log.LstdFlags)
+	if _, err := wal.ParsePolicy(*fsync); err != nil {
+		logger.Fatalf("-fsync: %v", err)
+	}
 	cfg := server.Config{
 		IndexCacheCapacity: *cache,
 		IndexWorkers:       *workers,
 		DataDir:            *dataDir,
 		CheckpointDelay:    *ckptDelay,
+		FsyncPolicy:        *fsync,
+		FsyncInterval:      *fsyncIvl,
+		WALSegmentBytes:    *walSeg,
 	}
 	if !*quiet {
 		cfg.Log = logger
@@ -96,8 +106,20 @@ func main() {
 		}
 		logger.Printf("warm start: restored %d graph(s) from %s", loaded, *dataDir)
 	}
-	if err := preload(srv, loads, eventLoads, logger); err != nil {
+	preloaded, err := preload(srv, loads, eventLoads, logger)
+	if err != nil {
 		logger.Fatal(err)
+	}
+	if *dataDir != "" {
+		// Preloaded graphs register outside the HTTP durability path;
+		// checkpoint them synchronously so they exist on disk before the
+		// listener starts — otherwise their WAL records would replay
+		// against nothing after a crash.
+		for _, name := range preloaded {
+			if _, err := srv.Checkpoint(name); err != nil {
+				logger.Fatalf("checkpointing preloaded graph %q: %v", name, err)
+			}
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -121,21 +143,22 @@ func main() {
 }
 
 // preload registers -load graphs and -load-events occurrence files
-// before the listener starts, so the daemon comes up warm. Graphs
-// already warm-started from -data snapshots are skipped entirely —
-// including their -load-events, which would otherwise re-accumulate
-// onto the restored occurrences and double every intensity per
-// restart: the snapshot (which carries mutations and indexes) wins
-// over re-parsing the original text files.
-func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger) error {
+// before the listener starts, so the daemon comes up warm, and returns
+// the names it newly registered. Graphs already warm-started from
+// -data snapshots are skipped entirely — including their -load-events,
+// which would otherwise re-accumulate onto the restored occurrences
+// and double every intensity per restart: the snapshot (which carries
+// mutations and indexes) wins over re-parsing the original text files.
+func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger) ([]string, error) {
 	restored := make(map[string]bool)
 	for _, name := range srv.Registry().Names() {
 		restored[name] = true
 	}
+	var loaded []string
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("-load %q: want name=path", spec)
+			return nil, fmt.Errorf("-load %q: want name=path", spec)
 		}
 		if restored[name] {
 			logger.Printf("-load %s: skipped, restored from snapshot", name)
@@ -143,22 +166,23 @@ func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger)
 		}
 		f, err := graphio.OpenMaybeGzip(path)
 		if err != nil {
-			return fmt.Errorf("-load %s: %w", name, err)
+			return nil, fmt.Errorf("-load %s: %w", name, err)
 		}
 		g, err := tesc.ReadGraph(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("-load %s: %w", name, err)
+			return nil, fmt.Errorf("-load %s: %w", name, err)
 		}
 		if _, err := srv.Registry().Register(name, g); err != nil {
-			return fmt.Errorf("-load %s: %w", name, err)
+			return nil, fmt.Errorf("-load %s: %w", name, err)
 		}
+		loaded = append(loaded, name)
 		logger.Printf("loaded graph %q: %d nodes, %d edges", name, g.NumNodes(), g.NumEdges())
 	}
 	for _, spec := range eventLoads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
-			return fmt.Errorf("-load-events %q: want graphname=path", spec)
+			return nil, fmt.Errorf("-load-events %q: want graphname=path", spec)
 		}
 		if restored[name] {
 			logger.Printf("-load-events %s: skipped, restored from snapshot", name)
@@ -166,22 +190,22 @@ func preload(srv *server.Server, loads, eventLoads []string, logger *log.Logger)
 		}
 		entry, found := srv.Registry().Get(name)
 		if !found {
-			return fmt.Errorf("-load-events %s: graph not loaded (use -load %s=...)", name, name)
+			return nil, fmt.Errorf("-load-events %s: graph not loaded (use -load %s=...)", name, name)
 		}
 		f, err := graphio.OpenMaybeGzip(path)
 		if err != nil {
-			return fmt.Errorf("-load-events %s: %w", name, err)
+			return nil, fmt.Errorf("-load-events %s: %w", name, err)
 		}
 		store, err := graphio.ReadEvents(f, entry.Graph().NumNodes())
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("-load-events %s: %w", name, err)
+			return nil, fmt.Errorf("-load-events %s: %w", name, err)
 		}
 		// AddStore preserves the file's intensity column (§6).
 		if err := entry.AddStore(store); err != nil {
-			return fmt.Errorf("-load-events %s: %w", name, err)
+			return nil, fmt.Errorf("-load-events %s: %w", name, err)
 		}
 		logger.Printf("loaded %d events for graph %q", store.NumEvents(), name)
 	}
-	return nil
+	return loaded, nil
 }

@@ -105,7 +105,7 @@ func runBuild(args []string) error {
 		}
 		snap.Indexes = []*vicinity.Index{idx}
 	}
-	if err := snapshot.SaveFile(*out, snap); err != nil {
+	if _, err := snapshot.SaveFile(*out, snap); err != nil {
 		return err
 	}
 	st, err := os.Stat(*out)

@@ -240,7 +240,7 @@ func TestCacheStaleSnapshotSingleFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, applied, err := e.MutateEdges([]tesc.EdgeChange{{U: 0, V: 3, Insert: true}},
-		func(old, next Snapshot, ap []tesc.EdgeChange) { c.Refresh(e, old, next, ap, 1) })
+		func(old, next Snapshot, ap []tesc.EdgeChange) error { c.Refresh(e, old, next, ap, 1); return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

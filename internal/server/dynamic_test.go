@@ -72,8 +72,9 @@ func TestConcurrentMutationsAndQueries(t *testing.T) {
 			if c.U == c.V {
 				continue
 			}
-			_, _, err := e.MutateEdges([]tesc.EdgeChange{c}, func(old, next Snapshot, applied []tesc.EdgeChange) {
+			_, _, err := e.MutateEdges([]tesc.EdgeChange{c}, func(old, next Snapshot, applied []tesc.EdgeChange) error {
 				cache.Refresh(e, old, next, applied, 1)
+				return nil
 			})
 			if err != nil {
 				t.Errorf("mutate: %v", err)

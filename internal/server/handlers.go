@@ -10,6 +10,7 @@ import (
 
 	"tesc"
 	"tesc/internal/graphio"
+	"tesc/internal/wal"
 )
 
 // ---- wire types -----------------------------------------------------
@@ -248,7 +249,18 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 			writeError(w, code, "importing snapshot: %v", err)
 			return
 		}
-		s.markDirty(req.Name) // make the import durable in the data dir
+		// Make the import durable in the data dir before the 201: a
+		// registration has no WAL record kind, so its durability unit is
+		// the checkpoint itself. If that fails the admission rolls back
+		// — acknowledging a graph the next boot cannot restore would
+		// break the WAL's no-lost-acks contract.
+		if err := s.durableAck(req.Name); err != nil {
+			s.registry.Remove(req.Name)
+			s.cache.EvictGraph(e)
+			s.monitors.DropGraph(req.Name)
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeJSON(w, http.StatusCreated, e.info())
 		return
 	}
@@ -281,7 +293,11 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	s.markDirty(req.Name)
+	if err := s.durableAck(req.Name); err != nil {
+		s.registry.Remove(req.Name)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, e.info())
 }
 
@@ -310,6 +326,17 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 // vicinity indexes of the graph are evicted with it.
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	if cur, ok := s.registry.Get(name); ok {
+		// Log the drop before removing anything: a crash right after
+		// the registry removal must not let this generation's WAL
+		// records replay into a future graph registered under the same
+		// name. A spurious drop record (the Get/Remove race losing to
+		// another DELETE) is harmless — replay only skips records.
+		if err := s.walAppend(&wal.Record{Kind: wal.KindDrop, Graph: name, Epoch: cur.Epoch()}); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "durability unavailable: wal append: %v", err)
+			return
+		}
+	}
 	e, ok := s.registry.Remove(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q", name)
@@ -335,15 +362,17 @@ func (s *Server) handleRegisterEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "events or remove must be non-empty")
 		return
 	}
-	if err := e.MutateEventsNotify(req.Events, req.Remove, s.monitorEventNotify(e)); err != nil {
+	if err := s.applyEvents(e, req.Events, req.Remove, true); err != nil {
 		code := http.StatusBadRequest
-		if strings.HasPrefix(err.Error(), "unknown event") {
+		switch {
+		case errors.Is(err, errDurability):
+			code = http.StatusServiceUnavailable
+		case strings.HasPrefix(err.Error(), "unknown event"):
 			code = http.StatusNotFound
 		}
 		writeError(w, code, "%v", err)
 		return
 	}
-	s.markDirty(e.Name())
 	snap := e.Snapshot()
 	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: snap.Store.NumEvents(), Epoch: snap.Epoch})
 }
@@ -356,11 +385,14 @@ func (s *Server) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	event := r.PathValue("event")
-	if err := e.MutateEventsNotify(nil, map[string][]int{event: nil}, s.monitorEventNotify(e)); err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+	if err := s.applyEvents(e, nil, map[string][]int{event: nil}, true); err != nil {
+		code := http.StatusNotFound
+		if errors.Is(err, errDurability) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
 		return
 	}
-	s.markDirty(e.Name())
 	snap := e.Snapshot()
 	writeJSON(w, http.StatusOK, registerEventsResponse{Graph: e.Name(), Events: snap.Store.NumEvents(), Epoch: snap.Epoch})
 }
@@ -392,44 +424,33 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 		changes = append(changes, tesc.EdgeChange{U: p[0], V: p[1], Insert: false})
 	}
 
-	var migrated, recomputed int
-	snap, applied, err := e.MutateEdges(changes, func(old, next Snapshot, applied []tesc.EdgeChange) {
-		var dirty []int
-		var dirtyLevel int
-		migrated, recomputed, dirty, dirtyLevel = s.cache.Refresh(e, old, next, applied, s.indexWorkers)
-		// Standing queries are notified inside the serialized mutation
-		// path, before the successor snapshot publishes: no re-screen
-		// can bind the new epoch without its invalidation queued. The
-		// index repair's flipped-vicinity set rides along so the ball
-		// BFS is not paid twice.
-		s.monitors.NotifyEdgeDelta(e.Name(), old.Graph.Internal(), next.Graph.Internal(),
-			internalChanges(applied), next.Epoch, internalNodes(dirty), dirtyLevel)
-	})
+	res, err := s.applyEdges(e, changes, true)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		code := http.StatusBadRequest
+		if errors.Is(err, errDurability) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
 		return
 	}
 	var inserted, deleted int
-	for _, c := range applied {
+	for _, c := range res.applied {
 		if c.Insert {
 			inserted++
 		} else {
 			deleted++
 		}
 	}
-	if len(applied) > 0 {
-		s.markDirty(e.Name())
-	}
 	writeJSON(w, http.StatusOK, mutateEdgesResponse{
 		Graph:            e.Name(),
-		Epoch:            snap.Epoch,
-		Nodes:            snap.Graph.NumNodes(),
-		Edges:            snap.Graph.NumEdges(),
+		Epoch:            res.snap.Epoch,
+		Nodes:            res.snap.Graph.NumNodes(),
+		Edges:            res.snap.Graph.NumEdges(),
 		Inserted:         inserted,
 		Deleted:          deleted,
-		Skipped:          len(changes) - len(applied),
-		IndexesRefreshed: migrated,
-		NodesRecomputed:  recomputed,
+		Skipped:          len(changes) - len(res.applied),
+		IndexesRefreshed: res.migrated,
+		NodesRecomputed:  res.recomputed,
 	})
 }
 
@@ -632,6 +653,13 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth implements GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var walAppends, walFsyncs int64
+	if s.persist != nil {
+		if lg := s.persist.log(); lg != nil {
+			walAppends = lg.Appends()
+			walFsyncs = lg.Fsyncs()
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":                 "ok",
 		"graphs":                 len(s.registry.Names()),
@@ -646,5 +674,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"monitors_active":        s.monitors.Active(),
 		"monitor_reruns":         s.monitors.Reruns(),
 		"monitor_nodes_reused":   s.monitors.NodesReused(),
+		"wal_appends":            walAppends,
+		"wal_fsyncs":             walFsyncs,
+		"wal_replayed":           s.walReplayed.Load(),
+		"recovery_epoch":         s.recoveryEpoch.Load(),
 	})
 }

@@ -155,14 +155,6 @@ func entrySnapshotFunc(e *GraphEntry) monitor.SnapshotFunc {
 	}
 }
 
-// monitorEventNotify builds the pre-publication hook event mutations
-// hand to MutateEventsNotify.
-func (s *Server) monitorEventNotify(e *GraphEntry) func(changed map[string][]graph.NodeID, nextEpoch uint64) {
-	return func(changed map[string][]graph.NodeID, nextEpoch uint64) {
-		s.monitors.NotifyEventDelta(e.Name(), changed, nextEpoch)
-	}
-}
-
 // internalChanges converts public edge changes to the internal type.
 func internalChanges(changes []tesc.EdgeChange) []graph.EdgeChange {
 	out := make([]graph.EdgeChange, len(changes))
@@ -239,7 +231,16 @@ func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, "%v", err)
 		return
 	}
-	s.markDirty(e.Name())
+	// A monitor has no WAL record kind: its durability unit is the
+	// graph's snapshot (monitor states persist in the MNTR section), so
+	// the create checkpoints synchronously before the 201. On failure
+	// the monitor rolls back — an acknowledged standing query must
+	// survive a crash.
+	if err := s.durableAck(e.Name()); err != nil {
+		s.monitors.Delete(e.Name(), m.Def().ID)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, s.monitorInfo(m))
 }
 
@@ -294,7 +295,14 @@ func (s *Server) handleDeleteMonitor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.monitors.Delete(e.Name(), m.Def().ID)
-	s.markDirty(e.Name())
+	// Persist the deletion before the 204; a failed checkpoint still
+	// deleted the monitor in memory (delete is idempotent — replaying
+	// it at the next boot is the snapshot's job, not the client's), so
+	// only the durability failure is surfaced.
+	if err := s.durableAck(e.Name()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -2,9 +2,9 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"net/url"
-	"os"
-	"path/filepath"
+	"path"
 	"sort"
 	"strings"
 	"sync"
@@ -13,26 +13,46 @@ import (
 	"tesc"
 	"tesc/internal/snapshot"
 	"tesc/internal/vicinity"
+	"tesc/internal/wal"
 )
 
 // snapExt is the extension of snapshot files in the data directory.
 // Boot-time scans load only files with exactly this suffix, which is
-// what makes atomic writes crash-safe: snapshot.SaveFile's temp files
-// carry a ".tmp-*" suffix, so a crash mid-checkpoint leaves a torn
-// file the next boot never even opens.
+// what makes atomic writes crash-safe: snapshot.SaveFileFS's temp
+// files carry a ".tmp-*" suffix and WAL segments a ".tesclog" one, so
+// a crash mid-checkpoint leaves a torn file the next boot never even
+// opens as a snapshot.
 const snapExt = ".tescsnap"
 
 // persistState is the serving tier's durable-state machinery: a data
-// directory of one snapshot file per registered graph, plus the
-// dirty-set debouncer that checkpoints mutated entries in the
-// background. Nil on a Server without Config.DataDir.
+// directory of one snapshot file per registered graph, a mutation WAL
+// covering the gap between checkpoints, and the dirty-set debouncer
+// that checkpoints mutated entries in the background. Nil on a Server
+// without Config.DataDir.
 type persistState struct {
 	dir   string
 	delay time.Duration
 
+	// fs is the filesystem every byte of durable state goes through;
+	// tests inject wal.FaultFS to crash it at any operation.
+	fs wal.FS
+
+	walPolicy   wal.Policy
+	walInterval time.Duration
+	walSegBytes int64
+
 	mu    sync.Mutex
 	dirty map[string]struct{}
 	timer *time.Timer
+	// wal is the mutation log, open from LoadData onward.
+	wal *wal.Log
+	// durable maps graph → last epoch a durable checkpoint captured;
+	// it is the WAL compaction cover. droppedEpoch marks deregistered
+	// graphs: everything the log ever held for them is covered.
+	durable map[string]uint64
+	// dead is set by Kill: the server is simulating a crash, so no
+	// background flush may touch the filesystem anymore.
+	dead bool
 
 	// flushMu serializes whole flush passes. The shutdown flush must
 	// block behind a background flush already checkpointing on the
@@ -49,11 +69,22 @@ type persistState struct {
 	ioMu sync.Mutex
 }
 
+// droppedEpoch is the durable-map sentinel for a deregistered graph:
+// no record of it needs the log anymore.
+const droppedEpoch = math.MaxUint64
+
+// log returns the mutation WAL, or nil before LoadData has opened it.
+func (p *persistState) log() *wal.Log {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wal
+}
+
 // snapshotPath maps a registry name to its snapshot file. Names are
 // URL-escaped so arbitrary registry names (slashes included) can never
 // traverse outside the data directory.
 func (p *persistState) snapshotPath(name string) string {
-	return filepath.Join(p.dir, url.PathEscape(name)+snapExt)
+	return path.Join(p.dir, url.PathEscape(name)+snapExt)
 }
 
 // snapshotName inverts snapshotPath for a directory entry, reporting
@@ -70,40 +101,61 @@ func snapshotName(fileName string) (string, bool) {
 	return name, true
 }
 
-// LoadData restores every snapshot in the data directory into the
-// registry and index cache, creating the directory if needed. It
-// returns the number of graphs restored. A file that fails validation
-// (torn, corrupted, foreign) is skipped with a log line — one bad file
-// must not keep the daemon from serving the good ones — while a
-// missing or unreadable directory is a real error.
+// LoadData restores the data directory into the registry and index
+// cache — every snapshot, then the WAL tail replayed on top — and
+// opens the mutation log for new appends, creating the directory if
+// needed. It returns the number of graphs restored. A snapshot file
+// that fails validation (torn, corrupted, foreign) is skipped with a
+// log line — one bad file must not keep the daemon from serving the
+// good ones — and a torn WAL tail replays up to the tear; a missing
+// or unreadable directory is a real error.
 func (s *Server) LoadData() (int, error) {
 	p := s.persist
 	if p == nil {
 		return 0, fmt.Errorf("server: no data directory configured")
 	}
-	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+	if err := p.fs.MkdirAll(p.dir); err != nil {
 		return 0, err
 	}
-	entries, err := os.ReadDir(p.dir)
+	entries, err := p.fs.ReadDir(p.dir)
 	if err != nil {
 		return 0, err
 	}
 	loaded := 0
-	for _, de := range entries {
-		if de.IsDir() {
-			continue
-		}
-		name, ok := snapshotName(de.Name())
+	for _, fileName := range entries {
+		name, ok := snapshotName(fileName)
 		if !ok {
-			continue // temp files, foreign files
+			continue // temp files, WAL segments, foreign files
 		}
-		path := filepath.Join(p.dir, de.Name())
-		if _, err := s.loadSnapshotFile(name, path); err != nil {
-			s.logf("snapshot %s: skipped: %v", de.Name(), err)
+		entry, err := s.loadSnapshotFile(name, path.Join(p.dir, fileName))
+		if err != nil {
+			s.logf("snapshot %s: skipped: %v", fileName, err)
 			continue
 		}
+		p.mu.Lock()
+		p.durable[name] = entry.Epoch()
+		p.mu.Unlock()
 		loaded++
 	}
+	lg, recovered, err := wal.Open(p.dir, wal.Options{
+		FS:           p.fs,
+		Policy:       p.walPolicy,
+		Interval:     p.walInterval,
+		SegmentBytes: p.walSegBytes,
+	})
+	if err != nil {
+		return loaded, fmt.Errorf("opening wal: %w", err)
+	}
+	if recovered.Torn {
+		s.logf("wal: torn tail: %v (replaying the %d intact records)", recovered.TornErr, len(recovered.Records))
+	}
+	// Replay BEFORE publishing the log for appends: the replayed
+	// records are already durable in the old segments, and re-logging
+	// them would double every mutation at the next recovery.
+	s.replayWAL(recovered.Records)
+	p.mu.Lock()
+	p.wal = lg
+	p.mu.Unlock()
 	return loaded, nil
 }
 
@@ -113,7 +165,11 @@ func (s *Server) LoadData() (int, error) {
 // version — so the first index-backed query after boot is a cache hit,
 // not a build. It returns the registered entry.
 func (s *Server) loadSnapshotFile(name, path string) (*GraphEntry, error) {
-	snap, err := snapshot.LoadFile(path)
+	fsys := wal.FS(wal.OSFS{})
+	if s.persist != nil {
+		fsys = s.persist.fs
+	}
+	snap, err := snapshot.LoadFileFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}
@@ -149,19 +205,31 @@ func (s *Server) markDirty(name string) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.dead {
+		return
+	}
 	p.dirty[name] = struct{}{}
 	if p.timer == nil {
 		p.timer = time.AfterFunc(p.delay, s.flushDirty)
 	}
 }
 
-// flushDirty checkpoints every dirty entry. Runs on the debounce
-// timer's goroutine; mutations landing mid-flush re-mark and re-arm.
+// flushDirty checkpoints every dirty entry, then compacts the WAL:
+// segments whose every record a durable checkpoint now covers are
+// deleted. Runs on the debounce timer's goroutine; mutations landing
+// mid-flush re-mark and re-arm. The active segment is rotated first so
+// the records this pass is about to cover sit in frozen segments
+// compaction may delete.
 func (s *Server) flushDirty() {
 	p := s.persist
 	p.flushMu.Lock()
 	defer p.flushMu.Unlock()
 	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	lg := p.wal
 	names := make([]string, 0, len(p.dirty))
 	for name := range p.dirty {
 		names = append(names, name)
@@ -170,6 +238,11 @@ func (s *Server) flushDirty() {
 	p.timer = nil
 	p.mu.Unlock()
 
+	if lg != nil {
+		if err := lg.Rotate(); err != nil {
+			s.logf("wal rotate: %v", err)
+		}
+	}
 	sort.Strings(names)
 	for _, name := range names {
 		if _, err := s.Checkpoint(name); err != nil {
@@ -180,6 +253,17 @@ func (s *Server) flushDirty() {
 			if _, stillRegistered := s.registry.Get(name); stillRegistered {
 				s.markDirty(name)
 			}
+		}
+	}
+	if lg != nil {
+		p.mu.Lock()
+		cover := make(map[string]uint64, len(p.durable))
+		for name, epoch := range p.durable {
+			cover[name] = epoch
+		}
+		p.mu.Unlock()
+		if _, err := lg.Compact(cover); err != nil {
+			s.logf("wal compact: %v", err)
 		}
 	}
 }
@@ -209,11 +293,13 @@ type checkpointInfo struct {
 
 // Checkpoint writes the named graph's current snapshot — graph, event
 // store, and the cached vicinity indexes at the current graph version
-// — to the data directory, atomically (temp file + rename). The entry
-// is read through its epoch snapshot, so a checkpoint racing a
-// mutation persists one consistent version, never a torn mix. An
-// index deeper than the format's level cap is left out (the graph and
-// events still persist) rather than failing the whole checkpoint.
+// — to the data directory, atomically (temp file + rename + directory
+// fsync). The entry is read through its epoch snapshot, so a
+// checkpoint racing a mutation persists one consistent version, never
+// a torn mix. An index deeper than the format's level cap is left out
+// (the graph and events still persist) rather than failing the whole
+// checkpoint. On success the checkpoint epoch joins the WAL compaction
+// cover and a checkpoint stamp is appended to the log.
 func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
 	p := s.persist
 	if p == nil {
@@ -244,7 +330,7 @@ func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
 	}
 	monitors := s.monitors.States(name)
 	path := p.snapshotPath(name)
-	err := snapshot.SaveFile(path, &snapshot.Snapshot{
+	bytes, err := snapshot.SaveFileFS(p.fs, path, &snapshot.Snapshot{
 		Graph:        cur.Graph.Internal(),
 		Store:        cur.Store,
 		Indexes:      indexes,
@@ -256,24 +342,41 @@ func (s *Server) Checkpoint(name string) (checkpointInfo, error) {
 		return checkpointInfo{}, err
 	}
 	s.snapSaved.Add(1)
+	// The snapshot is durable: its epoch now covers this graph's log
+	// records for compaction. The durable map only moves forward — a
+	// dropped graph's sentinel must not be demoted by a racing stale
+	// checkpoint.
+	p.mu.Lock()
+	if cur.Epoch > p.durable[name] && p.durable[name] != droppedEpoch {
+		p.durable[name] = cur.Epoch
+	}
+	lg := p.wal
+	p.mu.Unlock()
+	if lg != nil {
+		// Best-effort observability stamp; durability does not depend
+		// on it (the cover map is authoritative).
+		if err := lg.Append(&wal.Record{Kind: wal.KindCheckpoint, Graph: name, Epoch: cur.Epoch}); err != nil {
+			s.logf("wal checkpoint stamp %q: %v", name, err)
+		}
+	}
 	info := checkpointInfo{
 		Graph:        name,
 		Path:         path,
+		Bytes:        bytes,
 		Epoch:        cur.Epoch,
 		GraphVersion: cur.GraphVersion,
 		Events:       cur.Store.NumEvents(),
 		IndexLevels:  levels,
 		Monitors:     len(monitors),
 	}
-	if st, err := os.Stat(path); err == nil {
-		info.Bytes = st.Size()
-	}
 	return info, nil
 }
 
 // removeSnapshot deletes the named graph's snapshot file and clears
 // its dirty mark, so a deregistered graph cannot resurrect at the next
-// boot (or be re-written by a pending background checkpoint).
+// boot (or be re-written by a pending background checkpoint). The
+// graph's WAL records are marked covered — nothing of a dropped graph
+// needs the log.
 func (s *Server) removeSnapshot(name string) {
 	p := s.persist
 	if p == nil {
@@ -281,6 +384,7 @@ func (s *Server) removeSnapshot(name string) {
 	}
 	p.mu.Lock()
 	delete(p.dirty, name)
+	p.durable[name] = droppedEpoch
 	p.mu.Unlock()
 	// Under ioMu: an in-flight Checkpoint either finished its write
 	// (the file is removed here) or has not re-validated yet (it will
@@ -288,8 +392,12 @@ func (s *Server) removeSnapshot(name string) {
 	// entry before calling this.
 	p.ioMu.Lock()
 	defer p.ioMu.Unlock()
-	if err := os.Remove(p.snapshotPath(name)); err != nil && !os.IsNotExist(err) {
+	if err := p.fs.Remove(p.snapshotPath(name)); err != nil && !p.fs.IsNotExist(err) {
 		s.logf("removing snapshot of %q: %v", name, err)
+		return
+	}
+	if err := p.fs.SyncDir(p.dir); err != nil {
+		s.logf("syncing data dir after removing %q: %v", name, err)
 	}
 }
 

@@ -128,9 +128,12 @@ func (e *GraphEntry) EnginePool(snap Snapshot) *tesc.EnginePool {
 // at least one change took effect, refresh — if non-nil — runs between
 // computing the successor and publishing it, with mutations still
 // serialized, so the index cache can migrate its entries before any
-// query can observe the new version. An entirely ineffective batch
-// publishes nothing and returns the current snapshot unchanged.
-func (e *GraphEntry) MutateEdges(changes []tesc.EdgeChange, refresh func(old, next Snapshot, applied []tesc.EdgeChange)) (Snapshot, []tesc.EdgeChange, error) {
+// query can observe the new version; a refresh error aborts the whole
+// mutation before publication (the WAL's log-before-publish hook: an
+// unloggable mutation must never be acknowledged). An entirely
+// ineffective batch publishes nothing and returns the current snapshot
+// unchanged.
+func (e *GraphEntry) MutateEdges(changes []tesc.EdgeChange, refresh func(old, next Snapshot, applied []tesc.EdgeChange) error) (Snapshot, []tesc.EdgeChange, error) {
 	e.mutMu.Lock()
 	defer e.mutMu.Unlock()
 	old := e.Snapshot()
@@ -148,7 +151,9 @@ func (e *GraphEntry) MutateEdges(changes []tesc.EdgeChange, refresh func(old, ne
 		GraphVersion: old.GraphVersion + 1,
 	}
 	if refresh != nil {
-		refresh(old, next, applied)
+		if err := refresh(old, next, applied); err != nil {
+			return Snapshot{}, nil, err
+		}
 	}
 	e.mu.Lock()
 	e.cur = next
@@ -186,12 +191,13 @@ func (e *GraphEntry) MutateEvents(add, remove map[string][]int) error {
 // density-cache invalidations there, so a standing query can never
 // bind the new epoch without its invalidation already being queued
 // (the same ordering the edge path gets from MutateEdges' refresh
-// callback).
-func (e *GraphEntry) MutateEventsNotify(add, remove map[string][]int, notify func(changed map[string][]graph.NodeID, nextEpoch uint64)) error {
+// callback), and the WAL appends its record there — a notify error
+// aborts the mutation before anything is applied or published.
+func (e *GraphEntry) MutateEventsNotify(add, remove map[string][]int, notify func(changed map[string][]graph.NodeID, nextEpoch uint64) error) error {
 	return e.mutateEvents(add, remove, notify)
 }
 
-func (e *GraphEntry) mutateEvents(add, remove map[string][]int, notify func(changed map[string][]graph.NodeID, nextEpoch uint64)) error {
+func (e *GraphEntry) mutateEvents(add, remove map[string][]int, notify func(changed map[string][]graph.NodeID, nextEpoch uint64) error) error {
 	e.mutMu.Lock()
 	defer e.mutMu.Unlock()
 	old := e.Snapshot()
@@ -253,7 +259,9 @@ func (e *GraphEntry) mutateEvents(add, remove map[string][]int, notify func(chan
 				changed[name] = append(changed[name], graph.NodeID(v))
 			}
 		}
-		notify(changed, old.Epoch+1)
+		if err := notify(changed, old.Epoch+1); err != nil {
+			return err
+		}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

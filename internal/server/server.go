@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tesc/internal/monitor"
+	"tesc/internal/wal"
 )
 
 // Config parameterizes the service.
@@ -31,6 +32,21 @@ type Config struct {
 	// first unflushed mark (default 2s), folding mutation bursts into
 	// one snapshot write.
 	CheckpointDelay time.Duration
+	// FsyncPolicy selects the WAL durability level: "always" (default;
+	// every acknowledged mutation is fsynced before the response),
+	// "interval" (group fsync on a timer), or "off" (OS page cache
+	// only). Meaningful only with DataDir.
+	FsyncPolicy string
+	// FsyncInterval is the group-fsync period under FsyncPolicy
+	// "interval" (default 100ms).
+	FsyncInterval time.Duration
+	// WALSegmentBytes caps a WAL segment before rotation (default
+	// 64 MiB).
+	WALSegmentBytes int64
+	// FS overrides the filesystem all durable state goes through; nil
+	// means the real one. Tests inject wal.FaultFS to crash the store
+	// at any chosen operation.
+	FS wal.FS
 	// Log receives request-level diagnostics; nil disables logging.
 	Log *log.Logger
 }
@@ -53,6 +69,12 @@ type Server struct {
 	persist    *persistState
 	snapSaved  atomic.Int64
 	snapLoaded atomic.Int64
+
+	// walReplayed counts WAL records applied during recovery;
+	// recoveryEpoch is the highest epoch any graph reached after
+	// snapshot + log replay. Both surface in healthz.
+	walReplayed   atomic.Int64
+	recoveryEpoch atomic.Uint64
 
 	// bfsRuns counts density-phase h-hop traversals performed across
 	// all correlate queries and screening sweeps; memoHits the density
@@ -81,10 +103,27 @@ func New(cfg Config) *Server {
 		mux:          http.NewServeMux(),
 	}
 	if cfg.DataDir != "" {
+		fsys := cfg.FS
+		if fsys == nil {
+			fsys = wal.OSFS{}
+		}
+		policy, err := wal.ParsePolicy(cfg.FsyncPolicy)
+		if err != nil {
+			// Config strings are validated by the flag parser in cmd/tescd
+			// before they reach here; an embedded caller's typo falls back
+			// to the strictest policy rather than silently weakening
+			// durability.
+			policy = wal.SyncAlways
+		}
 		s.persist = &persistState{
-			dir:   cfg.DataDir,
-			delay: cfg.CheckpointDelay,
-			dirty: make(map[string]struct{}),
+			dir:         cfg.DataDir,
+			delay:       cfg.CheckpointDelay,
+			fs:          fsys,
+			walPolicy:   policy,
+			walInterval: cfg.FsyncInterval,
+			walSegBytes: cfg.WALSegmentBytes,
+			dirty:       make(map[string]struct{}),
+			durable:     make(map[string]uint64),
 		}
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
@@ -125,9 +164,9 @@ func (s *Server) Handler() http.Handler {
 }
 
 // ListenAndServe runs the service at addr until the context is
-// canceled, then shuts down gracefully (in-flight requests get 5s) and
-// flushes any pending snapshot checkpoints, so mutations applied just
-// before the signal survive the restart.
+// canceled, then shuts down gracefully (in-flight requests get 5s),
+// flushes any pending snapshot checkpoints, and closes the WAL, so
+// mutations applied just before the signal survive the restart.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	if addr == "" {
 		addr = ":8537"
@@ -142,7 +181,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
-		s.FlushSnapshots()
+		s.Close()
 		return err
 	}
 }

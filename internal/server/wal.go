@@ -1,0 +1,266 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"tesc"
+	"tesc/internal/graph"
+	"tesc/internal/wal"
+)
+
+// errDurability marks mutation failures caused by the durability
+// layer (WAL append or synchronous checkpoint), not by the request;
+// handlers map it to 503 instead of 4xx. A mutation that cannot be
+// logged is never applied and never acknowledged — fail closed.
+var errDurability = errors.New("durability unavailable")
+
+// walChanges converts applied public edge changes to WAL records.
+func walChanges(changes []tesc.EdgeChange) []wal.EdgeChange {
+	out := make([]wal.EdgeChange, len(changes))
+	for i, c := range changes {
+		out[i] = wal.EdgeChange{U: c.U, V: c.V, Insert: c.Insert}
+	}
+	return out
+}
+
+// publicChanges is walChanges' inverse, for replay.
+func publicChanges(changes []wal.EdgeChange) []tesc.EdgeChange {
+	out := make([]tesc.EdgeChange, len(changes))
+	for i, c := range changes {
+		out[i] = tesc.EdgeChange{U: c.U, V: c.V, Insert: c.Insert}
+	}
+	return out
+}
+
+// walAppend logs one record through the mutation WAL. A nil return on
+// a SyncAlways log means the record is durable. Without a data dir —
+// or before LoadData has opened the log — appends are no-ops and the
+// server runs at the pre-WAL durability level (debounced snapshots
+// only).
+func (s *Server) walAppend(rec *wal.Record) error {
+	p := s.persist
+	if p == nil {
+		return nil
+	}
+	lg := p.log()
+	if lg == nil {
+		return nil
+	}
+	return lg.Append(rec)
+}
+
+// edgeMutation is one durable edge-batch application.
+type edgeMutation struct {
+	snap       Snapshot
+	applied    []tesc.EdgeChange
+	migrated   int
+	recomputed int
+}
+
+// applyEdges is the single serialized edge-mutation path: WAL append
+// (log-before-publish), index-cache migration, monitor notification,
+// publication, dirty mark. Both the HTTP handler (logIt=true) and WAL
+// replay (logIt=false — the records being replayed ARE the log) go
+// through it, so recovery exercises exactly the code production runs.
+func (s *Server) applyEdges(e *GraphEntry, changes []tesc.EdgeChange, logIt bool) (edgeMutation, error) {
+	var res edgeMutation
+	snap, applied, err := e.MutateEdges(changes, func(old, next Snapshot, applied []tesc.EdgeChange) error {
+		if logIt {
+			// The append comes first: a mutation that cannot be made
+			// durable must abort before the index cache learns about
+			// the next graph version — a poisoned cache entry for a
+			// version that never publishes would corrupt later reads.
+			if err := s.walAppend(&wal.Record{
+				Kind:         wal.KindEdges,
+				Graph:        e.Name(),
+				Epoch:        next.Epoch,
+				GraphVersion: next.GraphVersion,
+				Changes:      walChanges(applied),
+			}); err != nil {
+				return fmt.Errorf("%w: wal append: %v", errDurability, err)
+			}
+		}
+		var dirty []int
+		var dirtyLevel int
+		res.migrated, res.recomputed, dirty, dirtyLevel = s.cache.Refresh(e, old, next, applied, s.indexWorkers)
+		// Standing queries are notified inside the serialized mutation
+		// path, before the successor snapshot publishes: no re-screen
+		// can bind the new epoch without its invalidation queued. The
+		// index repair's flipped-vicinity set rides along so the ball
+		// BFS is not paid twice.
+		s.monitors.NotifyEdgeDelta(e.Name(), old.Graph.Internal(), next.Graph.Internal(),
+			internalChanges(applied), next.Epoch, internalNodes(dirty), dirtyLevel)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.snap, res.applied = snap, applied
+	if len(applied) > 0 {
+		s.markDirty(e.Name())
+	}
+	return res, nil
+}
+
+// applyEvents is applyEdges' twin for event mutations.
+func (s *Server) applyEvents(e *GraphEntry, add, remove map[string][]int, logIt bool) error {
+	err := e.MutateEventsNotify(add, remove, func(changed map[string][]graph.NodeID, nextEpoch uint64) error {
+		if logIt {
+			if err := s.walAppend(&wal.Record{
+				Kind:   wal.KindEvents,
+				Graph:  e.Name(),
+				Epoch:  nextEpoch,
+				Add:    add,
+				Remove: remove,
+			}); err != nil {
+				return fmt.Errorf("%w: wal append: %v", errDurability, err)
+			}
+		}
+		s.monitors.NotifyEventDelta(e.Name(), changed, nextEpoch)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.markDirty(e.Name())
+	return nil
+}
+
+// durableAck makes a non-logged structural change (graph registration,
+// monitor create/delete) durable before the response acknowledges it.
+// With the WAL open these rare operations checkpoint synchronously —
+// they have no WAL record kind, and a snapshot write is their natural
+// durability unit; without it (no -data, or before LoadData) they fall
+// back to the debounced dirty mark.
+func (s *Server) durableAck(name string) error {
+	p := s.persist
+	if p == nil {
+		return nil
+	}
+	if p.log() == nil {
+		s.markDirty(name)
+		return nil
+	}
+	if _, err := s.Checkpoint(name); err != nil {
+		return fmt.Errorf("%w: checkpoint: %v", errDurability, err)
+	}
+	return nil
+}
+
+// replayWAL applies the recovered log tail on top of the snapshot
+// state, through the same applyEdges/applyEvents path the live server
+// uses (index migration and monitor notification included). Records a
+// snapshot already covers (epoch ≤ the restored entry's) are skipped;
+// a gap or application failure halts replay for that graph only —
+// its state stays at the last consistent epoch, other graphs recover
+// fully. Records older than a graph's last KindDrop belong to a
+// previous generation of the name and are never replayed into its
+// successor.
+func (s *Server) replayWAL(records []wal.Record) {
+	lastDrop := make(map[string]int)
+	for i := range records {
+		if records[i].Kind == wal.KindDrop {
+			lastDrop[records[i].Graph] = i
+		}
+	}
+	halted := make(map[string]bool)
+	for i := range records {
+		r := &records[i]
+		if r.Kind != wal.KindEdges && r.Kind != wal.KindEvents {
+			continue
+		}
+		if j, dropped := lastDrop[r.Graph]; dropped && i < j {
+			continue
+		}
+		if halted[r.Graph] {
+			continue
+		}
+		e, ok := s.registry.Get(r.Graph)
+		if !ok {
+			// No snapshot restored the graph: either it was dropped
+			// (its records are stale) or its registration checkpoint
+			// was lost with the crash — in which case the client never
+			// saw a 201 and there is nothing to recover.
+			continue
+		}
+		cur := e.Snapshot()
+		if r.Epoch <= cur.Epoch {
+			continue // the snapshot already contains this mutation
+		}
+		if r.Epoch != cur.Epoch+1 {
+			s.logf("wal: %s: epoch gap (log %d after entry %d); halting replay for this graph", r.Graph, r.Epoch, cur.Epoch)
+			halted[r.Graph] = true
+			continue
+		}
+		var err error
+		switch r.Kind {
+		case wal.KindEdges:
+			if r.GraphVersion != cur.GraphVersion+1 {
+				err = fmt.Errorf("graph version gap (log %d after entry %d)", r.GraphVersion, cur.GraphVersion)
+				break
+			}
+			var res edgeMutation
+			if res, err = s.applyEdges(e, publicChanges(r.Changes), false); err == nil && len(res.applied) != len(r.Changes) {
+				err = fmt.Errorf("logged %d changes, %d took effect", len(r.Changes), len(res.applied))
+			}
+		case wal.KindEvents:
+			err = s.applyEvents(e, r.Add, r.Remove, false)
+		}
+		if err != nil {
+			s.logf("wal: %s: replaying epoch %d: %v; halting replay for this graph", r.Graph, r.Epoch, err)
+			halted[r.Graph] = true
+			continue
+		}
+		s.walReplayed.Add(1)
+	}
+	// recovery_epoch: the highest epoch any graph reached after
+	// snapshot + log tail — the "exact pre-crash epoch" healthz
+	// advertises.
+	var maxEpoch uint64
+	for _, name := range s.registry.Names() {
+		if e, ok := s.registry.Get(name); ok && e.Epoch() > maxEpoch {
+			maxEpoch = e.Epoch()
+		}
+	}
+	s.recoveryEpoch.Store(maxEpoch)
+}
+
+// Kill abandons the server's durable machinery without flushing —
+// the crash-test half of Close. Pending dirty marks are dropped,
+// debounce timers stopped, the WAL abandoned unsynced. Used by the
+// fault-injection tests to die mid-debounce; production crashes
+// simply... crash.
+func (s *Server) Kill() {
+	p := s.persist
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.dead = true
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	lg := p.wal
+	p.mu.Unlock()
+	if lg != nil {
+		lg.Kill()
+	}
+}
+
+// Close flushes pending checkpoints and closes the WAL — the graceful
+// shutdown path. Ordering matters and is pinned by a regression test:
+// the flush (which checkpoints, then compacts covered segments) fully
+// precedes the log close, so at no instant is a mutation in neither a
+// durable snapshot nor a live log segment.
+func (s *Server) Close() {
+	s.FlushSnapshots()
+	p := s.persist
+	if p == nil {
+		return
+	}
+	if lg := p.log(); lg != nil {
+		lg.Close()
+	}
+}

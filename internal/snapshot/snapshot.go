@@ -62,9 +62,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"tesc/internal/events"
@@ -72,6 +72,7 @@ import (
 	"tesc/internal/monitor"
 	"tesc/internal/stats"
 	"tesc/internal/vicinity"
+	"tesc/internal/wal"
 )
 
 // FormatVersion is the current snapshot format version.
@@ -988,43 +989,77 @@ func (c *cursor) u64() (uint64, error) {
 
 // ---- files ----------------------------------------------------------
 
-// SaveFile writes the snapshot to path atomically: the bytes go to a
-// temp file in the same directory, are fsynced, and only then renamed
-// over path. A crash mid-write leaves at worst a torn temp file —
-// which boot-time scans ignore by extension — never a torn snapshot.
-func SaveFile(path string, s *Snapshot) error {
+// tmpSeq numbers temp files within the process. Uniqueness per
+// directory is all the rename dance needs, and deterministic names
+// keep the fault-injection crash sweeps reproducible (no randomness
+// in the operation schedule).
+var tmpSeq atomic.Uint64
+
+// SaveFileFS writes the snapshot to path atomically through fsys: the
+// bytes go to a temp file in the same directory, are fsynced, the
+// temp is renamed over path, and finally the DIRECTORY is fsynced. A
+// crash mid-write leaves at worst a torn temp file — which boot-time
+// scans ignore by extension — never a torn snapshot.
+//
+// The directory fsync is load-bearing, not ceremony: on POSIX a
+// rename is not durable until the containing directory is synced, so
+// without it a crash shortly after SaveFileFS returned could roll the
+// file back to the previous version — fatal once WAL compaction has
+// deleted the log records that produced the newer one. The
+// fault-injection harness (wal.FaultFS) models exactly that rollback
+// and TestSaveFileCrashSweep fails without this line.
+func SaveFileFS(fsys wal.FS, path string, s *Snapshot) (int64, error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	tmpPath := fmt.Sprintf("%s.tmp-%d", path, tmpSeq.Add(1))
+	tmp, err := fsys.Create(tmpPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err := Save(tmp, s); err != nil {
-		return err
+	cleanup := func() {
+		tmp.Close()
+		_ = fsys.Remove(tmpPath)
+	}
+	cw := &countingWriter{w: tmp}
+	if err := Save(cw, s); err != nil {
+		cleanup()
+		return 0, err
 	}
 	if err := tmp.Sync(); err != nil {
-		return err
+		cleanup()
+		return 0, err
 	}
-	name := tmp.Name()
 	if err := tmp.Close(); err != nil {
-		return err
+		_ = fsys.Remove(tmpPath)
+		return 0, err
 	}
-	tmp = nil
-	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
-		return err
+	if err := fsys.Rename(tmpPath, path); err != nil {
+		_ = fsys.Remove(tmpPath)
+		return 0, err
 	}
-	return nil
+	return cw.n, fsys.SyncDir(dir)
 }
 
-// LoadFile reads and validates the snapshot at path.
-func LoadFile(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+// countingWriter tallies the snapshot's on-disk size as it streams
+// out, sparing the caller a stat through the FS abstraction.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SaveFile is SaveFileFS over the real filesystem.
+func SaveFile(path string, s *Snapshot) (int64, error) {
+	return SaveFileFS(wal.OSFS{}, path, s)
+}
+
+// LoadFileFS reads and validates the snapshot at path through fsys.
+func LoadFileFS(fsys wal.FS, path string) (*Snapshot, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -1032,9 +1067,14 @@ func LoadFile(path string) (*Snapshot, error) {
 	return Load(bufio.NewReaderSize(f, 1<<20))
 }
 
+// LoadFile reads and validates the snapshot at path.
+func LoadFile(path string) (*Snapshot, error) {
+	return LoadFileFS(wal.OSFS{}, path)
+}
+
 // InspectFile is Inspect over a file.
 func InspectFile(path string) (*Info, error) {
-	f, err := os.Open(path)
+	f, err := wal.OSFS{}.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -289,11 +289,11 @@ func TestSaveFileAtomic(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.tescsnap")
 	g := graph.Cycle(20)
-	if err := snapshot.SaveFile(path, &snapshot.Snapshot{Graph: g, Epoch: 3, GraphVersion: 2}); err != nil {
+	if _, err := snapshot.SaveFile(path, &snapshot.Snapshot{Graph: g, Epoch: 3, GraphVersion: 2}); err != nil {
 		t.Fatal(err)
 	}
 	// Overwrite in place: rename must replace, not fail.
-	if err := snapshot.SaveFile(path, &snapshot.Snapshot{Graph: g, Epoch: 4, GraphVersion: 2}); err != nil {
+	if _, err := snapshot.SaveFile(path, &snapshot.Snapshot{Graph: g, Epoch: 4, GraphVersion: 2}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := snapshot.LoadFile(path)

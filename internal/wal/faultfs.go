@@ -1,0 +1,369 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrash is returned by every FaultFS operation after the injected
+// crash point is reached. Callers detect it with errors.Is and treat
+// the process as dead.
+var ErrCrash = errors.New("faultfs: injected crash")
+
+// ErrSyncFailed is returned by File.Sync when a sync failure has been
+// injected. The data's durability is unknown; a correct caller must
+// not acknowledge the write.
+var ErrSyncFailed = errors.New("faultfs: injected fsync failure")
+
+// FaultFS is a deterministic in-memory filesystem with POSIX crash
+// semantics, for fault-injection tests. It models two views of every
+// file:
+//
+//   - the live view — what a running process reads back, including
+//     bytes never fsynced and renames never made durable;
+//   - the durable view — what survives a crash: per file, only the
+//     bytes written before its last successful Sync; per directory,
+//     only the creates/renames/removes made before the directory's
+//     last SyncDir.
+//
+// Every state-changing operation costs one step (a Write costs one
+// step regardless of size — its torn-prefix behaviour is separately
+// controlled by TornWrite). SetCrashAfter arms a crash at a step
+// budget: the operation that exceeds it, and every operation after,
+// fails with ErrCrash. Crash() then discards the live view and
+// re-opens the filesystem at the durable view, simulating a restart.
+type FaultFS struct {
+	mu sync.Mutex
+
+	// live and durable map path → inode. A file present in live but
+	// not durable was created (or renamed in) after the last SyncDir
+	// of its directory.
+	live    map[string]*memFile
+	durable map[string]*memFile
+
+	steps   int64
+	limit   int64 // crash when steps would exceed limit; -1 = unarmed
+	crashed bool
+
+	syncOK   int64 // remaining Syncs that succeed; -1 = all
+	syncFail bool  // once true, every Sync fails (sticky)
+
+	// TornWrite, when non-nil, decides how many bytes of the write
+	// that hits the crash point still land (a torn write). nil means
+	// the crashing write lands nothing.
+	TornWrite func(size int) int
+}
+
+// memFile is a shared inode: the live byte content plus the prefix
+// length made durable by the last successful Sync.
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewFaultFS returns an empty filesystem with no faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{
+		live:    make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+		limit:   -1,
+		syncOK:  -1,
+	}
+}
+
+// SetCrashAfter arms a crash after n more successful steps (counted
+// from the current step count). n = -1 disarms.
+func (fs *FaultFS) SetCrashAfter(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n < 0 {
+		fs.limit = -1
+		return
+	}
+	fs.limit = fs.steps + n
+}
+
+// SetSyncFailAfter makes every Sync after the next n successful ones
+// fail with ErrSyncFailed (sticky, like a dying disk). n = -1 disarms.
+func (fs *FaultFS) SetSyncFailAfter(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.syncOK = n
+	fs.syncFail = false
+}
+
+// Steps returns the number of state-changing operations performed so
+// far; the crash-point sweep runs once fault-free to learn the budget,
+// then replays the same schedule crashing at every step.
+func (fs *FaultFS) Steps() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.steps
+}
+
+// Crashed reports whether the armed crash point has been reached.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// ClearFault disarms a tripped crash point without discarding any
+// state — a transient I/O error that passed, not a reboot.
+func (fs *FaultFS) ClearFault() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = false
+	fs.limit = -1
+}
+
+// Crash simulates the machine dying and rebooting: the live namespace
+// and all unsynced bytes are discarded, and the filesystem re-opens at
+// the durable view. Any armed crash point is disarmed so recovery runs
+// fault-free (arm a new one to test crashes during recovery).
+func (fs *FaultFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Rebuild both views over fresh inodes truncated to their synced
+	// prefix, so handles held across the "reboot" cannot mutate the
+	// recovered state.
+	next := make(map[string]*memFile, len(fs.durable))
+	for p, f := range fs.durable {
+		next[p] = &memFile{data: append([]byte(nil), f.data[:f.synced]...), synced: f.synced}
+	}
+	fs.durable = next
+	fs.live = make(map[string]*memFile, len(next))
+	for p, f := range next {
+		fs.live[p] = f
+	}
+	fs.crashed = false
+	fs.limit = -1
+	fs.syncOK = -1
+	fs.syncFail = false
+}
+
+// step charges one operation against the crash budget. It returns
+// ErrCrash when the budget is exhausted.
+func (fs *FaultFS) step() error {
+	if fs.crashed {
+		return ErrCrash
+	}
+	if fs.limit >= 0 && fs.steps >= fs.limit {
+		fs.crashed = true
+		return ErrCrash
+	}
+	fs.steps++
+	return nil
+}
+
+func (fs *FaultFS) MkdirAll(string) error { return nil }
+
+func (fs *FaultFS) Create(p string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	fs.live[path.Clean(p)] = f
+	return &faultFile{fs: fs, f: f}, nil
+}
+
+func (fs *FaultFS) Open(p string) (ReadFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrash
+	}
+	f, ok := fs.live[path.Clean(p)]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: %w", p, errNotExist)
+	}
+	// Readers see a stable copy of the live bytes at open time.
+	return &faultReader{data: append([]byte(nil), f.data...)}, nil
+}
+
+func (fs *FaultFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrash
+	}
+	dir = path.Clean(dir)
+	var names []string
+	for p := range fs.live {
+		if path.Dir(p) == dir {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *FaultFS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	p = path.Clean(p)
+	if _, ok := fs.live[p]; !ok {
+		return fmt.Errorf("faultfs: remove %s: %w", p, errNotExist)
+	}
+	delete(fs.live, p)
+	return nil
+}
+
+func (fs *FaultFS) Rename(oldP, newP string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	oldP, newP = path.Clean(oldP), path.Clean(newP)
+	f, ok := fs.live[oldP]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: %w", oldP, errNotExist)
+	}
+	delete(fs.live, oldP)
+	fs.live[newP] = f
+	return nil
+}
+
+// SyncDir makes dir's namespace durable: every live entry under dir
+// becomes visible in the durable view, every removed or renamed-away
+// entry disappears from it. File CONTENT durability is still governed
+// by each file's own Sync, exactly as on POSIX.
+func (fs *FaultFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	dir = path.Clean(dir)
+	for p, f := range fs.live {
+		if path.Dir(p) == dir {
+			fs.durable[p] = f
+		}
+	}
+	for p := range fs.durable {
+		if path.Dir(p) == dir {
+			if _, ok := fs.live[p]; !ok {
+				delete(fs.durable, p)
+			}
+		}
+	}
+	return nil
+}
+
+func (fs *FaultFS) IsNotExist(err error) bool { return errors.Is(err, errNotExist) }
+
+var errNotExist = errors.New("file does not exist")
+
+// ---- handles --------------------------------------------------------
+
+type faultFile struct {
+	fs *FaultFS
+	f  *memFile
+}
+
+func (h *faultFile) Write(b []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.step(); err != nil {
+		// The crashing write may land a torn prefix — that is exactly
+		// what a real power cut mid-write does.
+		if errors.Is(err, ErrCrash) && h.fs.TornWrite != nil {
+			if n := h.fs.TornWrite(len(b)); n > 0 {
+				if n > len(b) {
+					n = len(b)
+				}
+				h.f.data = append(h.f.data, b[:n]...)
+			}
+		}
+		return 0, err
+	}
+	h.f.data = append(h.f.data, b...)
+	return len(b), nil
+}
+
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.step(); err != nil {
+		return err
+	}
+	if h.fs.syncFail {
+		return ErrSyncFailed
+	}
+	if h.fs.syncOK >= 0 {
+		if h.fs.syncOK == 0 {
+			h.fs.syncFail = true
+			return ErrSyncFailed
+		}
+		h.fs.syncOK--
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *faultFile) Close() error { return nil }
+
+type faultReader struct {
+	data []byte
+	off  int
+}
+
+func (r *faultReader) Read(b []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(b, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *faultReader) Close() error { return nil }
+
+// ---- test helpers ---------------------------------------------------
+
+// SetFile installs raw bytes as a fully durable file, for corruption
+// tests that hand-craft log or snapshot images.
+func (fs *FaultFS) SetFile(p string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &memFile{data: append([]byte(nil), data...), synced: len(data)}
+	p = path.Clean(p)
+	fs.live[p] = f
+	fs.durable[p] = f
+}
+
+// Bytes returns a copy of a file's live content, or nil when absent.
+func (fs *FaultFS) Bytes(p string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.live[path.Clean(p)]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.data...)
+}
+
+// List returns every live path with the given prefix, sorted.
+func (fs *FaultFS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.live {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

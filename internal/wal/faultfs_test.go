@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFaultFSDurabilityModel pins the POSIX semantics the harness
+// simulates: file content survives a crash only up to the last Sync,
+// and namespace operations (create, rename, remove) survive only past
+// a SyncDir of the containing directory.
+func TestFaultFSDurabilityModel(t *testing.T) {
+	fsys := NewFaultFS()
+
+	f, err := fsys.Create("d/a")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	f.Write([]byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.Write([]byte("+lost"))
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+
+	g, _ := fsys.Create("d/b")
+	g.Write([]byte("never synced"))
+	g.Sync() // content durable, but the create itself is not dir-synced
+
+	fsys.Crash()
+
+	got := fsys.Bytes("d/a")
+	if string(got) != "durable" {
+		t.Fatalf("d/a after crash = %q, want synced prefix %q", got, "durable")
+	}
+	if fsys.Bytes("d/b") != nil {
+		t.Fatal("d/b survived a crash without SyncDir of its create")
+	}
+}
+
+func TestFaultFSRenameDurability(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.SetFile("d/target", []byte("old"))
+
+	f, _ := fsys.Create("d/tmp")
+	f.Write([]byte("new"))
+	f.Sync()
+	if err := fsys.Rename("d/tmp", "d/target"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	// Crash before SyncDir: the rename may roll back — exactly the
+	// torn-checkpoint bug the snapshot store had to fix.
+	fsys.Crash()
+	if got := string(fsys.Bytes("d/target")); got != "old" {
+		t.Fatalf("un-dir-synced rename survived crash: target = %q", got)
+	}
+	if fsys.Bytes("d/tmp") != nil {
+		t.Fatal("un-dir-synced temp file survived crash")
+	}
+
+	// Same sequence with the SyncDir: the rename must stick.
+	f, _ = fsys.Create("d/tmp")
+	f.Write([]byte("new"))
+	f.Sync()
+	fsys.Rename("d/tmp", "d/target")
+	if err := fsys.SyncDir("d"); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	fsys.Crash()
+	if got := string(fsys.Bytes("d/target")); got != "new" {
+		t.Fatalf("dir-synced rename lost: target = %q", got)
+	}
+}
+
+func TestFaultFSRemoveDurability(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.SetFile("d/x", []byte("x"))
+	if err := fsys.Remove("d/x"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	fsys.Crash()
+	if fsys.Bytes("d/x") == nil {
+		t.Fatal("un-dir-synced remove: acceptable either way, but resurrect must restore content")
+	}
+	fsys.Remove("d/x")
+	fsys.SyncDir("d")
+	fsys.Crash()
+	if fsys.Bytes("d/x") != nil {
+		t.Fatal("dir-synced remove rolled back")
+	}
+}
+
+func TestFaultFSCrashPoint(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.SetCrashAfter(2)
+	if _, err := fsys.Create("d/a"); err != nil { // step 1
+		t.Fatalf("step 1: %v", err)
+	}
+	if err := fsys.SyncDir("d"); err != nil { // step 2
+		t.Fatalf("step 2: %v", err)
+	}
+	if _, err := fsys.Create("d/b"); !errors.Is(err, ErrCrash) { // step 3: boom
+		t.Fatalf("step 3 = %v, want ErrCrash", err)
+	}
+	if _, err := fsys.Open("d/a"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash open = %v, want ErrCrash", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("Crashed() false after trip")
+	}
+	fsys.Crash()
+	if _, err := fsys.Open("d/a"); err != nil {
+		t.Fatalf("open after reboot: %v", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.TornWrite = func(size int) int { return 3 }
+	f, _ := fsys.Create("d/a")
+	fsys.SyncDir("d")
+	fsys.SetCrashAfter(0)
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrCrash) {
+		t.Fatal("crashing write did not report ErrCrash")
+	}
+	// The torn prefix is in the live view but was never synced: it
+	// must NOT survive the crash (unsynced bytes die with the cache).
+	fsys.Crash()
+	if got := fsys.Bytes("d/a"); len(got) != 0 {
+		t.Fatalf("unsynced torn bytes survived crash: %q", got)
+	}
+}
+
+func TestFaultFSReaderIsolation(t *testing.T) {
+	fsys := NewFaultFS()
+	fsys.SetFile("d/a", []byte("one"))
+	r, err := fsys.Open("d/a")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Writes after open must not bleed into the open reader.
+	f, _ := fsys.Create("d/a")
+	f.Write([]byte("two"))
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "one" {
+		t.Fatalf("reader saw %q (%v), want snapshot %q", got, err, "one")
+	}
+}

@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzReplayWAL feeds arbitrary bytes to the segment scanner as a
+// durable log image. The contract under fuzzing: no panic, no
+// unbounded allocation, and re-encoding every record the scan accepts
+// must reproduce a decodable record (decode ∘ encode = id on the
+// accepted set).
+func FuzzReplayWAL(f *testing.F) {
+	// Seed with a pristine image and a few structured mutants.
+	fsys := NewFaultFS()
+	l, _, err := Open("seed", Options{FS: fsys, Policy: SyncAlways})
+	if err != nil {
+		f.Fatal(err)
+	}
+	l.Append(&Record{Kind: KindEdges, Graph: "g", Epoch: 2, GraphVersion: 2,
+		Changes: []EdgeChange{{U: 0, V: 1, Insert: true}}})
+	l.Append(&Record{Kind: KindEvents, Graph: "g", Epoch: 3,
+		Add: map[string][]int{"a": {1, 2}}, Remove: map[string][]int{"b": {}}})
+	l.Append(&Record{Kind: KindDrop, Graph: "g", Epoch: 3})
+	l.Close()
+	img := fsys.Bytes("seed/" + segName(1))
+	f.Add(img)
+	f.Add(img[:len(img)-3])
+	forged := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint32(forged[segHeaderLen:], 0xffffffff)
+	f.Add(forged)
+	f.Add([]byte("TESCWAL1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fsys := NewFaultFS()
+		fsys.SetFile("d/"+segName(1), data)
+		l, rec, err := Open("d", Options{FS: fsys})
+		if err != nil {
+			t.Fatalf("Open must not fail on corrupt segments (skips them): %v", err)
+		}
+		defer l.Close()
+		for i := range rec.Records {
+			r := rec.Records[i]
+			payload, err := encodeRecord(&r)
+			if err != nil {
+				t.Fatalf("accepted record %d does not re-encode: %v", i, err)
+			}
+			back, err := decodeRecord(payload)
+			if err != nil {
+				t.Fatalf("re-encoded record %d does not decode: %v", i, err)
+			}
+			if back.Kind != r.Kind || back.Graph != r.Graph || back.Epoch != r.Epoch {
+				t.Fatalf("record %d not stable under encode/decode", i)
+			}
+		}
+		// The scanner's own CRC arithmetic must agree with a direct
+		// frame walk: every accepted record's payload bytes are
+		// present and checksum-clean in the input.
+		if len(rec.Records) > 0 {
+			off := segHeaderLen
+			for range rec.Records {
+				plen := binary.LittleEndian.Uint32(data[off:])
+				want := binary.LittleEndian.Uint32(data[off+4:])
+				payload := data[off+frameLen : off+frameLen+int(plen)]
+				if crc32.ChecksumIEEE(payload) != want {
+					t.Fatal("accepted record with mismatched CRC")
+				}
+				off += frameLen + int(plen)
+			}
+		}
+	})
+}
+
+// FuzzRecordDecode drives the payload decoder directly.
+func FuzzRecordDecode(f *testing.F) {
+	for _, r := range []*Record{
+		{Kind: KindEdges, Graph: "g", Epoch: 2, GraphVersion: 2, Changes: []EdgeChange{{U: 5, V: 6, Insert: true}}},
+		{Kind: KindEvents, Graph: "g", Epoch: 7, Add: map[string][]int{"x": {3}}},
+		{Kind: KindCheckpoint, Graph: "g", Epoch: 9},
+	} {
+		payload, err := encodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := decodeRecord(data)
+		if err != nil {
+			return
+		}
+		payload, err := encodeRecord(&r)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+		back, err := decodeRecord(payload)
+		if err != nil {
+			t.Fatalf("canonical payload does not decode: %v", err)
+		}
+		canon, err := encodeRecord(&back)
+		if err != nil || !bytes.Equal(canon, payload) {
+			t.Fatal("encode not a fixpoint on decoded records")
+		}
+	})
+}

@@ -1,0 +1,328 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind tags a WAL record. The numbering is part of the on-disk format.
+type Kind uint8
+
+const (
+	// KindEdges is an applied edge-change batch: exactly the changes
+	// ApplyDelta consumed, at the epoch and graph version the mutation
+	// published.
+	KindEdges Kind = 1
+	// KindEvents is an event mutation: occurrence additions and
+	// removals applied as one epoch bump.
+	KindEvents Kind = 2
+	// KindCheckpoint stamps a durable snapshot of the graph at the
+	// given epoch. Purely informational — compaction coverage is
+	// tracked by the server — but it makes the log self-describing for
+	// offline inspection.
+	KindCheckpoint Kind = 3
+	// KindDrop records the graph's deregistration. Replay ignores all
+	// earlier records of the name, so a later re-registration under
+	// the same name can never absorb the previous generation's
+	// mutations (their epochs would otherwise collide).
+	KindDrop Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEdges:
+		return "edges"
+	case KindEvents:
+		return "events"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// EdgeChange mirrors tesc.EdgeChange without importing the public
+// package: one applied edge flip.
+type EdgeChange struct {
+	U, V   int
+	Insert bool
+}
+
+// Record is one logged mutation. Graph and Epoch are set on every
+// kind; the remaining fields depend on Kind.
+type Record struct {
+	Kind  Kind
+	Graph string
+	// Epoch is the epoch the mutation published (KindEdges,
+	// KindEvents), the epoch made durable (KindCheckpoint), or the
+	// last epoch of the dropped generation (KindDrop).
+	Epoch uint64
+
+	// GraphVersion is the graph version KindEdges published.
+	GraphVersion uint64
+	// Changes holds the applied edge flips of a KindEdges record.
+	Changes []EdgeChange
+
+	// Add and Remove hold a KindEvents record's occurrence additions
+	// and removals (event name → node IDs; an empty removal list means
+	// the whole event), exactly the mutation-request semantics.
+	Add    map[string][]int
+	Remove map[string][]int
+}
+
+// mutation reports whether the record carries state a replay must
+// re-apply (as opposed to log metadata).
+func (r *Record) mutation() bool { return r.Kind == KindEdges || r.Kind == KindEvents }
+
+// encodeRecord serializes a record payload (the framing — length and
+// CRC — is the segment writer's job). Layout, all little-endian:
+//
+//	kind u8 | graph name u16+bytes | epoch u64 | kind-specific body
+//
+//	edges body:  graph version u64 | count u32 | count × {u u32, v u32, flags u8 (bit0 = insert)}
+//	events body: add count u32 | add count × {name u16+bytes, n u32, n × node u32}
+//	             | remove count u32 | same shape (n = 0 removes the whole event)
+//	checkpoint/drop body: empty
+//
+// Event names are emitted sorted, so the same logical mutation always
+// encodes to the same bytes — the differential tests compare logs
+// across runs.
+func encodeRecord(r *Record) ([]byte, error) {
+	if len(r.Graph) > math.MaxUint16 {
+		return nil, fmt.Errorf("wal: graph name of %d bytes exceeds the format's %d-byte limit", len(r.Graph), math.MaxUint16)
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(r.Kind))
+	buf = appendString(buf, r.Graph)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	switch r.Kind {
+	case KindEdges:
+		buf = binary.LittleEndian.AppendUint64(buf, r.GraphVersion)
+		if len(r.Changes) > math.MaxUint32 {
+			return nil, fmt.Errorf("wal: %d edge changes exceed the format's count field", len(r.Changes))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Changes)))
+		for _, c := range r.Changes {
+			if c.U < 0 || c.V < 0 || c.U > math.MaxUint32 || c.V > math.MaxUint32 {
+				return nil, fmt.Errorf("wal: edge (%d,%d) outside the format's u32 node range", c.U, c.V)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(c.U))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(c.V))
+			var flags byte
+			if c.Insert {
+				flags |= 1
+			}
+			buf = append(buf, flags)
+		}
+	case KindEvents:
+		var err error
+		if buf, err = appendEventMap(buf, r.Add, "add"); err != nil {
+			return nil, err
+		}
+		if buf, err = appendEventMap(buf, r.Remove, "remove"); err != nil {
+			return nil, err
+		}
+	case KindCheckpoint, KindDrop:
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendEventMap(buf []byte, m map[string][]int, what string) ([]byte, error) {
+	if len(m) > math.MaxUint32 {
+		return nil, fmt.Errorf("wal: %d %s events exceed the format's count field", len(m), what)
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+	for _, name := range names {
+		if len(name) > math.MaxUint16 {
+			return nil, fmt.Errorf("wal: event name of %d bytes exceeds the format's %d-byte limit", len(name), math.MaxUint16)
+		}
+		nodes := m[name]
+		if len(nodes) > math.MaxUint32 {
+			return nil, fmt.Errorf("wal: event %q: %d nodes exceed the format's count field", name, len(nodes))
+		}
+		buf = appendString(buf, name)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nodes)))
+		for _, v := range nodes {
+			if v < 0 || v > math.MaxUint32 {
+				return nil, fmt.Errorf("wal: event %q node %d outside the format's u32 range", name, v)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	return buf, nil
+}
+
+// decodeRecord parses one record payload, trusting nothing: every
+// count is validated against the bytes actually present before any
+// allocation is sized by it, so a hostile payload fails cleanly
+// instead of panicking or ballooning memory.
+func decodeRecord(b []byte) (Record, error) {
+	c := rcursor{b: b}
+	kind, err := c.u8()
+	if err != nil {
+		return Record{}, err
+	}
+	rec := Record{Kind: Kind(kind)}
+	if rec.Graph, err = c.str(); err != nil {
+		return Record{}, err
+	}
+	if rec.Graph == "" {
+		return Record{}, fmt.Errorf("wal: record without a graph name")
+	}
+	if rec.Epoch, err = c.u64(); err != nil {
+		return Record{}, err
+	}
+	switch rec.Kind {
+	case KindEdges:
+		if rec.GraphVersion, err = c.u64(); err != nil {
+			return Record{}, err
+		}
+		count, err := c.u32()
+		if err != nil {
+			return Record{}, err
+		}
+		// 9 bytes per change; a lying count fails before the make.
+		if uint64(count)*9 > uint64(c.remaining()) {
+			return Record{}, fmt.Errorf("wal: edges record declares %d changes in %d remaining bytes", count, c.remaining())
+		}
+		rec.Changes = make([]EdgeChange, count)
+		for i := range rec.Changes {
+			u, _ := c.u32()
+			v, _ := c.u32()
+			flags, err := c.u8()
+			if err != nil {
+				return Record{}, err
+			}
+			if flags&^byte(1) != 0 {
+				return Record{}, fmt.Errorf("wal: edges record unknown flag bits %#02x", flags)
+			}
+			rec.Changes[i] = EdgeChange{U: int(u), V: int(v), Insert: flags&1 != 0}
+		}
+	case KindEvents:
+		if rec.Add, err = c.eventMap(); err != nil {
+			return Record{}, err
+		}
+		if rec.Remove, err = c.eventMap(); err != nil {
+			return Record{}, err
+		}
+	case KindCheckpoint, KindDrop:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+	if c.remaining() != 0 {
+		return Record{}, fmt.Errorf("wal: record has %d trailing bytes", c.remaining())
+	}
+	return rec, nil
+}
+
+// rcursor is a bounds-checked reader over a record payload.
+type rcursor struct {
+	b   []byte
+	off int
+}
+
+func (c *rcursor) remaining() int { return len(c.b) - c.off }
+
+func (c *rcursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("wal: record truncated: need %d bytes at offset %d, have %d", n, c.off, c.remaining())
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out, nil
+}
+
+func (c *rcursor) u8() (byte, error) {
+	b, err := c.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *rcursor) u32() (uint32, error) {
+	b, err := c.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *rcursor) u64() (uint64, error) {
+	b, err := c.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (c *rcursor) str() (string, error) {
+	b, err := c.bytes(2)
+	if err != nil {
+		return "", err
+	}
+	sb, err := c.bytes(int(binary.LittleEndian.Uint16(b)))
+	if err != nil {
+		return "", err
+	}
+	return string(sb), nil
+}
+
+func (c *rcursor) eventMap() (map[string][]int, error) {
+	count, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	// Each entry is at least 6 bytes (empty name, zero nodes).
+	if uint64(count)*6 > uint64(c.remaining()) {
+		return nil, fmt.Errorf("wal: events record declares %d entries in %d remaining bytes", count, c.remaining())
+	}
+	m := make(map[string][]int, count)
+	prev := ""
+	for i := uint32(0); i < count; i++ {
+		name, err := c.str()
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, fmt.Errorf("wal: events record entry %d has empty name", i)
+		}
+		if i > 0 && name <= prev {
+			return nil, fmt.Errorf("wal: events record names not strictly ascending (%q after %q)", name, prev)
+		}
+		prev = name
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(n)*4 > uint64(c.remaining()) {
+			return nil, fmt.Errorf("wal: event %q declares %d nodes in %d remaining bytes", name, n, c.remaining())
+		}
+		nodes := make([]int, n)
+		for k := range nodes {
+			v, _ := c.u32()
+			nodes[k] = int(v)
+		}
+		m[name] = nodes
+	}
+	return m, nil
+}
