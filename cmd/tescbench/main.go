@@ -52,6 +52,7 @@ func main() {
 		churnFsync   = flag.String("churn-fsync", "always,interval,off", "comma-separated WAL fsync policies to time in -churn mode (empty skips the WAL column)")
 		soak         = flag.Duration("soak", 0, "run an in-process tescd soak for this duration: FlipStream mutations against live monitors (built for the nightly -race job)")
 		soakRecover  = flag.Duration("soak-recover", 0, "run a kill-and-recover soak for this duration: a durable tescd is killed mid-stream and rebooted from snapshot+WAL in a loop, verifying epoch continuity each cycle")
+		soakReplica  = flag.Duration("soak-replica", 0, "run a replication soak for this duration: two read replicas follow a churning primary through a faulty transport (drops, corruption, partitions) with crash-restarts, verifying convergence after every heal")
 
 		serve      = flag.String("serve", "", "load-test a running tescd daemon at this base URL instead of running experiments")
 		serveReqs  = flag.Int("serve-requests", 200, "number of correlate queries in -serve mode")
@@ -90,6 +91,13 @@ func main() {
 	}
 	if *soakRecover > 0 {
 		if err := runSoakRecover(*soakRecover, *seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soakReplica > 0 {
+		if err := runSoakReplica(*soakReplica, *seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "tescbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"tesc"
+	"tesc/internal/graphgen"
+	"tesc/internal/replica"
+	"tesc/internal/server"
+)
+
+// soakFollower is one read replica in the soak: a durable read-only
+// tescd plus the Follower pulling it forward, rebootable in place.
+type soakFollower struct {
+	dir string
+	t   *replica.FaultTransport
+	srv *server.Server
+	fol *replica.Follower
+	acc replica.Metrics // carried across crash-restarts
+}
+
+// metrics returns lifetime counters: everything accumulated before the
+// last reboot plus the live follower's counts.
+func (f *soakFollower) metrics() replica.Metrics {
+	m := f.fol.Metrics()
+	m.RecordsApplied += f.acc.RecordsApplied
+	m.RecordsSkipped += f.acc.RecordsSkipped
+	m.Pulls += f.acc.Pulls
+	m.Bootstraps += f.acc.Bootstraps
+	m.Discards += f.acc.Discards
+	m.Faults += f.acc.Faults
+	return m
+}
+
+func (f *soakFollower) boot() error {
+	if f.fol != nil {
+		f.acc = f.metrics()
+	}
+	f.srv = server.New(server.Config{
+		IndexCacheCapacity: 4,
+		DataDir:            f.dir,
+		CheckpointDelay:    time.Hour,
+		FsyncPolicy:        "always",
+		ReadOnly:           true,
+	})
+	if _, err := f.srv.LoadData(); err != nil {
+		return err
+	}
+	f.fol = replica.New(f.t, f.srv.FollowerState(), nil)
+	f.srv.AttachFollower(f.fol)
+	return nil
+}
+
+// runSoakReplica exercises replication end to end on the real wire
+// path for a wall-clock duration: a durable primary ingests FlipStream
+// edge batches over HTTP while two followers replicate through
+// FaultTransport-wrapped HTTP transports that drop, duplicate,
+// truncate, corrupt and partition the stream; followers are
+// crash-restarted from their own data directories mid-stream, and the
+// primary periodically checkpoints + compacts its log so lagging
+// cursors go stale and force snapshot re-bootstraps. Every cycle ends
+// with a heal and asserts both followers converge to the primary's
+// exact epoch, graph version and edge count within a bounded number of
+// sync rounds. Built for the nightly job; see docs/REPLICATION.md.
+func runSoakReplica(d time.Duration, seed uint64, w io.Writer) error {
+	primDir, err := os.MkdirTemp("", "tescbench-soak-replica-prim-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(primDir)
+
+	prim := server.New(server.Config{
+		IndexCacheCapacity: 4,
+		DataDir:            primDir,
+		CheckpointDelay:    time.Hour,
+		FsyncPolicy:        "always",
+	})
+	if _, err := prim.LoadData(); err != nil {
+		return err
+	}
+	defer prim.Close()
+	ts := httptest.NewServer(prim.Handler())
+	defer ts.Close()
+
+	g := tesc.RandomCommunityGraph(4, 500, 6, 0.5, seed)
+	var sb strings.Builder
+	if err := g.WriteGraph(&sb); err != nil {
+		return err
+	}
+	if err := postJSON(ts.Client(), ts.URL+"/v1/graphs", map[string]any{"name": "soak", "edge_list": sb.String()}, nil); err != nil {
+		return fmt.Errorf("registering graph: %w", err)
+	}
+	if err := postJSON(ts.Client(), ts.URL+"/v1/graphs/soak/events",
+		map[string]any{"events": map[string][]int{"a": {0, 1, 2}, "b": {1990, 1995}}}, nil); err != nil {
+		return fmt.Errorf("registering events: %w", err)
+	}
+
+	followers := make([]*soakFollower, 2)
+	for i := range followers {
+		dir, err := os.MkdirTemp("", fmt.Sprintf("tescbench-soak-replica-f%d-", i))
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		followers[i] = &soakFollower{
+			dir: dir,
+			t: replica.NewFaultTransport(&replica.HTTPTransport{Base: ts.URL},
+				int64(seed)*31+int64(i), 0.25),
+		}
+		if err := followers[i].boot(); err != nil {
+			return fmt.Errorf("booting follower %d: %v", i, err)
+		}
+		defer func(f *soakFollower) { f.srv.Close() }(followers[i])
+	}
+
+	rng := rand.New(rand.NewPCG(seed, seed^77))
+	deadline := time.Now().Add(d)
+	var cycles, crashes, batches, convergeRounds, maxRounds int
+	var maxLag uint64
+	for {
+		// Re-arm the injectors: each cycle churns under faults and only
+		// the post-cycle convergence check runs on a healed wire.
+		for _, f := range followers {
+			f.t.Break()
+		}
+		entry, ok := prim.Registry().Get("soak")
+		if !ok {
+			return fmt.Errorf("cycle %d: graph missing on primary", cycles)
+		}
+		stream := graphgen.NewFlipStream(entry.Graph().Internal(), 0.5, rand.New(rand.NewPCG(seed^uint64(cycles), 3)))
+		for i := 0; i < 10+rng.IntN(20); i++ {
+			var ins, del [][2]int
+			for _, c := range stream.Take(1 + rng.IntN(8)) {
+				p := [2]int{int(c.U), int(c.V)}
+				if c.Insert {
+					ins = append(ins, p)
+				} else {
+					del = append(del, p)
+				}
+			}
+			if err := postJSON(ts.Client(), ts.URL+"/v1/graphs/soak/edges",
+				map[string]any{"insert": ins, "delete": del}, nil); err != nil {
+				return fmt.Errorf("cycle %d: edge batch: %w", cycles, err)
+			}
+			batches++
+			// Followers pull mid-churn through the faulty wire; errors
+			// are injected faults and must never be fatal.
+			for _, f := range followers {
+				for k := rng.IntN(3); k > 0; k-- {
+					_ = f.fol.Sync()
+				}
+				if lag := f.fol.Metrics().LagEpochs; lag > maxLag {
+					maxLag = lag
+				}
+			}
+		}
+		cycles++
+
+		// Periodic checkpoint + compaction: cursors parked before the
+		// compaction point go "too old" and must re-bootstrap.
+		if cycles%3 == 0 {
+			prim.FlushSnapshots()
+		}
+		// Crash-restart one follower per odd cycle; its local WAL tail
+		// and saved cursor carry it back, the epoch gate dedups overlap.
+		if cycles%2 == 1 {
+			victim := followers[cycles/2%len(followers)]
+			victim.srv.Kill()
+			if err := victim.boot(); err != nil {
+				return fmt.Errorf("cycle %d: follower reboot: %v", cycles, err)
+			}
+			crashes++
+		}
+
+		// Heal the wire; both followers must now fully converge.
+		want := prim.Registry()
+		wantEntry, _ := want.Get("soak")
+		wantSnap := wantEntry.Snapshot()
+		for i, f := range followers {
+			f.t.Heal()
+			rounds := 0
+			for ; rounds < 100; rounds++ {
+				if err := f.fol.Sync(); err != nil {
+					return fmt.Errorf("cycle %d: follower %d healed sync: %v", cycles, i, err)
+				}
+				e, ok := f.srv.Registry().Get("soak")
+				if !ok {
+					continue
+				}
+				s := e.Snapshot()
+				if s.Epoch == wantSnap.Epoch && s.GraphVersion == wantSnap.GraphVersion &&
+					s.Graph.NumEdges() == wantSnap.Graph.NumEdges() &&
+					s.Store.NumEvents() == wantSnap.Store.NumEvents() {
+					break
+				}
+			}
+			if rounds == 100 {
+				return fmt.Errorf("cycle %d: follower %d did not converge to epoch %d", cycles, i, wantSnap.Epoch)
+			}
+			convergeRounds += rounds + 1
+			if rounds+1 > maxRounds {
+				maxRounds = rounds + 1
+			}
+		}
+
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+
+	var applied, skipped, bootstraps, pulls, faults int64
+	for _, f := range followers {
+		m := f.metrics()
+		applied += m.RecordsApplied
+		skipped += m.RecordsSkipped
+		bootstraps += m.Bootstraps
+		pulls += m.Pulls
+		faults += m.Faults
+	}
+	entry, _ := prim.Registry().Get("soak")
+	fmt.Fprintf(w, "== soak-replica (%v) ==\n", d)
+	fmt.Fprintf(w, "cycles: %d (%d follower crash-restarts); batches acked: %d; final primary epoch: %d\n",
+		cycles, crashes, batches, entry.Epoch())
+	fmt.Fprintf(w, "followers: records applied %d, deduped %d, pulls %d, snapshot bootstraps %d, transport faults survived %d\n",
+		applied, skipped, pulls, bootstraps, faults)
+	fmt.Fprintf(w, "lag: max observed %d epochs mid-churn; convergence after heal: mean %.1f rounds, max %d (bound 100)\n",
+		maxLag, float64(convergeRounds)/float64(2*cycles), maxRounds)
+	fmt.Fprintf(w, "both followers converged to the primary's exact epoch every cycle\n")
+	return nil
+}

@@ -27,6 +27,7 @@
 //	tescd -load social=graph.txt -load-events social=events.txt
 //	tescd -cache 16 -workers 8
 //	tescd -pprof 127.0.0.1:6060   # opt-in profiling, loopback only
+//	tescd -data /var/lib/replica -follow http://primary:8537   # read replica
 //
 // See docs/API.md for the endpoint reference, e.g.:
 //
@@ -53,6 +54,7 @@ import (
 
 	"tesc"
 	"tesc/internal/graphio"
+	"tesc/internal/replica"
 	"tesc/internal/server"
 	"tesc/internal/wal"
 )
@@ -69,6 +71,8 @@ func main() {
 		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "group-fsync period with -fsync interval")
 		walSeg    = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment size before rotation")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof diagnostics on this address (off by default; bind loopback only, e.g. 127.0.0.1:6060 — the profiler exposes heap contents and must never face untrusted networks)")
+		follow    = flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8537): bootstrap from its snapshots, stream its WAL, serve reads; mutation endpoints return 403")
+		followIvl = flag.Duration("follow-poll", 500*time.Millisecond, "poll interval between replication sync rounds (with -follow)")
 	)
 	var loads, eventLoads []string
 	flag.Func("load", "preload a graph at startup as name=edgelist-path (repeatable)", func(v string) error {
@@ -93,6 +97,7 @@ func main() {
 		FsyncPolicy:        *fsync,
 		FsyncInterval:      *fsyncIvl,
 		WALSegmentBytes:    *walSeg,
+		ReadOnly:           *follow != "",
 	}
 	if !*quiet {
 		cfg.Log = logger
@@ -136,6 +141,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *follow != "" {
+		// Follower mode: a background loop streams the primary's WAL
+		// into this server's registry through the same mutation path
+		// live requests use. With -data the follower is durable — its
+		// local WAL replayed above, the replication cursor resumes from
+		// its last save and the epoch gate deduplicates the overlap.
+		f := replica.New(
+			&replica.HTTPTransport{Base: strings.TrimRight(*follow, "/")},
+			srv.FollowerState(),
+			&replica.Options{Logf: logger.Printf},
+		)
+		srv.AttachFollower(f)
+		go f.Run(ctx, *followIvl)
+		logger.Printf("following %s (poll %s)", *follow, *followIvl)
+	}
+
 	logger.Printf("listening on %s", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		logger.Fatal(err)

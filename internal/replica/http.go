@@ -1,0 +1,130 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"tesc/internal/wal"
+)
+
+// Header names carrying cursor coordinates alongside binary bodies.
+const (
+	HeaderStartSeg  = "X-Tesc-Start-Seg"
+	HeaderStartOff  = "X-Tesc-Start-Off"
+	HeaderNextSeg   = "X-Tesc-Next-Seg"
+	HeaderNextOff   = "X-Tesc-Next-Off"
+	HeaderRecords   = "X-Tesc-Records"
+	HeaderTooOld    = "X-Tesc-Too-Old"
+	HeaderBarSeg    = "X-Tesc-Barrier-Seg"
+	HeaderBarOff    = "X-Tesc-Barrier-Off"
+	HeaderGraphName = "X-Tesc-Graph"
+)
+
+// HTTPTransport is the production Transport: it speaks to a primary
+// tescd's /v1/replica endpoints.
+type HTTPTransport struct {
+	// Base is the primary's root URL, e.g. "http://primary:7474".
+	Base string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (h *HTTPTransport) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+func (h *HTTPTransport) get(path string) (*http.Response, error) {
+	resp, err := h.client().Get(h.Base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownGraph, body)
+		}
+		return nil, fmt.Errorf("replica: primary returned %d for %s: %s", resp.StatusCode, path, body)
+	}
+	return resp, nil
+}
+
+func cursorFromHeaders(hd http.Header, segKey, offKey string) (wal.ShipCursor, error) {
+	seg, err := strconv.ParseUint(hd.Get(segKey), 10, 64)
+	if err != nil {
+		return wal.ShipCursor{}, fmt.Errorf("replica: bad %s header %q", segKey, hd.Get(segKey))
+	}
+	off, err := strconv.ParseInt(hd.Get(offKey), 10, 64)
+	if err != nil {
+		return wal.ShipCursor{}, fmt.Errorf("replica: bad %s header %q", offKey, hd.Get(offKey))
+	}
+	return wal.ShipCursor{Seg: seg, Off: off}, nil
+}
+
+func (h *HTTPTransport) Status() (Status, error) {
+	resp, err := h.get("/v1/replica/status")
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("replica: decoding status: %w", err)
+	}
+	return st, nil
+}
+
+func (h *HTTPTransport) Snapshot(graph string) (SnapshotPart, error) {
+	resp, err := h.get("/v1/replica/graphs/" + url.PathEscape(graph) + "/snapshot")
+	if err != nil {
+		return SnapshotPart{}, err
+	}
+	defer resp.Body.Close()
+	barrier, err := cursorFromHeaders(resp.Header, HeaderBarSeg, HeaderBarOff)
+	if err != nil {
+		return SnapshotPart{}, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return SnapshotPart{}, fmt.Errorf("replica: reading snapshot body: %w", err)
+	}
+	name := resp.Header.Get(HeaderGraphName)
+	if name == "" {
+		name = graph
+	}
+	return SnapshotPart{Name: name, Data: data, Barrier: barrier}, nil
+}
+
+func (h *HTTPTransport) Pull(cur wal.ShipCursor, maxBytes int) (wal.ShipBatch, error) {
+	path := fmt.Sprintf("/v1/replica/wal?seg=%d&off=%d&max=%d", cur.Seg, cur.Off, maxBytes)
+	resp, err := h.get(path)
+	if err != nil {
+		return wal.ShipBatch{}, err
+	}
+	defer resp.Body.Close()
+	var batch wal.ShipBatch
+	if resp.Header.Get(HeaderTooOld) == "1" {
+		batch.TooOld = true
+		return batch, nil
+	}
+	if batch.Start, err = cursorFromHeaders(resp.Header, HeaderStartSeg, HeaderStartOff); err != nil {
+		return wal.ShipBatch{}, err
+	}
+	if batch.Next, err = cursorFromHeaders(resp.Header, HeaderNextSeg, HeaderNextOff); err != nil {
+		return wal.ShipBatch{}, err
+	}
+	if batch.Records, err = strconv.Atoi(resp.Header.Get(HeaderRecords)); err != nil {
+		return wal.ShipBatch{}, fmt.Errorf("replica: bad %s header", HeaderRecords)
+	}
+	if batch.Frames, err = io.ReadAll(resp.Body); err != nil {
+		return wal.ShipBatch{}, fmt.Errorf("replica: reading frames: %w", err)
+	}
+	return batch, nil
+}

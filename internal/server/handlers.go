@@ -10,6 +10,7 @@ import (
 
 	"tesc"
 	"tesc/internal/graphio"
+	"tesc/internal/screen"
 	"tesc/internal/wal"
 )
 
@@ -91,6 +92,11 @@ type correlateRequest struct {
 	NodesA []int  `json:"nodes_a,omitempty"`
 	NodesB []int  `json:"nodes_b,omitempty"`
 
+	// MinEpoch demands read-your-writes freshness: a server (typically
+	// a lagging replica) whose graph has not reached this epoch answers
+	// 503 with a Retry-After instead of silently serving stale state.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
+
 	// The remaining fields mirror tesc.Options.
 	H               int     `json:"h"`
 	SampleSize      int     `json:"sample_size,omitempty"`
@@ -121,6 +127,9 @@ type correlateResponse struct {
 }
 
 type screenRequest struct {
+	// MinEpoch demands read-your-writes freshness, as on correlate.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
+
 	// The fields mirror tesc.ScreenOptions.
 	H              int     `json:"h"`
 	SampleSize     int     `json:"sample_size,omitempty"`
@@ -507,6 +516,9 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 	// vicinity index all come from the same epoch even if mutations
 	// land while the query runs.
 	snap := e.Snapshot()
+	if !s.freshEnough(w, e.Name(), snap.Epoch, req.MinEpoch) {
+		return
+	}
 	va, vb, code, err := resolveEventPair(snap, &req)
 	if err != nil {
 		writeError(w, code, "%v", err)
@@ -556,6 +568,22 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
 		Epoch:       snap.Epoch,
 	})
+}
+
+// freshEnough enforces a request's min_epoch floor: a graph still
+// behind it (a lagging replica, or a caller racing its own write)
+// answers 503 + Retry-After so clients distinguish "retry here
+// shortly" from a real failure. The error wraps screen.ErrStaleEpoch —
+// the same staleness signal the screening engine raises when a pinned
+// snapshot falls behind.
+func (s *Server) freshEnough(w http.ResponseWriter, name string, epoch, minEpoch uint64) bool {
+	if minEpoch == 0 || epoch >= minEpoch {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable,
+		"%v: graph %q is at epoch %d, request needs %d", screen.ErrStaleEpoch, name, epoch, minEpoch)
+	return false
 }
 
 // resolveEventPair turns a correlate request into two occurrence
@@ -611,6 +639,9 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	// One snapshot for the whole sweep: a long screening job keeps its
 	// consistent graph + event view while mutations continue to land.
 	snap := e.Snapshot()
+	if !s.freshEnough(w, e.Name(), snap.Epoch, req.MinEpoch) {
+		return
+	}
 	ev := eventSetOf(snap.Store)
 	if len(ev) < 2 {
 		writeError(w, http.StatusUnprocessableEntity, "screening needs at least 2 registered events, have %d", len(ev))
@@ -660,7 +691,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			walFsyncs = lg.Fsyncs()
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":                 "ok",
 		"graphs":                 len(s.registry.Names()),
 		"indexes":                s.cache.Len(),
@@ -678,5 +709,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"wal_fsyncs":             walFsyncs,
 		"wal_replayed":           s.walReplayed.Load(),
 		"recovery_epoch":         s.recoveryEpoch.Load(),
-	})
+		"records_shipped":        s.recordsShipped.Load(),
+	}
+	if s.readOnly {
+		health["read_only"] = true
+	}
+	if f := s.follower; f != nil {
+		m := f.Metrics()
+		health["replica_lag_epochs"] = m.LagEpochs
+		health["records_applied"] = m.RecordsApplied
+		health["records_skipped"] = m.RecordsSkipped
+		health["replica_pulls"] = m.Pulls
+		health["replica_bootstraps"] = m.Bootstraps
+		health["replica_discards"] = m.Discards
+		health["replica_faults"] = m.Faults
+	}
+	writeJSON(w, http.StatusOK, health)
 }

@@ -10,7 +10,6 @@ import (
 	"sync"
 	"time"
 
-	"tesc"
 	"tesc/internal/snapshot"
 	"tesc/internal/vicinity"
 	"tesc/internal/wal"
@@ -159,10 +158,8 @@ func (s *Server) LoadData() (int, error) {
 	return loaded, nil
 }
 
-// loadSnapshotFile restores one snapshot under the given registry
-// name: graph and event store into the registry with their persisted
-// epoch stamps, vicinity indexes into the cache at the persisted graph
-// version — so the first index-backed query after boot is a cache hit,
+// loadSnapshotFile restores one snapshot file under the given registry
+// name — so the first index-backed query after boot is a cache hit,
 // not a build. It returns the registered entry.
 func (s *Server) loadSnapshotFile(name, path string) (*GraphEntry, error) {
 	fsys := wal.FS(wal.OSFS{})
@@ -173,26 +170,7 @@ func (s *Server) loadSnapshotFile(name, path string) (*GraphEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	entry, err := s.registry.RegisterRestored(name, tesc.FromInternal(snap.Graph), snap.Store, snap.Epoch, snap.GraphVersion)
-	if err != nil {
-		return nil, err
-	}
-	cur := entry.Snapshot()
-	for _, idx := range snap.Indexes {
-		s.cache.Put(entry, cur, tesc.VicinityIndexFromInternal(idx))
-	}
-	// Standing queries come back with their history rings; the density
-	// caches refill on the first post-restore re-screen. A monitor that
-	// fails to restore (e.g. its events were persisted by a newer
-	// writer) is skipped with a log line, like a bad snapshot file —
-	// the graph must still serve.
-	for _, st := range snap.Monitors {
-		if _, err := s.monitors.Restore(name, st, entrySnapshotFunc(entry)); err != nil {
-			s.logf("snapshot %s: monitor %q skipped: %v", name, st.Def.ID, err)
-		}
-	}
-	s.snapLoaded.Add(1)
-	return entry, nil
+	return s.restoreSnapshot(name, snap)
 }
 
 // markDirty schedules a background checkpoint of the named graph. The

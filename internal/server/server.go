@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tesc/internal/monitor"
+	"tesc/internal/replica"
 	"tesc/internal/wal"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	// means the real one. Tests inject wal.FaultFS to crash the store
 	// at any chosen operation.
 	FS wal.FS
+	// ReadOnly makes the server a read replica: client-facing mutation
+	// endpoints return 403 and state changes arrive only through the
+	// attached replication follower (queries, monitor refreshes and
+	// checkpoints still serve).
+	ReadOnly bool
 	// Log receives request-level diagnostics; nil disables logging.
 	Log *log.Logger
 }
@@ -83,6 +89,14 @@ type Server struct {
 	// §4.4 traversal bill the flat-kernel/memo path is saving.
 	bfsRuns  atomic.Int64
 	memoHits atomic.Int64
+
+	// readOnly gates the client-facing mutation endpoints on a replica;
+	// recordsShipped counts WAL records served to followers; follower,
+	// set by AttachFollower before serving, surfaces replication lag
+	// and apply counters in healthz.
+	readOnly       bool
+	recordsShipped atomic.Int64
+	follower       *replica.Follower
 }
 
 // New assembles a server from the config.
@@ -126,24 +140,43 @@ func New(cfg Config) *Server {
 			durable:     make(map[string]uint64),
 		}
 	}
-	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	s.readOnly = cfg.ReadOnly
+	// Mutation endpoints go through the read-only gate; on a replica
+	// they 403 so every state change arrives via replication, keeping
+	// follower state bit-for-bit derivable from the primary's log.
+	s.mux.HandleFunc("POST /v1/graphs", s.mutating(s.handleRegisterGraph))
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.handleRegisterEvents)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.handleDeleteEvent)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutateEdges)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.mutating(s.handleDeleteGraph))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.mutating(s.handleRegisterEvents))
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.mutating(s.handleDeleteEvent))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.mutating(s.handleMutateEdges))
 	s.mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleCheckpoint)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.handleCorrelate)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.handleScreen)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors", s.handleCreateMonitor)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors", s.mutating(s.handleCreateMonitor))
 	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors", s.handleListMonitors)
 	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors/{id}", s.handleGetMonitor)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}/monitors/{id}", s.handleDeleteMonitor)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}/monitors/{id}", s.mutating(s.handleDeleteMonitor))
 	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors/{id}/refresh", s.handleRefreshMonitor)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
+	s.mux.HandleFunc("GET /v1/replica/graphs/{name}/snapshot", s.handleReplicaSnapshot)
+	s.mux.HandleFunc("GET /v1/replica/wal", s.handleReplicaWAL)
 	return s
+}
+
+// mutating gates a client-facing mutation handler behind the read-only
+// flag.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.readOnly {
+			writeError(w, http.StatusForbidden, "read-only replica: send mutations to the primary")
+			return
+		}
+		h(w, r)
+	}
 }
 
 // Monitors exposes the standing-query manager (for tests and tooling).

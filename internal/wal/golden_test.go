@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestRecordWireFormatGolden pins the exact record payload bytes for
+// every kind. Replication ships these bytes between peers verbatim, so
+// two builds that encode the same logical mutation differently would
+// silently diverge — any change here is a wire-format break and needs
+// a format-version bump plus a migration story, not a new golden.
+func TestRecordWireFormatGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  *Record
+		hex  string
+	}{
+		{
+			name: "edges",
+			rec: &Record{Kind: KindEdges, Graph: "g", Epoch: 7, GraphVersion: 5, Changes: []EdgeChange{
+				{U: 1, V: 2, Insert: true},
+				{U: 3, V: 4, Insert: false},
+			}},
+			hex: "010100670700000000000000050000000000000002000000010000000200000001030000000400000000",
+		},
+		{
+			name: "events",
+			rec: &Record{Kind: KindEvents, Graph: "social", Epoch: 9,
+				Add:    map[string][]int{"b": {2, 3}, "a": {1}},
+				Remove: map[string][]int{"c": {}}},
+			hex: "020600736f6369616c09000000000000000200000001006101000000010000000100620200000002000000030000000100000001006300000000",
+		},
+		{
+			name: "checkpoint",
+			rec:  &Record{Kind: KindCheckpoint, Graph: "g", Epoch: 12},
+			hex:  "030100670c00000000000000",
+		},
+		{
+			name: "drop",
+			rec:  &Record{Kind: KindDrop, Graph: "g", Epoch: 13},
+			hex:  "040100670d00000000000000",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload, err := encodeRecord(tc.rec)
+			if err != nil {
+				t.Fatalf("encodeRecord: %v", err)
+			}
+			if got := hex.EncodeToString(payload); got != tc.hex {
+				t.Fatalf("wire format changed:\n got  %s\n want %s", got, tc.hex)
+			}
+			back, err := decodeRecord(payload)
+			if err != nil {
+				t.Fatalf("decodeRecord: %v", err)
+			}
+			if back.Kind != tc.rec.Kind || back.Graph != tc.rec.Graph || back.Epoch != tc.rec.Epoch {
+				t.Fatalf("round trip changed the record: %+v", back)
+			}
+		})
+	}
+}
+
+// TestFrameWireFormatGolden pins the CRC framing around a payload —
+// the other half of what replication peers exchange.
+func TestFrameWireFormatGolden(t *testing.T) {
+	frame, err := EncodeFrame(&Record{Kind: KindCheckpoint, Graph: "g", Epoch: 12})
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	const want = "0c0000007d3268a2030100670c00000000000000"
+	if got := hex.EncodeToString(frame); got != want {
+		t.Fatalf("frame format changed:\n got  %s\n want %s", got, want)
+	}
+}

@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+// shipAll pulls from cur to the log's end with the given batch budget,
+// decoding every shipped frame, and returns the records plus the final
+// cursor. It fails the test on TooOld or a stalled cursor.
+func shipAll(t *testing.T, l *Log, cur ShipCursor, maxBytes int) ([]Record, ShipCursor) {
+	t.Helper()
+	var out []Record
+	for cur.Before(l.EndCursor()) {
+		batch, err := l.Ship(cur, maxBytes)
+		if err != nil {
+			t.Fatalf("Ship(%v): %v", cur, err)
+		}
+		if batch.TooOld {
+			t.Fatalf("Ship(%v): unexpectedly TooOld", cur)
+		}
+		if batch.Start != cur {
+			t.Fatalf("Ship(%v): echoed Start %v", cur, batch.Start)
+		}
+		off, n := 0, 0
+		for off < len(batch.Frames) {
+			rec, sz, err := DecodeFrame(batch.Frames[off:])
+			if err != nil {
+				t.Fatalf("DecodeFrame at %d: %v", off, err)
+			}
+			out = append(out, rec)
+			off += sz
+			n++
+		}
+		if n != batch.Records {
+			t.Fatalf("batch declares %d records, decoded %d", batch.Records, n)
+		}
+		if !cur.Before(batch.Next) {
+			t.Fatalf("Ship(%v): cursor did not advance (Next %v)", cur, batch.Next)
+		}
+		cur = batch.Next
+	}
+	return out, cur
+}
+
+func TestShipStream(t *testing.T) {
+	fsys := NewFaultFS()
+	l, _ := mustOpen(t, fsys, "data", Options{Policy: SyncAlways})
+	defer l.Close()
+	recs := []*Record{
+		edgesRec("g", 2, 2, EdgeChange{U: 0, V: 1, Insert: true}),
+		{Kind: KindEvents, Graph: "g", Epoch: 3, Add: map[string][]int{"a": {1, 2}}},
+		{Kind: KindCheckpoint, Graph: "g", Epoch: 3},
+		edgesRec("g", 4, 3, EdgeChange{U: 5, V: 6, Insert: true}, EdgeChange{U: 0, V: 1, Insert: false}),
+		{Kind: KindDrop, Graph: "g", Epoch: 4},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// A tiny budget forces several pulls; a huge one ships in one.
+	for _, maxBytes := range []int{1, 1 << 20} {
+		got, cur := shipAll(t, l, l.OldestCursor(), maxBytes)
+		sameRecords(t, got, recs)
+		if cur != l.EndCursor() {
+			t.Fatalf("final cursor %v, end %v", cur, l.EndCursor())
+		}
+		// Pulling at the end returns an empty batch that does not move.
+		batch, err := l.Ship(cur, maxBytes)
+		if err != nil || batch.TooOld || len(batch.Frames) != 0 || batch.Next != cur {
+			t.Fatalf("Ship at end: batch %+v err %v", batch, err)
+		}
+	}
+}
+
+func TestShipAcrossRotation(t *testing.T) {
+	fsys := NewFaultFS()
+	l, _ := mustOpen(t, fsys, "data", Options{Policy: SyncAlways})
+	defer l.Close()
+	var want []*Record
+	for epoch := uint64(2); epoch <= 7; epoch++ {
+		r := edgesRec("g", epoch, epoch, EdgeChange{U: int(epoch), V: 0, Insert: true})
+		want = append(want, r)
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if epoch%2 == 0 {
+			if err := l.Rotate(); err != nil {
+				t.Fatalf("Rotate: %v", err)
+			}
+		}
+	}
+	got, _ := shipAll(t, l, l.OldestCursor(), 1<<20)
+	sameRecords(t, got, want)
+	// Batches must never span segments: re-pull and check per batch.
+	cur := l.OldestCursor()
+	for cur.Before(l.EndCursor()) {
+		batch, err := l.Ship(cur, 1<<20)
+		if err != nil {
+			t.Fatalf("Ship: %v", err)
+		}
+		if len(batch.Frames) > 0 && batch.Next.Seg != cur.Seg && batch.Next != (ShipCursor{Seg: cur.Seg + 1, Off: segHeaderLen}) {
+			t.Fatalf("batch from %v spans to %v", cur, batch.Next)
+		}
+		cur = batch.Next
+	}
+}
+
+func TestShipTooOldAfterCompaction(t *testing.T) {
+	fsys := NewFaultFS()
+	l, _ := mustOpen(t, fsys, "data", Options{Policy: SyncAlways})
+	defer l.Close()
+	old := l.OldestCursor()
+	if err := l.Append(edgesRec("g", 2, 2, EdgeChange{U: 1, V: 2, Insert: true})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if _, err := l.Compact(map[string]uint64{"g": 2}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	batch, err := l.Ship(old, 1<<20)
+	if err != nil {
+		t.Fatalf("Ship: %v", err)
+	}
+	if !batch.TooOld {
+		t.Fatalf("Ship(%v) after compaction: want TooOld, got %+v", old, batch)
+	}
+	// A cursor from a different log generation (past the active
+	// segment) is equally unserviceable.
+	batch, err = l.Ship(ShipCursor{Seg: 1 << 40, Off: segHeaderLen}, 1<<20)
+	if err != nil || !batch.TooOld {
+		t.Fatalf("future cursor: batch %+v err %v", batch, err)
+	}
+}
+
+func TestShipSkipsTornFrozenTail(t *testing.T) {
+	fsys := NewFaultFS()
+	l, _ := mustOpen(t, fsys, "data", Options{Policy: SyncAlways})
+	intact := edgesRec("g", 2, 2, EdgeChange{U: 1, V: 2, Insert: true})
+	if err := l.Append(intact); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Append(edgesRec("g", 3, 3, EdgeChange{U: 3, V: 4, Insert: true})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.Close()
+	// Tear the second record: keep the first frame and 3 bytes of the
+	// next — a crash mid-append.
+	segs := fsys.List("data/" + segPrefix)
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	data := fsys.Bytes(segs[0])
+	frame1, err := EncodeFrame(intact)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	fsys.SetFile(segs[0], data[:segHeaderLen+len(frame1)+3])
+
+	l2, rec := mustOpen(t, fsys, "data", Options{Policy: SyncAlways})
+	defer l2.Close()
+	if !rec.Torn {
+		t.Fatalf("recovery did not report the torn tail")
+	}
+	after := edgesRec("g", 3, 3, EdgeChange{U: 7, V: 8, Insert: true})
+	if err := l2.Append(after); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	got, _ := shipAll(t, l2, l2.OldestCursor(), 1<<20)
+	sameRecords(t, got, []*Record{intact, after})
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	frame, err := EncodeFrame(edgesRec("g", 2, 2, EdgeChange{U: 1, V: 2, Insert: true}))
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	if _, n, err := DecodeFrame(frame); err != nil || n != len(frame) {
+		t.Fatalf("DecodeFrame(intact): n=%d err=%v", n, err)
+	}
+	// Every truncation is a short frame, never a misdecode.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeFrame(frame[:cut]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("DecodeFrame(cut %d): err=%v, want ErrShortFrame", cut, err)
+		}
+	}
+	// Every bit flip in the payload is caught by the CRC.
+	for i := frameLen; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, _, err := DecodeFrame(bad); err == nil || errors.Is(err, ErrShortFrame) {
+			t.Fatalf("DecodeFrame(flip %d): err=%v, want corrupt", i, err)
+		}
+	}
+}

@@ -326,17 +326,10 @@ func (m *segmentMeta) note(r *Record) {
 // Under SyncAlways a nil return means the record is durable; any error
 // means the caller must NOT acknowledge the mutation.
 func (l *Log) Append(r *Record) error {
-	payload, err := encodeRecord(r)
+	frame, err := EncodeFrame(r)
 	if err != nil {
 		return err
 	}
-	if len(payload) > MaxRecordBytes {
-		return fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecordBytes)
-	}
-	frame := make([]byte, frameLen+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[frameLen:], payload)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
