@@ -42,6 +42,11 @@ func main() {
 		seed       = flag.Uint64("seed", def.Seed, "random seed")
 		workers    = flag.Int("workers", 0, "index-construction workers (0 = GOMAXPROCS)")
 
+		topk      = flag.Bool("topk", false, "run the planner workload: top-k screening vs the exhaustive sweep on the K=32 (496-pair) surrogate, reporting full tests saved")
+		topkScale = flag.Float64("topk-scale", 1.0, "coauthorship surrogate scale in -topk mode (1.0 = ~100k nodes)")
+		topkH     = flag.Int("topk-h", 2, "vicinity level in -topk mode")
+		topkKs    = flag.String("topk-k", "1,5,10,25", "comma-separated k ladder in -topk mode")
+
 		churn        = flag.Bool("churn", false, "run the churn workload: FlipStream mutations against a standing monitor, reporting incremental vs full re-screen latency")
 		churnScale   = flag.Float64("churn-scale", 1.0, "coauthorship surrogate scale in -churn mode (1.0 = ~100k nodes)")
 		churnH       = flag.Int("churn-h", 2, "vicinity level in -churn mode")
@@ -64,6 +69,30 @@ func main() {
 	)
 	flag.Parse()
 
+	if *topk {
+		var ks []int
+		for _, item := range splitList(*topkKs) {
+			var k int
+			if _, err := fmt.Sscanf(item, "%d", &k); err != nil || k < 1 {
+				fmt.Fprintf(os.Stderr, "tescbench: bad -topk-k item %q\n", item)
+				os.Exit(2)
+			}
+			ks = append(ks, k)
+		}
+		err := runPlanner(plannerConfig{
+			Scale:      *topkScale,
+			H:          *topkH,
+			SampleSize: *sample,
+			Ks:         ks,
+			Workers:    *workers,
+			Seed:       *seed,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *churn {
 		err := runChurn(churnConfig{
 			Scale:      *churnScale,

@@ -7,14 +7,26 @@
 //
 //	tescscreen -graph g.txt -events ev.txt -h-level 1 -tail positive
 //	tescscreen -graph g.txt -events ev.txt -min-occ 20 -correction fwer -top 30
+//	tescscreen -graph g.txt -events ev.txt -tail positive -topk 10
+//	tescscreen -graph g.txt -events ev.txt -tail positive -theta 0.3
+//
+// -topk and -theta switch to the planned screen: candidate pairs are
+// ordered by a cheap co-occurrence prior and evaluated best-first with
+// confidence-bound early termination, returning provably the same
+// ranking as the exhaustive sweep without paying for it (see
+// docs/SCREENING.md). Planned results carry raw p-values: -correction
+// needs the whole p-value family and is rejected.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"text/tabwriter"
 
+	"tesc/internal/events"
+	"tesc/internal/graph"
 	"tesc/internal/graphio"
 	"tesc/internal/screen"
 	"tesc/internal/stats"
@@ -31,6 +43,8 @@ func main() {
 		minOcc     = flag.Int("min-occ", 10, "minimum occurrences per event")
 		correction = flag.String("correction", "fdr", "multiple-testing correction: fdr | fwer | none")
 		top        = flag.Int("top", 20, "print at most this many pairs (0 = all)")
+		topk       = flag.Int("topk", 0, "planned screen: return only the k best pairs by score (0 = exhaustive sweep)")
+		theta      = flag.Float64("theta", math.NaN(), "planned screen: return every pair scoring >= theta")
 		workers    = flag.Int("workers", 0, "concurrent tests (0 = GOMAXPROCS)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 	)
@@ -39,13 +53,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *eventsPath, *hLevel, *n, *alpha, *tail, *minOcc, *correction, *top, *workers, *seed); err != nil {
+	if err := run(*graphPath, *eventsPath, *hLevel, *n, *alpha, *tail, *minOcc, *correction, *top, *topk, *theta, *workers, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "tescscreen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, eventsPath string, h, n int, alpha float64, tail string, minOcc int, correction string, top, workers int, seed uint64) error {
+func run(graphPath, eventsPath string, h, n int, alpha float64, tail string, minOcc int, correction string, top, topk int, theta float64, workers int, seed uint64) error {
 	gf, err := graphio.OpenMaybeGzip(graphPath)
 	if err != nil {
 		return err
@@ -89,6 +103,12 @@ func run(graphPath, eventsPath string, h, n int, alpha float64, tail string, min
 	}
 
 	pairs := screen.AllPairs(store, minOcc)
+	if topk > 0 || !math.IsNaN(theta) {
+		if corr == screen.FWER {
+			return fmt.Errorf("-correction fwer is incompatible with -topk/-theta: a planned screen reports raw p-values")
+		}
+		return runPlanned(g, store, pairs, h, n, alpha, alt, minOcc, topk, theta, top, workers, seed, tail)
+	}
 	fmt.Fprintf(os.Stderr, "screening %d pairs of %d events (h=%d, n=%d, %s, %s-corrected)...\n",
 		len(pairs), store.NumEvents(), h, n, tail, correction)
 
@@ -127,6 +147,57 @@ func run(graphPath, eventsPath string, h, n int, alpha float64, tail string, min
 		}
 		fmt.Fprintf(tw, "%d\t%s\t%s\t(%d,%d)\t%+.3f\t%+.2f\t%.3g\t%.3g\t%s\n",
 			i+1, p.A, p.B, p.OccA, p.OccB, p.Tau, p.Z, p.P, p.AdjP, sig)
+	}
+	return tw.Flush()
+}
+
+// runPlanned runs the prioritized top-k / threshold screen and reports
+// the ranking plus the planner's work accounting.
+func runPlanned(g *graph.Graph, store *events.Store, pairs [][2]string,
+	h, n int, alpha float64, alt stats.Alternative, minOcc, topk int, theta float64,
+	top, workers int, seed uint64, tail string) error {
+	cfg := screen.PlanConfig{
+		Config: screen.Config{
+			H:              h,
+			SampleSize:     n,
+			Alpha:          alpha,
+			Alternative:    alt,
+			MinOccurrences: minOcc,
+			Workers:        workers,
+			Seed:           seed,
+		},
+		K: topk,
+	}
+	if topk > 0 {
+		fmt.Fprintf(os.Stderr, "planning top-%d of %d candidate pairs (h=%d, n=%d, %s, raw p-values)...\n",
+			topk, len(pairs), h, n, tail)
+	} else {
+		cfg.Theta = theta
+		fmt.Fprintf(os.Stderr, "planning threshold %.3f over %d candidate pairs (h=%d, n=%d, %s, raw p-values)...\n",
+			theta, len(pairs), h, n, tail)
+	}
+
+	res, err := screen.Plan(g, store, pairs, cfg)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("candidates %d: full tests %d, pruned early %d, pruned by prior %d, skipped %d (checkpoints %d)\n",
+		st.Candidates, st.FullTests, st.PrunedEarly, st.PrunedPrior, st.Skipped, st.Checkpoints)
+	fmt.Printf("density evaluations %d, traversals %d, memo hits %d — an exhaustive sweep pays %d full tests\n\n",
+		st.DensityEvals, st.BFSRuns, st.MemoHits, st.Candidates)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tevent a\tevent b\tocc\ttau\tz\tp\tsig")
+	for i, p := range res.Pairs {
+		if top > 0 && i >= top {
+			break
+		}
+		sig := ""
+		if p.Significant {
+			sig = "*"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t(%d,%d)\t%+.3f\t%+.2f\t%.3g\t%s\n",
+			i+1, p.A, p.B, p.OccA, p.OccB, p.Tau, p.Z, p.P, sig)
 	}
 	return tw.Flush()
 }

@@ -85,10 +85,22 @@ func (mgr *Manager) add(graphName string, st State, snap SnapshotFunc) (*Monitor
 	if err := def.Normalize(); err != nil {
 		return nil, err
 	}
-	g, _, _ := snap()
-	memo, err := screen.NewSharedMemo(g.NumNodes(), []string{def.A, def.B})
-	if err != nil {
-		return nil, err
+	g, store, _ := snap()
+	var memo *screen.SharedMemo
+	if def.TopK > 0 {
+		// A watchlist's cache spans the whole vocabulary; with no
+		// events yet, screenWatchlist builds it when some appear.
+		if names := store.Names(); len(names) > 0 {
+			var err error
+			if memo, err = screen.NewSharedMemo(g.NumNodes(), names); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var err error
+		if memo, err = screen.NewSharedMemo(g.NumNodes(), []string{def.A, def.B}); err != nil {
+			return nil, err
+		}
 	}
 	m := &Monitor{def: def, graph: graphName, snap: snap, mgr: mgr, memo: memo}
 	if len(st.History) > 0 {
@@ -299,24 +311,28 @@ func (mgr *Manager) NotifyEdgeDelta(graphName string, oldG, newG *graph.Graph, c
 // NotifyEventDelta queues an event-mutation delta: changed maps event
 // names to the occurrence nodes added or removed (for a whole-event
 // removal, every former occurrence). Only monitors whose pair touches
-// a changed event are affected; their dirty set is the reverse h-ball
-// around the changed nodes — exactly the reference nodes whose
-// vicinities contain a changed occurrence — computed once at the
-// deepest affected level. Like NotifyEdgeDelta, call before the
-// mutated snapshot is published.
+// a changed event are affected — except watchlists, which rank the
+// whole vocabulary and so are affected by every event mutation. The
+// dirty set is the reverse h-ball around the changed nodes — exactly
+// the reference nodes whose vicinities contain a changed occurrence —
+// computed once at the deepest affected level. Like NotifyEdgeDelta,
+// call before the mutated snapshot is published.
 func (mgr *Manager) NotifyEventDelta(graphName string, changed map[string][]graph.NodeID, targetEpoch uint64) {
 	if len(changed) == 0 {
 		return
 	}
 	var affected []*Monitor
 	maxH := 0
+	anyWatchlist := false
 	for _, m := range mgr.listAndMark(graphName, targetEpoch) {
+		watch := m.def.TopK > 0
 		_, hitA := changed[m.def.A]
 		_, hitB := changed[m.def.B]
-		if !hitA && !hitB {
+		if !watch && !hitA && !hitB {
 			continue
 		}
 		affected = append(affected, m)
+		anyWatchlist = anyWatchlist || watch
 		if m.def.H > maxH {
 			maxH = m.def.H
 		}
@@ -326,13 +342,16 @@ func (mgr *Manager) NotifyEventDelta(graphName string, changed map[string][]grap
 	}
 	names := make(map[string]bool, 2*len(affected))
 	for _, m := range affected {
+		if m.def.TopK > 0 {
+			continue
+		}
 		names[m.def.A] = true
 		names[m.def.B] = true
 	}
 	var sources []graph.NodeID
 	seen := make(map[graph.NodeID]bool)
 	for name, nodes := range changed {
-		if !names[name] {
+		if !anyWatchlist && !names[name] {
 			continue
 		}
 		for _, v := range nodes {

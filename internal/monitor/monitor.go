@@ -115,15 +115,45 @@ type Definition struct {
 	Debounce time.Duration
 	// HistoryCap bounds the history ring (default 64, max 4096).
 	HistoryCap int
+	// TopK, when > 0, turns the monitor into a standing watchlist:
+	// instead of one fixed pair, every (re-)screen ranks the whole
+	// event vocabulary with the top-k planner (screen.Plan) and
+	// records the K best pairs in Sample.Top. A and B must be empty —
+	// a watchlist owns no pair. Watchlists are re-ranked from the same
+	// mutation dirty sets as fixed-pair monitors: the retained density
+	// cache spans the full vocabulary, so a delta invalidates only its
+	// dirty ball and the next ranking reuses every untouched entry.
+	TopK int
+	// MinOccurrences filters watchlist candidates the way the sweep
+	// API does (default 1); fixed-pair monitors must leave it zero.
+	MinOccurrences int
 }
 
 // Normalize validates the definition and fills defaults in place.
 func (d *Definition) Normalize() error {
-	if d.A == "" || d.B == "" {
-		return fmt.Errorf("monitor: both event names are required")
-	}
-	if d.A == d.B {
-		return fmt.Errorf("monitor: a standing query needs two distinct events, got %q twice", d.A)
+	switch {
+	case d.TopK < 0:
+		return fmt.Errorf("monitor: top-k must be >= 0, got %d", d.TopK)
+	case d.TopK > 0:
+		if d.A != "" || d.B != "" {
+			return fmt.Errorf("monitor: a watchlist ranks the whole vocabulary; A and B must be empty")
+		}
+		if d.MinOccurrences == 0 {
+			d.MinOccurrences = 1
+		}
+		if d.MinOccurrences < 1 {
+			return fmt.Errorf("monitor: min occurrences must be >= 1, got %d", d.MinOccurrences)
+		}
+	default:
+		if d.MinOccurrences != 0 {
+			return fmt.Errorf("monitor: min occurrences is a watchlist parameter; a fixed pair is screened regardless")
+		}
+		if d.A == "" || d.B == "" {
+			return fmt.Errorf("monitor: both event names are required")
+		}
+		if d.A == d.B {
+			return fmt.Errorf("monitor: a standing query needs two distinct events, got %q twice", d.A)
+		}
 	}
 	if d.H < 1 {
 		return fmt.Errorf("monitor: vicinity level must be >= 1, got %d", d.H)
@@ -167,11 +197,16 @@ type Sample struct {
 	Batches int
 	// Tau, Z, P, AdjP and Significant are the test outcome (AdjP == P
 	// for a single standing pair; the field keeps parity with sweep
-	// results). Skipped is non-empty when the pair could not be tested
+	// results). For a watchlist they mirror the top-ranked entry of
+	// Top, so dashboards polling Last see the leader without decoding
+	// the list. Skipped is non-empty when the pair could not be tested
 	// at this epoch (e.g. an event lost all its occurrences).
 	Tau, Z, P, AdjP float64
 	Significant     bool
 	Skipped         string
+	// Top is the watchlist ranking at this epoch (Definition.TopK
+	// entries, best first); nil for fixed-pair monitors.
+	Top []TopPair
 	// Reused counts reference-node density evaluations served from the
 	// retained cache; Recomputed the h-hop traversals actually paid.
 	// Reused / (Reused+Recomputed) is the incremental win the delta's
@@ -180,6 +215,15 @@ type Sample struct {
 	Recomputed int64
 	// ElapsedMS is the wall time of the re-screen.
 	ElapsedMS float64
+}
+
+// TopPair is one ranked entry of a watchlist sample. The p-value is
+// raw (planned screens never observe the whole family — see
+// docs/SCREENING.md); Significant compares it to the watchlist's α.
+type TopPair struct {
+	A, B        string
+	Tau, Z, P   float64
+	Significant bool
 }
 
 // State is the persistent image of a monitor: its definition plus the
@@ -359,9 +403,13 @@ func (m *Monitor) run(force bool) (Sample, bool, error) {
 		if drained == 0 && !(force && !ran) {
 			break
 		}
+		// A watchlist registered against an empty vocabulary has no
+		// memo yet (screenWatchlist builds one when events appear).
 		if drainedAll {
-			m.memo.Reset()
-		} else if len(dirty) > 0 {
+			if m.memo != nil {
+				m.memo.Reset()
+			}
+		} else if len(dirty) > 0 && m.memo != nil {
 			m.memo.Invalidate(dirty)
 		}
 
@@ -401,9 +449,13 @@ func (m *Monitor) run(force bool) (Sample, bool, error) {
 	return last, ran, nil
 }
 
-// screenOnce runs one epoch-pinned single-pair sweep against the
-// retained density cache.
+// screenOnce runs one epoch-pinned re-screen against the retained
+// density cache: a single-pair sweep for fixed-pair monitors, a
+// planned top-k ranking for watchlists.
 func (m *Monitor) screenOnce(g *graph.Graph, store *events.Store, epoch uint64, batches int) (Sample, error) {
+	if m.def.TopK > 0 {
+		return m.screenWatchlist(g, store, epoch, batches)
+	}
 	cfg := screen.Config{
 		H:           m.def.H,
 		SampleSize:  m.def.SampleSize,
@@ -417,24 +469,7 @@ func (m *Monitor) screenOnce(g *graph.Graph, store *events.Store, epoch uint64, 
 			return e
 		},
 	}
-	// Hand the run this monitor's retained engines, rebound to the
-	// current snapshot (a single-pair run uses one for the sampler and
-	// one for the memo evaluator). Engines that cannot rebind (node
-	// count changed — impossible under live mutation, possible across
-	// exotic restores) are dropped and reallocated.
-	if m.engines == nil {
-		m.engines = []*graph.BFS{graph.NewBFS(g), graph.NewBFS(g)}
-	}
-	pool := graph.NewEnginePool(g)
-	kept := m.engines[:0]
-	for _, eng := range m.engines {
-		if eng.Rebind(g) == nil {
-			pool.Put(eng)
-			kept = append(kept, eng)
-		}
-	}
-	m.engines = kept
-	cfg.Engines = pool
+	cfg.Engines = m.bindEngines(g)
 	start := time.Now()
 	res, err := screen.Run(g, store, [][2]string{{m.def.A, m.def.B}}, cfg)
 	if err != nil {
@@ -463,6 +498,129 @@ func (m *Monitor) screenOnce(g *graph.Graph, store *events.Store, epoch uint64, 
 		m.mgr.nodesRecomputed.Add(res.BFSRuns)
 	}
 	return sample, nil
+}
+
+// bindEngines rebinds this monitor's retained BFS engines to the
+// current snapshot and lends them to the run through a pool: the
+// O(|V|) scratch (mark arrays, frontiers) is allocated once per
+// monitor, not once per mutation. Engines that cannot rebind (node
+// count changed — impossible under live mutation, possible across
+// exotic restores) are dropped and reallocated. Callers hold runMu.
+func (m *Monitor) bindEngines(g *graph.Graph) *graph.EnginePool {
+	if m.engines == nil {
+		m.engines = []*graph.BFS{graph.NewBFS(g), graph.NewBFS(g)}
+	}
+	pool := graph.NewEnginePool(g)
+	kept := m.engines[:0]
+	for _, eng := range m.engines {
+		if eng.Rebind(g) == nil {
+			pool.Put(eng)
+			kept = append(kept, eng)
+		}
+	}
+	m.engines = kept
+	return pool
+}
+
+// screenWatchlist runs one epoch-pinned planned ranking over the whole
+// vocabulary. The density cache spans every event, so deltas folded by
+// the drain loop invalidate exactly their dirty ball and the planner
+// serves every untouched reference node from the cache — the same
+// incremental contract fixed-pair monitors have, at watchlist width.
+func (m *Monitor) screenWatchlist(g *graph.Graph, store *events.Store, epoch uint64, batches int) (Sample, error) {
+	// The vocabulary is not fixed at registration: event mutations add
+	// and drop whole events. The memo's dense count vectors are indexed
+	// by its vocabulary, so a changed name set forces a cold rebuild
+	// (rare); occurrence-level changes keep the names and reuse it.
+	if names := store.Names(); m.memo == nil || !sameNames(m.memo.Names(), names) {
+		m.memo = nil
+		if len(names) > 0 {
+			memo, err := screen.NewSharedMemo(g.NumNodes(), names)
+			if err != nil {
+				return Sample{}, err
+			}
+			m.memo = memo
+		}
+	}
+	start := time.Now()
+	pairs := screen.AllPairs(store, m.def.MinOccurrences)
+	if len(pairs) == 0 {
+		return Sample{
+			Epoch: epoch, At: time.Now(), Batches: batches,
+			Skipped: "fewer than two screenable events",
+		}, nil
+	}
+	cfg := screen.PlanConfig{
+		Config: screen.Config{
+			H:              m.def.H,
+			SampleSize:     m.def.SampleSize,
+			Alpha:          m.def.Alpha,
+			Alternative:    m.def.Alternative,
+			MinOccurrences: m.def.MinOccurrences,
+			Seed:           m.def.Seed,
+			Workers:        1,
+			Memo:           m.memo,
+			Epoch:          epoch,
+			CurrentEpoch: func() uint64 {
+				_, _, e := m.snap()
+				return e
+			},
+		},
+		K: m.def.TopK,
+	}
+	cfg.Engines = m.bindEngines(g)
+	res, err := screen.Plan(g, store, pairs, cfg)
+	if err != nil {
+		return Sample{}, err
+	}
+	sample := Sample{
+		Epoch:      epoch,
+		At:         time.Now(),
+		Batches:    batches,
+		Reused:     res.Stats.MemoHits,
+		Recomputed: res.Stats.BFSRuns,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		Top:        make([]TopPair, len(res.Pairs)),
+	}
+	for i, p := range res.Pairs {
+		sample.Top[i] = TopPair{
+			A: p.A, B: p.B,
+			Tau: p.Tau, Z: p.Z, P: p.P,
+			Significant: p.Significant,
+		}
+	}
+	if len(res.Pairs) > 0 {
+		head := res.Pairs[0]
+		sample.Tau, sample.Z = head.Tau, head.Z
+		sample.P, sample.AdjP = head.P, head.AdjP
+		sample.Significant = head.Significant
+	} else {
+		sample.Skipped = "no screenable pair in the vocabulary"
+	}
+	if m.mgr != nil {
+		if batches > 0 {
+			m.mgr.reruns.Add(1)
+		}
+		m.mgr.nodesReused.Add(res.Stats.MemoHits)
+		m.mgr.nodesRecomputed.Add(res.Stats.BFSRuns)
+	}
+	return sample, nil
+}
+
+// sameNames reports whether the sorted vocabulary a equals the (not
+// necessarily sorted) name list b as a set.
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sorted := append([]string(nil), b...)
+	sort.Strings(sorted)
+	for i := range a {
+		if a[i] != sorted[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // record appends to the history ring, evicting the oldest entry past

@@ -137,7 +137,12 @@ type Result struct {
 }
 
 // AllPairs builds the candidate list: every unordered pair of store
-// events with at least minOcc occurrences each.
+// events with at least minOcc occurrences each, in lexicographic
+// order. The order is sorted explicitly rather than inherited from
+// the store: a deterministic candidate list is load-bearing for the
+// planner's priority queue (ties order by position) and for
+// reproducible sweeps generally, and must not silently depend on a
+// provider's iteration order.
 func AllPairs(store *events.Store, minOcc int) [][2]string {
 	var names []string
 	for _, name := range store.Names() {
@@ -145,6 +150,7 @@ func AllPairs(store *events.Store, minOcc int) [][2]string {
 			names = append(names, name)
 		}
 	}
+	sort.Strings(names)
 	var pairs [][2]string
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
@@ -181,44 +187,9 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 		return Result{}, ErrStaleEpoch
 	}
 
-	// The cross-pair density memo needs the event vocabulary of the
-	// sweep as an indexed set: collect the distinct event names of the
-	// pair list (sorted for determinism) and their occurrence sets. A
-	// caller-owned SharedMemo supplies its own (fixed) vocabulary
-	// instead, so its cached count vectors keep their layout across
-	// runs.
-	var memo *densityMemo
-	var mem *core.EventMembership
-	eventIdx := make(map[string]int)
-	switch {
-	case cfg.NoMemo:
-	case cfg.Memo != nil:
-		m, err := cfg.Memo.bind(g.NumNodes(), store, pairs, eventIdx)
-		if err != nil {
-			return Result{}, err
-		}
-		mem = m
-		memo = cfg.Memo.memo
-	default:
-		var names []string
-		for _, p := range pairs {
-			for _, name := range []string{p[0], p[1]} {
-				if _, ok := eventIdx[name]; !ok {
-					eventIdx[name] = -1 // mark; index assigned after sort
-					names = append(names, name)
-				}
-			}
-		}
-		sort.Strings(names)
-		sets := make([]*graph.NodeSet, len(names))
-		for k, name := range names {
-			eventIdx[name] = k
-			sets[k] = store.Set(name)
-		}
-		if m, err := core.NewEventMembership(g.NumNodes(), sets); err == nil {
-			mem = m
-			memo = newDensityMemo(g.NumNodes(), len(names))
-		}
+	memo, mem, eventIdx, err := bindSweepMemo(g, store, pairs, cfg)
+	if err != nil {
+		return Result{}, err
 	}
 	var hitsBefore int64
 	if memo != nil {
@@ -347,6 +318,50 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 		return pa.B < pb.B
 	})
 	return out, nil
+}
+
+// bindSweepMemo sets up a sweep's cross-pair density memo. The memo
+// needs the event vocabulary as an indexed set: the distinct event
+// names of the pair list (sorted for determinism) and their occurrence
+// sets. A caller-owned SharedMemo supplies its own (fixed) vocabulary
+// instead, so its cached count vectors keep their layout across runs;
+// NoMemo (or a budget miss) returns all-nil and the sweep evaluates
+// densities per pair. Shared by Run and Plan.
+func bindSweepMemo(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (*densityMemo, *core.EventMembership, map[string]int, error) {
+	var memo *densityMemo
+	var mem *core.EventMembership
+	eventIdx := make(map[string]int)
+	switch {
+	case cfg.NoMemo:
+	case cfg.Memo != nil:
+		m, err := cfg.Memo.bind(g.NumNodes(), store, pairs, eventIdx)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mem = m
+		memo = cfg.Memo.memo
+	default:
+		var names []string
+		for _, p := range pairs {
+			for _, name := range []string{p[0], p[1]} {
+				if _, ok := eventIdx[name]; !ok {
+					eventIdx[name] = -1 // mark; index assigned after sort
+					names = append(names, name)
+				}
+			}
+		}
+		sort.Strings(names)
+		sets := make([]*graph.NodeSet, len(names))
+		for k, name := range names {
+			eventIdx[name] = k
+			sets[k] = store.Set(name)
+		}
+		if m, err := core.NewEventMembership(g.NumNodes(), sets); err == nil {
+			mem = m
+			memo = newDensityMemo(g.NumNodes(), len(names))
+		}
+	}
+	return memo, mem, eventIdx, nil
 }
 
 // screenOne tests a single pair, returning the result and the pair's

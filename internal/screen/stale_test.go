@@ -64,6 +64,188 @@ func TestRunStaleEpoch(t *testing.T) {
 	}
 }
 
+// TestPlanStaleEpoch extends the mixed-view regression to the planner:
+// an epoch advance mid-plan must surface as ErrStaleEpoch, a dead
+// epoch fails fast, and a quiet epoch completes.
+func TestPlanStaleEpoch(t *testing.T) {
+	g, store := fixture(t)
+	var epoch atomic.Uint64
+	epoch.Store(1)
+
+	var once sync.Once
+	cfg := PlanConfig{
+		Config: Config{
+			H:          1,
+			SampleSize: 50,
+			Seed:       3,
+			Workers:    2,
+			Epoch:      1,
+			CurrentEpoch: func() uint64 {
+				return epoch.Load()
+			},
+			Progress: func(done, total int) {
+				once.Do(func() { epoch.Store(2) })
+			},
+		},
+		K: 3,
+	}
+	_, err := Plan(g, store, AllPairs(store, 1), cfg)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("Plan with a mid-run epoch advance returned %v, want ErrStaleEpoch", err)
+	}
+
+	cfg.Progress = nil
+	cfg.Epoch = 7
+	if _, err := Plan(g, store, AllPairs(store, 1), cfg); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("Plan bound to a dead epoch returned %v, want ErrStaleEpoch", err)
+	}
+
+	cfg.Epoch = 2
+	res, err := Plan(g, store, AllPairs(store, 1), cfg)
+	if err != nil {
+		t.Fatalf("Plan at a stable epoch: %v", err)
+	}
+	if res.Stats.FullTests == 0 {
+		t.Fatal("stable-epoch plan tested nothing")
+	}
+}
+
+// TestSharedMemoInvalidateDuringPlan fires Invalidate into an
+// in-flight planner run, at the serialization point the memo's
+// contract allows (a single-worker run's Progress callback executes on
+// the run's own goroutine, between pairs — exactly where a monitor's
+// drain loop would deliver a dirty set). Entries the run already
+// published are ripped out mid-flight and must be re-evaluated; on an
+// unchanged snapshot re-evaluation recomputes identical densities, so
+// the planned result must stay bit-identical to the exhaustive oracle
+// while the work accounting shows the re-evaluations actually happened.
+func TestSharedMemoInvalidateDuringPlan(t *testing.T) {
+	g, store := fixture(t)
+	memo, err := NewSharedMemo(g.NumNodes(), store.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := AllPairs(store, 5)
+	rng := rand.New(rand.NewPCG(17, 5))
+
+	base := PlanConfig{
+		Config: Config{H: 2, SampleSize: 150, Seed: 9, Workers: 1, MinOccurrences: 5, Memo: memo},
+		K:      5,
+	}
+	// Warm the memo fully so the in-flight run starts with every entry
+	// served from cache.
+	if _, err := Plan(g, store, pairs, base); err != nil {
+		t.Fatal(err)
+	}
+	published := memo.Published()
+	if published == 0 {
+		t.Fatal("warm-up published nothing")
+	}
+	warm, err := Plan(g, store, pairs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.BFSRuns != 0 {
+		t.Fatalf("fully warm plan paid %d traversals", warm.Stats.BFSRuns)
+	}
+
+	want := planOracle(t, g, store, pairs, base)
+	cfg := base
+	var invalidated int
+	cfg.Progress = func(done, total int) {
+		// The mid-run invalidator: every few pairs, rip out a random
+		// node batch — including entries this very run just published.
+		if done%3 != 0 {
+			return
+		}
+		batch := make([]graph.NodeID, 0, 64)
+		for i := 0; i < 64; i++ {
+			batch = append(batch, graph.NodeID(rng.IntN(g.NumNodes())))
+		}
+		invalidated += memo.Invalidate(batch)
+	}
+	res, err := Plan(g, store, pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalidated == 0 {
+		t.Fatal("the invalidator never hit a published entry")
+	}
+	if res.Stats.BFSRuns == 0 {
+		t.Fatal("stale entries were not re-evaluated (no traversals paid)")
+	}
+	if len(res.Pairs) != len(want) {
+		t.Fatalf("%d pairs, want %d", len(res.Pairs), len(want))
+	}
+	for i := range want {
+		if res.Pairs[i] != want[i] {
+			t.Fatalf("rank %d: mid-run invalidation changed the result\n got %+v\nwant %+v",
+				i, res.Pairs[i], want[i])
+		}
+	}
+}
+
+// TestSharedMemoPlanAcrossMutations is the planner's version of
+// TestSharedMemoEntriesMatchFresh: across seeded edge-mutation batches
+// with dirty-set invalidation, a planned top-k over the persistent
+// memo must equal a fresh-memo exhaustive oracle on every snapshot.
+func TestSharedMemoPlanAcrossMutations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 9))
+	g := graphgen.WattsStrogatz(400, 3, 0.1, rng)
+	b := events.NewBuilder(g.NumNodes())
+	names := []string{"ev-a", "ev-b", "ev-c", "ev-d"}
+	for _, name := range names {
+		for i := 0; i < 25; i++ {
+			b.Add(name, graph.NodeID(rng.IntN(g.NumNodes())))
+		}
+	}
+	store := b.Build()
+	const h = 2
+	memo, err := NewSharedMemo(g.NumNodes(), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := AllPairs(store, 1)
+	stream := graphgen.NewFlipStream(g, 0.5, rng)
+	for batch := 0; batch < 15; batch++ {
+		cfg := PlanConfig{
+			Config: Config{H: h, SampleSize: 80, Seed: 5, Workers: 1, Memo: memo},
+			K:      3,
+		}
+		res, err := Plan(g, store, pairs, cfg)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		fresh := cfg
+		fresh.Memo = nil
+		fresh.NoMemo = true
+		want := planOracle(t, g, store, pairs, fresh)
+		if len(res.Pairs) != len(want) {
+			t.Fatalf("batch %d: %d pairs, want %d", batch, len(res.Pairs), len(want))
+		}
+		for i := range want {
+			if res.Pairs[i] != want[i] {
+				t.Fatalf("batch %d rank %d: memoized plan diverged from fresh oracle\n got %+v\nwant %+v",
+					batch, i, res.Pairs[i], want[i])
+			}
+		}
+		// Mutate, invalidate via the locality dirty set, advance.
+		changes := stream.Take(1 + rng.IntN(4))
+		d := graph.NewDelta(g)
+		applied, err := d.Apply(changes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newG := d.Compact()
+		dirty, err := vicinity.DirtySet(g, newG, applied, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo.Invalidate(dirty)
+		g = newG
+	}
+}
+
 // TestSharedMemoValidation pins the bind-time contract: vocabulary and
 // universe mismatches fail loudly instead of serving garbage.
 func TestSharedMemoValidation(t *testing.T) {

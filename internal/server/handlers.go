@@ -139,6 +139,19 @@ type screenRequest struct {
 	Bonferroni     bool    `json:"bonferroni,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
 	Seed           uint64  `json:"seed,omitempty"`
+
+	// TopK > 0 runs the planned top-k screen instead of the exhaustive
+	// sweep: the K best pairs ranked by score under the tested tail,
+	// provably the ranking the exhaustive sweep would return. Theta runs
+	// the planned threshold screen: every pair scoring >= theta (a
+	// pointer so theta = 0 is expressible). The modes are mutually
+	// exclusive, and both are incompatible with bonferroni — a planned
+	// screen never observes the whole p-value family, so its results
+	// carry raw p-values. While a planned job runs, its job view exposes
+	// the current ranked result set under "partial".
+	TopK       int      `json:"top_k,omitempty"`
+	Theta      *float64 `json:"theta,omitempty"`
+	BoundAlpha float64  `json:"bound_alpha,omitempty"`
 }
 
 type screenResponse struct {
@@ -636,6 +649,27 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.TopK < 0 {
+		writeError(w, http.StatusBadRequest, "top_k must be >= 0")
+		return
+	}
+	planned := req.TopK > 0 || req.Theta != nil
+	if req.TopK > 0 && req.Theta != nil {
+		writeError(w, http.StatusBadRequest, "top_k and theta are mutually exclusive")
+		return
+	}
+	if req.Theta != nil && (*req.Theta < -1 || *req.Theta > 1) {
+		writeError(w, http.StatusBadRequest, "theta must lie in [-1, 1]")
+		return
+	}
+	if planned && req.Bonferroni {
+		writeError(w, http.StatusBadRequest, "bonferroni requires the exhaustive sweep: a planned screen reports raw p-values")
+		return
+	}
+	if !planned && req.BoundAlpha != 0 {
+		writeError(w, http.StatusBadRequest, "bound_alpha applies only to planned screens (set top_k or theta)")
+		return
+	}
 	// One snapshot for the whole sweep: a long screening job keeps its
 	// consistent graph + event view while mutations continue to land.
 	snap := e.Snapshot()
@@ -659,6 +693,30 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		Seed:           req.Seed,
 	}
 	opts.Engines = e.EnginePool(snap)
+	if planned {
+		popts := tesc.ScreenTopKOptions{
+			ScreenOptions: opts,
+			K:             req.TopK,
+			BoundAlpha:    req.BoundAlpha,
+		}
+		if req.Theta != nil {
+			popts.Theta = *req.Theta
+		}
+		job := s.jobs.StartPlanned(e.Name(), func(j *Job) (tesc.ScreenTopKResult, error) {
+			popts.Progress = j.setProgress
+			popts.Stream = j.setPartial
+			res, err := tesc.ScreenTopK(g, ev, popts)
+			if err == nil {
+				s.bfsRuns.Add(res.BFSRuns)
+				s.memoHits.Add(res.MemoHits)
+				s.screensPlanned.Add(1)
+				s.pairsPruned.Add(int64(res.PrunedEarly + res.PrunedPrior))
+			}
+			return res, err
+		})
+		writeJSON(w, http.StatusAccepted, screenResponse{JobID: job.ID})
+		return
+	}
 	job := s.jobs.Start(e.Name(), func(progress func(done, total int)) (tesc.ScreenResult, error) {
 		opts.Progress = progress
 		res, err := tesc.Screen(g, ev, opts)
@@ -702,6 +760,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"snapshot_loaded":        s.snapLoaded.Load(),
 		"bfs_runs":               s.bfsRuns.Load(),
 		"density_memo_hits":      s.memoHits.Load(),
+		"screens_planned":        s.screensPlanned.Load(),
+		"screen_pairs_pruned":    s.pairsPruned.Load(),
 		"monitors_active":        s.monitors.Active(),
 		"monitor_reruns":         s.monitors.Reruns(),
 		"monitor_nodes_reused":   s.monitors.NodesReused(),

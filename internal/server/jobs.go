@@ -29,6 +29,8 @@ type Job struct {
 	done     int
 	total    int
 	result   *tesc.ScreenResult
+	planned  *tesc.ScreenTopKResult
+	partial  []tesc.ScreenedPair
 	err      string
 	created  time.Time
 	finished time.Time
@@ -48,7 +50,20 @@ type ScreenedPairView struct {
 	Skipped     string  `json:"skipped,omitempty"`
 }
 
+// PlannerStatsView is the planned screen's work accounting, shaped for
+// JSON. FullTests versus Candidates is the sweep work the planner
+// saved: the exhaustive sweep pays a full test per candidate.
+type PlannerStatsView struct {
+	Candidates   int   `json:"candidates"`
+	FullTests    int   `json:"full_tests"`
+	PrunedEarly  int   `json:"pruned_early"`
+	PrunedPrior  int   `json:"pruned_prior"`
+	Checkpoints  int   `json:"checkpoints"`
+	DensityEvals int64 `json:"density_evals"`
+}
+
 // ScreenResultView is a completed screening run, shaped for JSON.
+// Planner is set only for planned (top-k / threshold) jobs.
 type ScreenResultView struct {
 	Pairs    []ScreenedPairView `json:"pairs"`
 	Tested   int                `json:"tested"`
@@ -56,22 +71,13 @@ type ScreenResultView struct {
 	Rejected int                `json:"rejected"`
 	BFSRuns  int64              `json:"bfs_runs"`
 	MemoHits int64              `json:"density_memo_hits"`
+	Planner  *PlannerStatsView  `json:"planner,omitempty"`
 }
 
-func screenResultView(r *tesc.ScreenResult) *ScreenResultView {
-	if r == nil {
-		return nil
-	}
-	v := &ScreenResultView{
-		Pairs:    make([]ScreenedPairView, len(r.Pairs)),
-		Tested:   r.Tested,
-		Skipped:  r.Skipped,
-		Rejected: r.Rejected,
-		BFSRuns:  r.BFSRuns,
-		MemoHits: r.MemoHits,
-	}
-	for i, p := range r.Pairs {
-		v.Pairs[i] = ScreenedPairView{
+func screenedPairViews(pairs []tesc.ScreenedPair) []ScreenedPairView {
+	out := make([]ScreenedPairView, len(pairs))
+	for i, p := range pairs {
+		out[i] = ScreenedPairView{
 			A: p.A, B: p.B,
 			OccA: p.OccA, OccB: p.OccB,
 			Tau: p.Tau, Z: p.Z,
@@ -80,20 +86,66 @@ func screenResultView(r *tesc.ScreenResult) *ScreenResultView {
 			Skipped:     p.Skipped,
 		}
 	}
-	return v
+	return out
 }
 
-// JobView is an immutable snapshot of a job, shaped for JSON.
+func screenResultView(r *tesc.ScreenResult) *ScreenResultView {
+	if r == nil {
+		return nil
+	}
+	return &ScreenResultView{
+		Pairs:    screenedPairViews(r.Pairs),
+		Tested:   r.Tested,
+		Skipped:  r.Skipped,
+		Rejected: r.Rejected,
+		BFSRuns:  r.BFSRuns,
+		MemoHits: r.MemoHits,
+	}
+}
+
+func plannedResultView(r *tesc.ScreenTopKResult) *ScreenResultView {
+	if r == nil {
+		return nil
+	}
+	rejected := 0
+	for _, p := range r.Pairs {
+		if p.Significant {
+			rejected++
+		}
+	}
+	return &ScreenResultView{
+		Pairs:    screenedPairViews(r.Pairs),
+		Tested:   r.FullTests,
+		Skipped:  r.Skipped,
+		Rejected: rejected,
+		BFSRuns:  r.BFSRuns,
+		MemoHits: r.MemoHits,
+		Planner: &PlannerStatsView{
+			Candidates:   r.Candidates,
+			FullTests:    r.FullTests,
+			PrunedEarly:  r.PrunedEarly,
+			PrunedPrior:  r.PrunedPrior,
+			Checkpoints:  r.Checkpoints,
+			DensityEvals: r.DensityEvals,
+		},
+	}
+}
+
+// JobView is an immutable snapshot of a job, shaped for JSON. Partial
+// is the planner's current ranked result set, visible only while a
+// planned job is still running: pollers watch the ranking converge
+// instead of staring at a counter.
 type JobView struct {
-	ID       string            `json:"id"`
-	Graph    string            `json:"graph"`
-	Status   JobStatus         `json:"status"`
-	Done     int               `json:"done"`
-	Total    int               `json:"total"`
-	Error    string            `json:"error,omitempty"`
-	Result   *ScreenResultView `json:"result,omitempty"`
-	Created  time.Time         `json:"created"`
-	Finished *time.Time        `json:"finished,omitempty"`
+	ID       string             `json:"id"`
+	Graph    string             `json:"graph"`
+	Status   JobStatus          `json:"status"`
+	Done     int                `json:"done"`
+	Total    int                `json:"total"`
+	Error    string             `json:"error,omitempty"`
+	Partial  []ScreenedPairView `json:"partial,omitempty"`
+	Result   *ScreenResultView  `json:"result,omitempty"`
+	Created  time.Time          `json:"created"`
+	Finished *time.Time         `json:"finished,omitempty"`
 }
 
 // Snapshot returns a consistent view of the job.
@@ -107,8 +159,15 @@ func (j *Job) Snapshot() JobView {
 		Done:    j.done,
 		Total:   j.total,
 		Error:   j.err,
-		Result:  screenResultView(j.result),
 		Created: j.created,
+	}
+	if j.planned != nil {
+		v.Result = plannedResultView(j.planned)
+	} else {
+		v.Result = screenResultView(j.result)
+	}
+	if j.status == JobRunning && len(j.partial) > 0 {
+		v.Partial = screenedPairViews(j.partial)
 	}
 	if !j.finished.IsZero() {
 		f := j.finished
@@ -127,6 +186,17 @@ func (j *Job) setProgress(done, total int) {
 		j.done = done
 	}
 	j.total = total
+	j.mu.Unlock()
+}
+
+// setPartial replaces the job's in-flight ranked result set, suitable
+// for ScreenTopKOptions.Stream (whose calls are serialized). The slice
+// is copied: the planner reuses its backing array across improvements.
+func (j *Job) setPartial(top []tesc.ScreenedPair) {
+	cp := make([]tesc.ScreenedPair, len(top))
+	copy(cp, top)
+	j.mu.Lock()
+	j.partial = cp
 	j.mu.Unlock()
 }
 
@@ -182,11 +252,10 @@ func (j *Job) isFinished() bool {
 	return j.status != JobRunning
 }
 
-// Start registers a new job for the named graph and runs fn in a fresh
-// goroutine. fn receives the job's progress sink, suitable for
-// ScreenOptions.Progress.
-func (js *Jobs) Start(graphName string, fn func(progress func(done, total int)) (tesc.ScreenResult, error)) *Job {
+// register creates a running job for the named graph and tracks it.
+func (js *Jobs) register(graphName string) *Job {
 	js.mu.Lock()
+	defer js.mu.Unlock()
 	js.seq++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", js.seq),
@@ -197,20 +266,47 @@ func (js *Jobs) Start(graphName string, fn func(progress func(done, total int)) 
 	js.jobs[j.ID] = j
 	js.order = append(js.order, j.ID)
 	js.pruneLocked()
-	js.mu.Unlock()
+	return j
+}
 
+// finish transitions the job out of JobRunning; commit stores the
+// result under the job lock on success.
+func (j *Job) finish(err error, commit func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = JobFailed
+		j.err = err.Error()
+		return
+	}
+	j.status = JobDone
+	commit()
+}
+
+// Start registers a new job for the named graph and runs fn in a fresh
+// goroutine. fn receives the job's progress sink, suitable for
+// ScreenOptions.Progress.
+func (js *Jobs) Start(graphName string, fn func(progress func(done, total int)) (tesc.ScreenResult, error)) *Job {
+	j := js.register(graphName)
 	go func() {
 		res, err := fn(j.setProgress)
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.finished = time.Now()
-		if err != nil {
-			j.status = JobFailed
-			j.err = err.Error()
-			return
-		}
-		j.status = JobDone
-		j.result = &res
+		j.finish(err, func() { j.result = &res })
+	}()
+	return j
+}
+
+// StartPlanned registers a planned (top-k / threshold) screening job.
+// fn receives the job itself so it can wire both the progress sink and
+// the partial-ranking stream (Job.setPartial) into ScreenTopKOptions.
+func (js *Jobs) StartPlanned(graphName string, fn func(j *Job) (tesc.ScreenTopKResult, error)) *Job {
+	j := js.register(graphName)
+	go func() {
+		res, err := fn(j)
+		j.finish(err, func() {
+			j.planned = &res
+			j.partial = nil // the final ranking supersedes any partial
+		})
 	}()
 	return j
 }

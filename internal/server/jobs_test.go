@@ -85,6 +85,47 @@ func TestJobsPruneFinished(t *testing.T) {
 	waitFinished(t, js, running.ID)
 }
 
+// TestPlannedJobPartialStreaming pins the incremental-result contract
+// of planned jobs: the ranked set streamed mid-run is visible (and
+// copied — later planner writes must not alias it) while the job runs,
+// and the final result supersedes it at completion.
+func TestPlannedJobPartialStreaming(t *testing.T) {
+	js := NewJobs()
+	release := make(chan struct{})
+	streamed := make(chan *Job, 1)
+	top := []tesc.ScreenedPair{{A: "x", B: "y", Tau: 0.5}}
+	j := js.StartPlanned("g", func(j *Job) (tesc.ScreenTopKResult, error) {
+		j.setPartial(top)
+		top[0].A = "mutated" // the planner reuses its backing array
+		streamed <- j
+		<-release
+		return tesc.ScreenTopKResult{
+			Pairs:      []tesc.ScreenedPair{{A: "x", B: "y", Tau: 0.5, Significant: true}},
+			Candidates: 3, FullTests: 1, PrunedEarly: 2,
+		}, nil
+	})
+	<-streamed
+	v := j.Snapshot()
+	if v.Status != JobRunning || len(v.Partial) != 1 {
+		t.Fatalf("running planned job snapshot = %+v, want 1 partial pair", v)
+	}
+	if v.Partial[0].A != "x" || v.Partial[0].Tau != 0.5 {
+		t.Fatalf("partial pair = %+v: the streamed slice must be copied, not aliased", v.Partial[0])
+	}
+	close(release)
+	v = waitFinished(t, js, j.ID)
+	if v.Status != JobDone || len(v.Partial) != 0 {
+		t.Fatalf("done planned job still exposes a partial ranking: %+v", v)
+	}
+	if v.Result == nil || v.Result.Planner == nil {
+		t.Fatalf("planned job result lacks planner stats: %+v", v.Result)
+	}
+	if v.Result.Planner.Candidates != 3 || v.Result.Planner.PrunedEarly != 2 ||
+		v.Result.Tested != 1 || v.Result.Rejected != 1 {
+		t.Fatalf("planner result view = %+v", v.Result)
+	}
+}
+
 // TestJobProgressGaugeMonotone pins the max-fold in setProgress:
 // screening workers report completion counts without a lock, so they
 // can arrive out of order, and the polled gauge must never move

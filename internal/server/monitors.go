@@ -19,9 +19,17 @@ type createMonitorRequest struct {
 	// ID optionally names the monitor; the server generates one when
 	// empty.
 	ID string `json:"id,omitempty"`
-	// A and B name the monitored (registered) event pair.
-	A string `json:"a"`
-	B string `json:"b"`
+	// A and B name the monitored (registered) event pair. Leave both
+	// empty and set top_k instead to register a watchlist: a standing
+	// top-k screen over the graph's whole event vocabulary, re-ranked
+	// incrementally as mutations land.
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// TopK > 0 selects watchlist mode (mutually exclusive with a/b).
+	TopK int `json:"top_k,omitempty"`
+	// MinOccurrences filters watchlist candidates (default 1); fixed
+	// pairs must leave it unset.
+	MinOccurrences int `json:"min_occurrences,omitempty"`
 	// The test parameters mirror the correlate request.
 	H          int     `json:"h"`
 	SampleSize int     `json:"sample_size,omitempty"`
@@ -40,6 +48,16 @@ type createMonitorRequest struct {
 	History int `json:"history,omitempty"`
 }
 
+// rankedPairView is one entry of a watchlist sample's ranked list.
+type rankedPairView struct {
+	A           string  `json:"a"`
+	B           string  `json:"b"`
+	Tau         float64 `json:"tau"`
+	Z           float64 `json:"z"`
+	P           float64 `json:"p"`
+	Significant bool    `json:"significant"`
+}
+
 type monitorSampleView struct {
 	Epoch       uint64    `json:"epoch"`
 	At          time.Time `json:"at"`
@@ -49,25 +67,31 @@ type monitorSampleView struct {
 	P           float64   `json:"p"`
 	Significant bool      `json:"significant"`
 	Skipped     string    `json:"skipped,omitempty"`
-	Reused      int64     `json:"nodes_reused"`
-	Recomputed  int64     `json:"nodes_recomputed"`
-	ElapsedMS   float64   `json:"elapsed_ms"`
+	// Top is a watchlist sample's ranked list; the head fields above
+	// mirror its first entry.
+	Top        []rankedPairView `json:"top,omitempty"`
+	Reused     int64            `json:"nodes_reused"`
+	Recomputed int64            `json:"nodes_recomputed"`
+	ElapsedMS  float64          `json:"elapsed_ms"`
 }
 
 type monitorView struct {
-	ID         string  `json:"id"`
-	Graph      string  `json:"graph"`
-	A          string  `json:"a"`
-	B          string  `json:"b"`
-	H          int     `json:"h"`
-	SampleSize int     `json:"sample_size"`
-	Alpha      float64 `json:"alpha"`
-	Tail       string  `json:"tail"`
-	Seed       uint64  `json:"seed"`
-	Policy     string  `json:"policy"`
-	DebounceMS int64   `json:"debounce_ms"`
-	HistoryCap int     `json:"history_cap"`
-	Pending    int     `json:"pending_batches"`
+	ID    string `json:"id"`
+	Graph string `json:"graph"`
+	A     string `json:"a,omitempty"`
+	B     string `json:"b,omitempty"`
+	// TopK and MinOccurrences are set on watchlists only.
+	TopK           int     `json:"top_k,omitempty"`
+	MinOccurrences int     `json:"min_occurrences,omitempty"`
+	H              int     `json:"h"`
+	SampleSize     int     `json:"sample_size"`
+	Alpha          float64 `json:"alpha"`
+	Tail           string  `json:"tail"`
+	Seed           uint64  `json:"seed"`
+	Policy         string  `json:"policy"`
+	DebounceMS     int64   `json:"debounce_ms"`
+	HistoryCap     int     `json:"history_cap"`
+	Pending        int     `json:"pending_batches"`
 	// Last is the most recent (re-)screen, when one exists.
 	Last *monitorSampleView `json:"last,omitempty"`
 }
@@ -78,7 +102,7 @@ type monitorDetailView struct {
 }
 
 func sampleView(s monitor.Sample) monitorSampleView {
-	return monitorSampleView{
+	v := monitorSampleView{
 		Epoch:       s.Epoch,
 		At:          s.At,
 		Batches:     s.Batches,
@@ -91,24 +115,37 @@ func sampleView(s monitor.Sample) monitorSampleView {
 		Recomputed:  s.Recomputed,
 		ElapsedMS:   s.ElapsedMS,
 	}
+	if len(s.Top) > 0 {
+		v.Top = make([]rankedPairView, len(s.Top))
+		for i, p := range s.Top {
+			v.Top[i] = rankedPairView{
+				A: p.A, B: p.B,
+				Tau: p.Tau, Z: p.Z, P: p.P,
+				Significant: p.Significant,
+			}
+		}
+	}
+	return v
 }
 
 func (s *Server) monitorInfo(m *monitor.Monitor) monitorView {
 	def := m.Def()
 	v := monitorView{
-		ID:         def.ID,
-		Graph:      m.GraphName(),
-		A:          def.A,
-		B:          def.B,
-		H:          def.H,
-		SampleSize: def.SampleSize,
-		Alpha:      def.Alpha,
-		Tail:       tailName(def.Alternative),
-		Seed:       def.Seed,
-		Policy:     def.Mode.String(),
-		DebounceMS: def.Debounce.Milliseconds(),
-		HistoryCap: def.HistoryCap,
-		Pending:    m.Pending(),
+		ID:             def.ID,
+		Graph:          m.GraphName(),
+		A:              def.A,
+		B:              def.B,
+		TopK:           def.TopK,
+		MinOccurrences: def.MinOccurrences,
+		H:              def.H,
+		SampleSize:     def.SampleSize,
+		Alpha:          def.Alpha,
+		Tail:           tailName(def.Alternative),
+		Seed:           def.Seed,
+		Policy:         def.Mode.String(),
+		DebounceMS:     def.Debounce.Milliseconds(),
+		HistoryCap:     def.HistoryCap,
+		Pending:        m.Pending(),
 	}
 	if last, ok := m.Last(); ok {
 		sv := sampleView(last)
@@ -210,17 +247,19 @@ func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	def := monitor.Definition{
-		ID:          req.ID,
-		A:           req.A,
-		B:           req.B,
-		H:           req.H,
-		SampleSize:  req.SampleSize,
-		Alpha:       req.Alpha,
-		Alternative: alt,
-		Seed:        req.Seed,
-		Mode:        mode,
-		Debounce:    time.Duration(req.DebounceMS) * time.Millisecond,
-		HistoryCap:  req.History,
+		ID:             req.ID,
+		A:              req.A,
+		B:              req.B,
+		TopK:           req.TopK,
+		MinOccurrences: req.MinOccurrences,
+		H:              req.H,
+		SampleSize:     req.SampleSize,
+		Alpha:          req.Alpha,
+		Alternative:    alt,
+		Seed:           req.Seed,
+		Mode:           mode,
+		Debounce:       time.Duration(req.DebounceMS) * time.Millisecond,
+		HistoryCap:     req.History,
 	}
 	m, err := s.monitors.Create(e.Name(), def, entrySnapshotFunc(e))
 	if err != nil {

@@ -90,6 +90,13 @@ type Server struct {
 	bfsRuns  atomic.Int64
 	memoHits atomic.Int64
 
+	// screensPlanned counts planned (top-k / threshold) screening jobs
+	// completed; pairsPruned the candidate pairs those jobs discarded
+	// without a full test — the live view of the sweep work the planner
+	// is saving over exhaustive O(K²) screening.
+	screensPlanned atomic.Int64
+	pairsPruned    atomic.Int64
+
 	// readOnly gates the client-facing mutation endpoints on a replica;
 	// recordsShipped counts WAL records served to followers; follower,
 	// set by AttachFollower before serving, surfaces replication lag

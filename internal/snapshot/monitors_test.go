@@ -190,3 +190,145 @@ func TestMonitorDecodeAdversarial(t *testing.T) {
 		}
 	}
 }
+
+func testWatchlistStates() []monitor.State {
+	at := time.Unix(0, 1753500000000000000)
+	return []monitor.State{
+		{
+			Def: monitor.Definition{
+				ID: "watch-1", H: 2, TopK: 3, MinOccurrences: 2,
+				SampleSize: 200, Alpha: 0.05, Alternative: stats.Greater,
+				Seed: 0xbeef, Mode: monitor.Auto, Debounce: 50 * time.Millisecond,
+				HistoryCap: 16,
+			},
+			History: []monitor.Sample{
+				{
+					Epoch: 4, At: at, Batches: 0,
+					Tau: 0.31, Z: 4.1, P: 0.00002, AdjP: 0.00002, Significant: true,
+					Reused: 0, Recomputed: 420, ElapsedMS: 2.5,
+					Top: []monitor.TopPair{
+						{A: "ev-0", B: "ev-1", Tau: 0.31, Z: 4.1, P: 0.00002, Significant: true},
+						{A: "ev-0", B: "ev-2", Tau: 0.12, Z: 1.7, P: 0.04, Significant: true},
+						{A: "ev-1", B: "ev-2", Tau: 0.02, Z: 0.3, P: 0.38},
+					},
+				},
+				{
+					Epoch: 8, At: at.Add(time.Second), Batches: 3,
+					Tau: 0.29, Z: 3.9, P: 0.00005, AdjP: 0.00005, Significant: true,
+					Reused: 390, Recomputed: 30, ElapsedMS: 0.4,
+					Top: []monitor.TopPair{
+						{A: "ev-0", B: "ev-1", Tau: 0.29, Z: 3.9, P: 0.00005, Significant: true},
+					},
+				},
+				{Epoch: 11, At: at.Add(2 * time.Second), Batches: 1, Skipped: "fewer than two screenable events"},
+			},
+		},
+		{
+			Def: monitor.Definition{
+				ID: "watch-2", H: 1, TopK: 1, MinOccurrences: 1,
+				SampleSize: 900, Alpha: 0.05, Alternative: stats.TwoSided,
+				Seed: 7, Mode: monitor.Manual, Debounce: monitor.DefaultDebounce,
+				HistoryCap: 64,
+			},
+		},
+	}
+}
+
+// TestWatchlistRoundTrip pins the WTCH section: watchlist definitions
+// (top-k, min occurrences) and ranked history samples survive
+// Save/Load exactly, in a file that also carries fixed-pair monitors.
+func TestWatchlistRoundTrip(t *testing.T) {
+	g := randomGraph(t, 120, 400, false, 8)
+	in := &snapshot.Snapshot{
+		Graph:    g,
+		Store:    randomStore(t, g.NumNodes(), 3),
+		Monitors: append(testMonitorStates(), testWatchlistStates()...),
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := snapshot.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Monitors, out.Monitors) {
+		t.Fatalf("monitors did not round-trip:\n in  %+v\n out %+v", in.Monitors, out.Monitors)
+	}
+	info, err := snapshot.Inspect(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMntr, gotWtch bool
+	for _, s := range info.Sections {
+		gotMntr = gotMntr || s.Tag == "MNTR"
+		gotWtch = gotWtch || s.Tag == "WTCH"
+	}
+	if !gotMntr || !gotWtch {
+		t.Fatalf("sections = %+v, want both MNTR and WTCH", info.Sections)
+	}
+
+	// All-watchlist snapshots omit MNTR entirely.
+	var buf2 bytes.Buffer
+	if err := snapshot.Save(&buf2, &snapshot.Snapshot{Graph: g, Monitors: testWatchlistStates()}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf2.Bytes(), []byte("MNTR")) {
+		t.Error("all-watchlist snapshot still wrote an MNTR section")
+	}
+}
+
+// TestWatchlistSaveRejectsBad: defective watchlist states never reach
+// disk.
+func TestWatchlistSaveRejectsBad(t *testing.T) {
+	g := randomGraph(t, 50, 100, false, 15)
+	cases := map[string][]monitor.State{
+		"pair on watchlist": {{Def: monitor.Definition{ID: "w", TopK: 2, A: "a", B: "b", H: 1}}},
+		"negative topk":     {{Def: monitor.Definition{ID: "w", TopK: -1, H: 1}}},
+		"ranked fixed pair": {{
+			Def:     monitor.Definition{ID: "m", A: "a", B: "b", H: 1},
+			History: []monitor.Sample{{Epoch: 1, Top: []monitor.TopPair{{A: "a", B: "b"}}}},
+		}},
+		"over-ranked sample": {{
+			Def:     monitor.Definition{ID: "w", TopK: 1, H: 1},
+			History: []monitor.Sample{{Epoch: 1, Top: []monitor.TopPair{{A: "a", B: "b"}, {A: "a", B: "c"}}}},
+		}},
+	}
+	for name, monitors := range cases {
+		var buf bytes.Buffer
+		if err := snapshot.Save(&buf, &snapshot.Snapshot{Graph: g, Monitors: monitors}); err == nil {
+			t.Errorf("%s: Save accepted a defective watchlist", name)
+		}
+	}
+}
+
+// TestWatchlistDecodeAdversarial: every corrupted WTCH byte fails the
+// CRC, truncations are caught, and duplicate/colliding sections are
+// rejected.
+func TestWatchlistDecodeAdversarial(t *testing.T) {
+	g := randomGraph(t, 80, 200, false, 16)
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, &snapshot.Snapshot{Graph: g, Monitors: testWatchlistStates()}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	idx := bytes.Index(raw, []byte("WTCH"))
+	if idx < 0 {
+		t.Fatal("WTCH tag not found in encoded snapshot")
+	}
+	plen := binary.LittleEndian.Uint64(raw[idx+4 : idx+12])
+
+	for off := uint64(0); off < plen; off += 7 {
+		mut := append([]byte(nil), raw...)
+		mut[uint64(idx+16)+off] ^= 0x40
+		if _, err := snapshot.Load(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at WTCH payload offset %d loaded successfully", off)
+		}
+	}
+	for _, cut := range []int{idx + 16, idx + 20, len(raw) - 3} {
+		if _, err := snapshot.Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded successfully", cut)
+		}
+	}
+}

@@ -29,11 +29,18 @@
 //	       [intensities count×f64 when weighted]
 //	VIDX — max level u32, n u64, |V^h_v| columns level-major
 //	       maxLevel×n×u32 (repeatable, one section per cached index)
-//	MNTR — standing-query monitors: count u32, then per monitor the
-//	       definition (id/a/b strings, h, sample size, alpha,
-//	       alternative, seed, mode, debounce, history cap) and the
-//	       history ring (epoch, timestamp, batches, statistics,
+//	MNTR — fixed-pair standing-query monitors: count u32, then per
+//	       monitor the definition (id/a/b strings, h, sample size,
+//	       alpha, alternative, seed, mode, debounce, history cap) and
+//	       the history ring (epoch, timestamp, batches, statistics,
 //	       reuse counters per sample)
+//	WTCH — watchlist monitors (Definition.TopK > 0): like MNTR but
+//	       the definition carries top-k and min-occurrences instead
+//	       of an event pair, and every history sample additionally
+//	       carries its ranking (count u32, then per entry a/b
+//	       strings, tau/z/p, significance flag). A separate tag keeps
+//	       pre-watchlist readers compatible: they skip WTCH as an
+//	       unknown section and still load everything else.
 //
 // # Trust model
 //
@@ -86,6 +93,7 @@ var (
 	tagEvent = [4]byte{'E', 'V', 'T', 'S'}
 	tagVidx  = [4]byte{'V', 'I', 'D', 'X'}
 	tagMntr  = [4]byte{'M', 'N', 'T', 'R'}
+	tagWtch  = [4]byte{'W', 'T', 'C', 'H'}
 )
 
 // MaxMonitors bounds the monitor count an MNTR section may declare.
@@ -218,8 +226,31 @@ func Save(w io.Writer, s *Snapshot) error {
 			if len(smp.Skipped) > math.MaxUint16 {
 				return fmt.Errorf("snapshot: monitor %q skipped reason of %d bytes exceeds the format's %d-byte limit", def.ID, len(smp.Skipped), math.MaxUint16)
 			}
+			if def.TopK == 0 && len(smp.Top) != 0 {
+				return fmt.Errorf("snapshot: fixed-pair monitor %q has a ranked sample", def.ID)
+			}
+			if len(smp.Top) > def.TopK {
+				return fmt.Errorf("snapshot: monitor %q sample ranks %d pairs, top-k is %d", def.ID, len(smp.Top), def.TopK)
+			}
+			for _, tp := range smp.Top {
+				if len(tp.A) > math.MaxUint16 || len(tp.B) > math.MaxUint16 {
+					return fmt.Errorf("snapshot: monitor %q ranked event name exceeds the format's %d-byte limit", def.ID, math.MaxUint16)
+				}
+			}
 		}
 		monitors[i] = monitor.State{Def: def, History: st.History}
+	}
+	// Fixed-pair monitors and watchlists travel in separate sections so
+	// a pre-watchlist reader degrades gracefully (WTCH skips as an
+	// unknown tag) instead of rejecting the whole file. Relative order
+	// within each kind is preserved; Load puts fixed pairs first.
+	var fixedMonitors, watchlists []monitor.State
+	for _, st := range monitors {
+		if st.Def.TopK > 0 {
+			watchlists = append(watchlists, st)
+		} else {
+			fixedMonitors = append(fixedMonitors, st)
+		}
 	}
 	epoch, gv := s.Epoch, s.GraphVersion
 	if epoch == 0 {
@@ -234,7 +265,10 @@ func Save(w io.Writer, s *Snapshot) error {
 	if s.Store != nil {
 		sections++
 	}
-	if len(s.Monitors) > 0 {
+	if len(fixedMonitors) > 0 {
+		sections++
+	}
+	if len(watchlists) > 0 {
 		sections++
 	}
 	var hdr [16]byte
@@ -263,8 +297,13 @@ func Save(w io.Writer, s *Snapshot) error {
 			return err
 		}
 	}
-	if len(monitors) > 0 {
-		if err := writeSection(bw, tagMntr, encodeMonitors(monitors)); err != nil {
+	if len(fixedMonitors) > 0 {
+		if err := writeSection(bw, tagMntr, encodeMonitors(fixedMonitors, false)); err != nil {
+			return err
+		}
+	}
+	if len(watchlists) > 0 {
+		if err := writeSection(bw, tagWtch, encodeMonitors(watchlists, true)); err != nil {
 			return err
 		}
 	}
@@ -352,14 +391,20 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func encodeMonitors(monitors []monitor.State) []byte {
+// encodeMonitors serializes fixed-pair monitors (watchlist == false,
+// MNTR layout) or watchlists (watchlist == true, WTCH layout — the
+// pair strings are replaced by top-k/min-occurrences and each sample
+// carries its ranking).
+func encodeMonitors(monitors []monitor.State, watchlist bool) []byte {
 	buf := make([]byte, 0, 1<<10)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(monitors)))
 	for _, st := range monitors {
 		def := st.Def
 		buf = appendString(buf, def.ID)
-		buf = appendString(buf, def.A)
-		buf = appendString(buf, def.B)
+		if !watchlist {
+			buf = appendString(buf, def.A)
+			buf = appendString(buf, def.B)
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(def.H))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(def.SampleSize))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(def.Alpha))
@@ -367,6 +412,10 @@ func encodeMonitors(monitors []monitor.State) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, def.Seed)
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(def.Debounce))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(def.HistoryCap))
+		if watchlist {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(def.TopK))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(def.MinOccurrences))
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.History)))
 		for _, smp := range st.History {
 			buf = binary.LittleEndian.AppendUint64(buf, smp.Epoch)
@@ -384,6 +433,21 @@ func encodeMonitors(monitors []monitor.State) []byte {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(smp.Reused))
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(smp.Recomputed))
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(smp.ElapsedMS))
+			if watchlist {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(smp.Top)))
+				for _, tp := range smp.Top {
+					buf = appendString(buf, tp.A)
+					buf = appendString(buf, tp.B)
+					for _, f := range [3]float64{tp.Tau, tp.Z, tp.P} {
+						buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+					}
+					var tflags byte
+					if tp.Significant {
+						tflags |= 1
+					}
+					buf = append(buf, tflags)
+				}
+			}
 		}
 	}
 	return buf
@@ -441,6 +505,7 @@ func load(r io.Reader) (*Info, error) {
 
 	info := &Info{FormatVersion: version}
 	snap := &Snapshot{Epoch: 1, GraphVersion: 1}
+	var fixedMonitors, watchlists []monitor.State
 	var sawMeta, sawEvents bool
 	seenLevel := make(map[int]bool)
 	for i := uint32(0); i < count; i++ {
@@ -505,14 +570,19 @@ func load(r io.Reader) (*Info, error) {
 			seenLevel[idx.MaxLevel()] = true
 			snap.Indexes = append(snap.Indexes, idx)
 		case tagMntr:
-			if snap.Monitors != nil {
+			if fixedMonitors != nil {
 				return nil, fmt.Errorf("snapshot: duplicate MNTR section")
 			}
-			monitors, err := decodeMonitors(payload)
-			if err != nil {
+			if fixedMonitors, err = decodeMonitors(payload, false); err != nil {
 				return nil, err
 			}
-			snap.Monitors = monitors
+		case tagWtch:
+			if watchlists != nil {
+				return nil, fmt.Errorf("snapshot: duplicate WTCH section")
+			}
+			if watchlists, err = decodeMonitors(payload, true); err != nil {
+				return nil, err
+			}
 		default:
 			// Unknown section from a newer writer: CRC verified, payload
 			// skipped.
@@ -526,6 +596,18 @@ func load(r io.Reader) (*Info, error) {
 	if k, _ := r.Read(one[:]); k != 0 {
 		return nil, fmt.Errorf("snapshot: trailing data after %d declared sections", count)
 	}
+	// Merge the two monitor kinds (fixed pairs first, matching Save's
+	// split) and reject IDs colliding across sections.
+	seenMonitor := make(map[string]bool, len(fixedMonitors))
+	for _, st := range fixedMonitors {
+		seenMonitor[st.Def.ID] = true
+	}
+	for _, st := range watchlists {
+		if seenMonitor[st.Def.ID] {
+			return nil, fmt.Errorf("snapshot: monitor ID %q appears in both MNTR and WTCH", st.Def.ID)
+		}
+	}
+	snap.Monitors = append(fixedMonitors, watchlists...)
 	sort.Slice(snap.Indexes, func(i, j int) bool { return snap.Indexes[i].MaxLevel() < snap.Indexes[j].MaxLevel() })
 	info.Snapshot = snap
 	return info, nil
@@ -756,28 +838,35 @@ func decodeIndex(b []byte, g *graph.Graph) (*vicinity.Index, error) {
 	return idx, nil
 }
 
-func decodeMonitors(b []byte) ([]monitor.State, error) {
-	c := cursor{b: b, what: "MNTR"}
+// decodeMonitors parses an MNTR (watchlist == false) or WTCH
+// (watchlist == true) payload; see encodeMonitors for the layouts.
+func decodeMonitors(b []byte, watchlist bool) ([]monitor.State, error) {
+	what := "MNTR"
+	if watchlist {
+		what = "WTCH"
+	}
+	c := cursor{b: b, what: what}
 	count, err := c.u32()
 	if err != nil {
 		return nil, err
 	}
 	if count > MaxMonitors {
-		return nil, fmt.Errorf("snapshot: MNTR declares %d monitors, limit %d", count, MaxMonitors)
+		return nil, fmt.Errorf("snapshot: %s declares %d monitors, limit %d", what, count, MaxMonitors)
 	}
-	// Every monitor record is at least 44 bytes of fixed fields; a
-	// lying count fails before sizing anything.
+	// Every monitor record is at least 44 bytes of fixed fields (WTCH
+	// records are larger still); a lying count fails before sizing
+	// anything.
 	if uint64(count)*44 > uint64(c.remaining()) {
-		return nil, fmt.Errorf("snapshot: MNTR declares %d monitors in %d remaining bytes", count, c.remaining())
+		return nil, fmt.Errorf("snapshot: %s declares %d monitors in %d remaining bytes", what, count, c.remaining())
 	}
-	readString := func(what string) (string, error) {
+	readString := func(field string) (string, error) {
 		n, err := c.u16()
 		if err != nil {
 			return "", err
 		}
 		sb, err := c.bytes(int(n))
 		if err != nil {
-			return "", fmt.Errorf("snapshot: MNTR %s: %w", what, err)
+			return "", fmt.Errorf("snapshot: %s %s: %w", what, field, err)
 		}
 		return string(sb), nil
 	}
@@ -788,11 +877,13 @@ func decodeMonitors(b []byte) ([]monitor.State, error) {
 		if def.ID, err = readString("id"); err != nil {
 			return nil, err
 		}
-		if def.A, err = readString("event a"); err != nil {
-			return nil, err
-		}
-		if def.B, err = readString("event b"); err != nil {
-			return nil, err
+		if !watchlist {
+			if def.A, err = readString("event a"); err != nil {
+				return nil, err
+			}
+			if def.B, err = readString("event b"); err != nil {
+				return nil, err
+			}
 		}
 		h, err := c.u32()
 		if err != nil {
@@ -826,6 +917,18 @@ func decodeMonitors(b []byte) ([]monitor.State, error) {
 		if err != nil {
 			return nil, err
 		}
+		if watchlist {
+			topk, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			minOcc, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			def.TopK = int(topk)
+			def.MinOccurrences = int(minOcc)
+		}
 		histLen, err := c.u32()
 		if err != nil {
 			return nil, err
@@ -839,30 +942,32 @@ func decodeMonitors(b []byte) ([]monitor.State, error) {
 		def.HistoryCap = int(histCap)
 		switch {
 		case def.ID == "":
-			return nil, fmt.Errorf("snapshot: MNTR monitor %d has no ID", i)
+			return nil, fmt.Errorf("snapshot: %s monitor %d has no ID", what, i)
 		case seen[def.ID]:
-			return nil, fmt.Errorf("snapshot: MNTR duplicate monitor ID %q", def.ID)
+			return nil, fmt.Errorf("snapshot: %s duplicate monitor ID %q", what, def.ID)
 		case h > MaxVicinityLevels:
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q level %d exceeds limit %d", def.ID, h, MaxVicinityLevels)
+			return nil, fmt.Errorf("snapshot: %s monitor %q level %d exceeds limit %d", what, def.ID, h, MaxVicinityLevels)
 		case math.IsNaN(def.Alpha) || math.IsInf(def.Alpha, 0):
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q has non-finite alpha", def.ID)
+			return nil, fmt.Errorf("snapshot: %s monitor %q has non-finite alpha", what, def.ID)
 		case alt > uint8(stats.Less):
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q unknown alternative %d", def.ID, alt)
+			return nil, fmt.Errorf("snapshot: %s monitor %q unknown alternative %d", what, def.ID, alt)
 		case mode > uint8(monitor.Manual):
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q unknown mode %d", def.ID, mode)
+			return nil, fmt.Errorf("snapshot: %s monitor %q unknown mode %d", what, def.ID, mode)
 		case debounce > math.MaxInt64:
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q debounce %d overflows", def.ID, debounce)
+			return nil, fmt.Errorf("snapshot: %s monitor %q debounce %d overflows", what, def.ID, debounce)
 		case histLen > histCap:
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q history %d exceeds its capacity %d", def.ID, histLen, histCap)
+			return nil, fmt.Errorf("snapshot: %s monitor %q history %d exceeds its capacity %d", what, def.ID, histLen, histCap)
+		case watchlist && def.TopK == 0:
+			return nil, fmt.Errorf("snapshot: %s monitor %q declares top-k 0", what, def.ID)
 		}
 		seen[def.ID] = true
 		def.Debounce = time.Duration(debounce)
 		if err := def.Normalize(); err != nil {
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q: %w", def.ID, err)
+			return nil, fmt.Errorf("snapshot: %s monitor %q: %w", what, def.ID, err)
 		}
 		// Each history record is at least 77 bytes; check before sizing.
 		if uint64(histLen)*77 > uint64(c.remaining()) {
-			return nil, fmt.Errorf("snapshot: MNTR monitor %q declares %d samples in %d remaining bytes", def.ID, histLen, c.remaining())
+			return nil, fmt.Errorf("snapshot: %s monitor %q declares %d samples in %d remaining bytes", what, def.ID, histLen, c.remaining())
 		}
 		st := monitor.State{Def: def}
 		prevEpoch := uint64(0)
@@ -893,7 +998,7 @@ func decodeMonitors(b []byte) ([]monitor.State, error) {
 				return nil, err
 			}
 			if flags&^byte(1) != 0 {
-				return nil, fmt.Errorf("snapshot: MNTR monitor %q sample %d unknown flag bits %#02x", def.ID, k, flags)
+				return nil, fmt.Errorf("snapshot: %s monitor %q sample %d unknown flag bits %#02x", what, def.ID, k, flags)
 			}
 			skipped, err := readString("skipped reason")
 			if err != nil {
@@ -911,12 +1016,56 @@ func decodeMonitors(b []byte) ([]monitor.State, error) {
 			if err != nil {
 				return nil, err
 			}
+			if watchlist {
+				topLen, err := c.u32()
+				if err != nil {
+					return nil, err
+				}
+				if int(topLen) > def.TopK {
+					return nil, fmt.Errorf("snapshot: %s monitor %q sample %d ranks %d pairs, top-k is %d", what, def.ID, k, topLen, def.TopK)
+				}
+				// Each ranked entry is at least 29 bytes; check before
+				// sizing.
+				if uint64(topLen)*29 > uint64(c.remaining()) {
+					return nil, fmt.Errorf("snapshot: %s monitor %q sample %d declares %d ranked pairs in %d remaining bytes", what, def.ID, k, topLen, c.remaining())
+				}
+				if topLen > 0 {
+					smp.Top = make([]monitor.TopPair, 0, topLen)
+				}
+				for j := uint32(0); j < topLen; j++ {
+					var tp monitor.TopPair
+					if tp.A, err = readString("ranked event a"); err != nil {
+						return nil, err
+					}
+					if tp.B, err = readString("ranked event b"); err != nil {
+						return nil, err
+					}
+					var f [3]float64
+					for x := range f {
+						bits, err := c.u64()
+						if err != nil {
+							return nil, err
+						}
+						f[x] = math.Float64frombits(bits)
+					}
+					tp.Tau, tp.Z, tp.P = f[0], f[1], f[2]
+					tflags, err := c.u8()
+					if err != nil {
+						return nil, err
+					}
+					if tflags&^byte(1) != 0 {
+						return nil, fmt.Errorf("snapshot: %s monitor %q sample %d rank %d unknown flag bits %#02x", what, def.ID, k, j, tflags)
+					}
+					tp.Significant = tflags&1 != 0
+					smp.Top = append(smp.Top, tp)
+				}
+			}
 			if epoch < prevEpoch {
-				return nil, fmt.Errorf("snapshot: MNTR monitor %q history epochs not non-decreasing (%d after %d)", def.ID, epoch, prevEpoch)
+				return nil, fmt.Errorf("snapshot: %s monitor %q history epochs not non-decreasing (%d after %d)", what, def.ID, epoch, prevEpoch)
 			}
 			prevEpoch = epoch
 			if reused > math.MaxInt64 || recomputed > math.MaxInt64 {
-				return nil, fmt.Errorf("snapshot: MNTR monitor %q sample %d reuse counters overflow", def.ID, k)
+				return nil, fmt.Errorf("snapshot: %s monitor %q sample %d reuse counters overflow", what, def.ID, k)
 			}
 			smp.Epoch = epoch
 			smp.At = time.Unix(0, int64(atNanos))
@@ -932,7 +1081,7 @@ func decodeMonitors(b []byte) ([]monitor.State, error) {
 		out = append(out, st)
 	}
 	if c.remaining() != 0 {
-		return nil, fmt.Errorf("snapshot: MNTR has %d trailing bytes", c.remaining())
+		return nil, fmt.Errorf("snapshot: %s has %d trailing bytes", what, c.remaining())
 	}
 	return out, nil
 }

@@ -76,6 +76,75 @@ func TauVarianceUpperBound(n int, tau float64) float64 {
 	return 2 * (1 - tau*tau) / float64(n)
 }
 
+// TauCompletionInterval deterministically bounds the full-sample
+// Kendall statistic t_n = Σc(ri,rj)/C(n,2) given the numerator
+// accumulated over the first m of the n sampled references. Each of
+// the R = C(n,2) − C(m,2) concordance terms not yet observed lies in
+// {−1, 0, +1}, so
+//
+//	t_n ∈ [ (num_m − R)/C(n,2), (num_m + R)/C(n,2) ]
+//
+// with no distributional assumption at all — the interval holds for
+// every possible completion of the sample. It is the planner's
+// fallback pruning bound: weak until m approaches n, but a pair pruned
+// by it provably cannot reach the bar. The interval is clamped to
+// [−1, 1]; m ≥ n yields the exact point num/C(n,2).
+func TauCompletionInterval(numPrefix int64, m, n int) (lo, hi float64) {
+	if n < 2 {
+		return -1, 1
+	}
+	if m > n {
+		m = n
+	}
+	if m < 0 {
+		m = 0
+	}
+	pairsN := float64(n) * float64(n-1) / 2
+	pairsM := float64(m) * float64(m-1) / 2
+	r := pairsN - pairsM
+	lo = (float64(numPrefix) - r) / pairsN
+	hi = (float64(numPrefix) + r) / pairsN
+	if lo < -1 {
+		lo = -1
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// TauPrefixConfidenceInterval returns a conservative interval covering
+// the full-sample statistic t_n given the estimate t computed on a
+// prefix of m of the n references, at confidence ≥ 1−alpha. Both t_m
+// and t_n are order-2 U-statistics of the same exchangeable sample,
+// with the prefix a uniform sub-sample, so Hoeffding's projection
+// identity Cov(t_m, t_n) = Var(t_n) applies and
+//
+//	Var(t_m − t_n) = Var(t_m) − Var(t_n) ≤ Var(t_m) ≤ 2(1−τ²)/m
+//
+// (the last step is the §3.1 bound). The half-width is therefore
+// q(1−alpha/2)·√(2(1−t²)/m) — the full-sample term cancels entirely
+// rather than adding, which is what makes late checkpoints sharp.
+// Unlike TauCompletionInterval this can be violated (with probability
+// ≤ alpha per evaluation); the screening planner uses it as the
+// work-saving bound and intersects it with the deterministic one. The
+// interval is clamped to [−1, 1]; degenerate inputs yield [−1, 1].
+func TauPrefixConfidenceInterval(t float64, m, n int, alpha float64) (lo, hi float64) {
+	if m < 2 || n < 2 || alpha <= 0 || alpha >= 1 {
+		return -1, 1
+	}
+	q := NormalQuantile(1 - alpha/2)
+	half := q * math.Sqrt(TauVarianceUpperBound(m, t))
+	lo, hi = t-half, t+half
+	if lo < -1 {
+		lo = -1
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // TauConfidenceInterval returns a conservative (1−alpha) confidence
 // interval for the population τ around the sampled estimate t, using the
 // §3.1 variance bound Var(t) ≤ 2(1−t²)/n and the normal approximation.

@@ -193,3 +193,131 @@ func TestTauVarianceUpperBound(t *testing.T) {
 		}
 	}
 }
+
+func TestTauCompletionIntervalSound(t *testing.T) {
+	// Property: for random paired samples, the interval computed from
+	// any prefix numerator must contain the full-sample statistic —
+	// deterministically, for every prefix length.
+	rng := rand.New(rand.NewPCG(41, 17))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.IntN(60)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			// coarse grid to force ties
+			x[i] = float64(rng.IntN(6))
+			y[i] = float64(rng.IntN(6))
+		}
+		full := KendallNaive(x, y)
+		for m := 2; m <= n; m++ {
+			pre := KendallNaive(x[:m], y[:m])
+			num := pre.Concordant - pre.Discordant
+			lo, hi := TauCompletionInterval(num, m, n)
+			if full.Tau < lo-1e-12 || full.Tau > hi+1e-12 {
+				t.Fatalf("n=%d m=%d: t_n=%g outside deterministic interval [%g, %g]", n, m, full.Tau, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTauCompletionIntervalExactAtBoundary(t *testing.T) {
+	// Adversarial construction: complete the sample so every remaining
+	// concordance term is +1; the full statistic must land EXACTLY on
+	// the interval's upper endpoint (the θ-crossing case a planner must
+	// not prune on a strict comparison).
+	x := []float64{1, 2, 3, 4, 10, 20, 30, 40}
+	y := []float64{4, 3, 2, 1, 10, 20, 30, 40} // prefix fully discordant, suffix concordant with everything above prefix values
+	m, n := 4, len(x)
+	pre := KendallNaive(x[:m], y[:m])
+	full := KendallNaive(x, y)
+	num := pre.Concordant - pre.Discordant
+	lo, hi := TauCompletionInterval(num, m, n)
+	if full.Tau != hi {
+		t.Fatalf("constructed completion should sit exactly at hi: t_n=%g, interval [%g, %g]", full.Tau, lo, hi)
+	}
+	// mirrored: every remaining term −1 lands exactly on lo
+	y2 := []float64{1, 2, 3, 4, -10, -20, -30, -40}
+	x2 := []float64{1, 2, 3, 4, 10, 20, 30, 40}
+	pre2 := KendallNaive(x2[:m], y2[:m])
+	full2 := KendallNaive(x2, y2)
+	lo2, _ := TauCompletionInterval(pre2.Concordant-pre2.Discordant, m, n)
+	if full2.Tau != lo2 {
+		t.Fatalf("constructed completion should sit exactly at lo: t_n=%g, lo=%g", full2.Tau, lo2)
+	}
+}
+
+func TestTauCompletionIntervalDegenerate(t *testing.T) {
+	if lo, hi := TauCompletionInterval(0, 0, 1); lo != -1 || hi != 1 {
+		t.Errorf("n<2 should give [-1,1], got [%g, %g]", lo, hi)
+	}
+	// m >= n pins the exact value
+	if lo, hi := TauCompletionInterval(3, 9, 4); lo != hi || lo != 3.0/6 {
+		t.Errorf("m>=n should collapse to the exact statistic, got [%g, %g]", lo, hi)
+	}
+	// clamped to [-1, 1]
+	if lo, hi := TauCompletionInterval(100, 2, 5); lo < -1 || hi > 1 {
+		t.Errorf("interval not clamped: [%g, %g]", lo, hi)
+	}
+}
+
+func TestTauPrefixConfidenceInterval(t *testing.T) {
+	// brackets the prefix estimate and widens as alpha shrinks
+	lo, hi := TauPrefixConfidenceInterval(0.3, 64, 900, 1e-6)
+	if lo >= 0.3 || hi <= 0.3 {
+		t.Errorf("interval [%g, %g] does not bracket the estimate", lo, hi)
+	}
+	l2, h2 := TauPrefixConfidenceInterval(0.3, 64, 900, 1e-9)
+	if h2-l2 <= hi-lo {
+		t.Error("smaller alpha should widen the interval")
+	}
+	// growing the prefix tightens it
+	l3, h3 := TauPrefixConfidenceInterval(0.3, 512, 900, 1e-6)
+	if h3-l3 >= hi-lo {
+		t.Error("larger prefix should tighten the interval")
+	}
+	// Hoeffding's projection identity cancels the full-sample variance
+	// term entirely: the prefix interval is exactly the single-sample
+	// interval at m, not inflated by n.
+	cl, ch := TauConfidenceInterval(0.0, 100, 0.01)
+	pl, ph := TauPrefixConfidenceInterval(0.0, 100, 900, 0.01)
+	if ph-pl != ch-cl {
+		t.Errorf("prefix half-width %g should equal the m-sample half-width %g", ph-pl, ch-cl)
+	}
+	// degenerate inputs give the trivial interval
+	for _, tc := range [][3]float64{{1, 900, 0.05}, {64, 900, 0}, {64, 900, 1}, {64, 1, 0.05}} {
+		if lo, hi := TauPrefixConfidenceInterval(0, int(tc[0]), int(tc[1]), tc[2]); lo != -1 || hi != 1 {
+			t.Errorf("degenerate %v should give [-1,1], got [%g, %g]", tc, lo, hi)
+		}
+	}
+	// clamped
+	if lo, hi := TauPrefixConfidenceInterval(0.99, 4, 8, 0.5); lo < -1 || hi > 1 {
+		t.Errorf("interval not clamped: [%g, %g]", lo, hi)
+	}
+}
+
+func TestTauPrefixConfidenceIntervalCoverage(t *testing.T) {
+	// Monte-Carlo: |t_n − t_m| should exceed the half-width far less
+	// often than alpha (the bound is conservative). Draw correlated
+	// pairs, compute both statistics on nested samples.
+	rng := rand.New(rand.NewPCG(7, 99))
+	misses := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		n, m := 120, 40
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.5*x[i] + rng.NormFloat64()
+		}
+		pre := KendallNaive(x[:m], y[:m])
+		full := KendallNaive(x, y)
+		lo, hi := TauPrefixConfidenceInterval(pre.Tau, m, n, 0.05)
+		if full.Tau < lo || full.Tau > hi {
+			misses++
+		}
+	}
+	if float64(misses)/trials > 0.05 {
+		t.Fatalf("coverage violated: %d/%d misses at alpha=0.05", misses, trials)
+	}
+}

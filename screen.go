@@ -124,16 +124,128 @@ func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
 	if err != nil {
 		return ScreenResult{}, err
 	}
-	out := ScreenResult{
+	return ScreenResult{
 		Tested:   res.Tested,
 		Skipped:  res.Skipped,
 		Rejected: res.Rejected,
 		BFSRuns:  res.BFSRuns,
 		MemoHits: res.MemoHits,
-		Pairs:    make([]ScreenedPair, len(res.Pairs)),
+		Pairs:    screenedPairs(res.Pairs),
+	}, nil
+}
+
+// ScreenTopKOptions configures a planned (top-k or threshold) screen —
+// see ScreenTopK. The embedded ScreenOptions keep their meaning except
+// Bonferroni: a planned screen never observes the whole p-value family,
+// so results always carry raw p-values and the field is ignored.
+type ScreenTopKOptions struct {
+	ScreenOptions
+
+	// K selects top-k mode: return the K best pairs ranked by τ under
+	// the tested tail (attraction ranks by τ, repulsion by −τ,
+	// two-sided by |τ|). Zero selects threshold mode (see Theta).
+	K int
+	// Theta is the threshold-mode bar: return every pair whose score
+	// reaches Theta. Only consulted when K == 0; setting both is an
+	// error.
+	Theta float64
+	// BoundAlpha is the per-checkpoint risk of the statistical pruning
+	// bound (default 1e-6). Negative disables it, leaving only the
+	// deterministic completion bound — pruning then can never diverge
+	// from the exhaustive sweep, at the cost of late termination.
+	BoundAlpha float64
+	// Stream, when non-nil, receives the current ranked result set
+	// each time a completed pair improves it; calls are serialized.
+	Stream func(top []ScreenedPair)
+}
+
+// ScreenTopKResult is a completed planned screen: the ranked pairs and
+// the planner's work accounting. FullTests versus Candidates is the
+// sweep work the planner saved — an exhaustive Screen pays a full test
+// for every candidate.
+type ScreenTopKResult struct {
+	Pairs []ScreenedPair
+
+	Candidates  int // candidate pairs considered
+	FullTests   int // pairs whose whole sample was evaluated
+	PrunedEarly int // pairs terminated at a bound checkpoint
+	PrunedPrior int // pairs discarded by the prior reach bound
+	Skipped     int // degenerate pairs
+	Checkpoints int // bound evaluations performed
+
+	DensityEvals int64
+	BFSRuns      int64
+	MemoHits     int64
+}
+
+// ScreenTopK answers the production form of the screening question —
+// "which pairs correlate most" (top-k) or "which pairs reach θ"
+// (threshold) — without paying the exhaustive O(K²) sweep. Candidate
+// pairs are ordered by a cheap co-occurrence prior and evaluated
+// best-first with confidence-bound early termination; the returned
+// ranking is provably the one Screen would produce (the differential
+// battery in internal/screen pins bit-identical equivalence). Results
+// carry raw p-values: multiple-testing correction needs the whole
+// family, which a pruned sweep deliberately never computes. See
+// docs/SCREENING.md for the design and the termination argument.
+func ScreenTopK(g *Graph, ev EventSet, opts ScreenTopKOptions) (ScreenTopKResult, error) {
+	b := events.NewBuilder(g.NumNodes())
+	for name, nodes := range ev {
+		for _, v := range nodes {
+			b.Add(name, graph.NodeID(v))
+		}
 	}
-	for i, p := range res.Pairs {
-		out.Pairs[i] = ScreenedPair{
+	store := b.Build()
+
+	cfg := screen.PlanConfig{
+		Config: screen.Config{
+			H:              opts.H,
+			SampleSize:     opts.SampleSize,
+			Alpha:          opts.Alpha,
+			Alternative:    opts.Tail.alternative(),
+			MinOccurrences: opts.MinOccurrences,
+			Workers:        opts.Workers,
+			Seed:           opts.Seed,
+			Progress:       opts.Progress,
+			NoMemo:         opts.NoMemo,
+		},
+		K:          opts.K,
+		Theta:      opts.Theta,
+		BoundAlpha: opts.BoundAlpha,
+	}
+	if opts.Engines != nil {
+		cfg.Engines = opts.Engines.p
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5c4ee
+	}
+	if opts.Stream != nil {
+		cfg.Stream = func(top []screen.PairResult) {
+			opts.Stream(screenedPairs(top))
+		}
+	}
+	res, err := screen.Plan(g.g, store, screen.AllPairs(store, max(1, opts.MinOccurrences)), cfg)
+	if err != nil {
+		return ScreenTopKResult{}, err
+	}
+	return ScreenTopKResult{
+		Pairs:        screenedPairs(res.Pairs),
+		Candidates:   res.Stats.Candidates,
+		FullTests:    res.Stats.FullTests,
+		PrunedEarly:  res.Stats.PrunedEarly,
+		PrunedPrior:  res.Stats.PrunedPrior,
+		Skipped:      res.Stats.Skipped,
+		Checkpoints:  res.Stats.Checkpoints,
+		DensityEvals: res.Stats.DensityEvals,
+		BFSRuns:      res.Stats.BFSRuns,
+		MemoHits:     res.Stats.MemoHits,
+	}, nil
+}
+
+func screenedPairs(in []screen.PairResult) []ScreenedPair {
+	out := make([]ScreenedPair, len(in))
+	for i, p := range in {
+		out[i] = ScreenedPair{
 			A: p.A, B: p.B,
 			OccA: p.OccA, OccB: p.OccB,
 			Tau: p.Tau, Z: p.Z,
@@ -142,7 +254,7 @@ func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
 			Skipped:     p.Skipped,
 		}
 	}
-	return out, nil
+	return out
 }
 
 func max(a, b int) int {
