@@ -59,6 +59,15 @@ func main() {
 		soakRecover  = flag.Duration("soak-recover", 0, "run a kill-and-recover soak for this duration: a durable tescd is killed mid-stream and rebooted from snapshot+WAL in a loop, verifying epoch continuity each cycle")
 		soakReplica  = flag.Duration("soak-replica", 0, "run a replication soak for this duration: two read replicas follow a churning primary through a faulty transport (drops, corruption, partitions) with crash-restarts, verifying convergence after every heal")
 
+		overload       = flag.Bool("overload", false, "run the overload benchmark: an in-process tescd with tight admission bounds is measured unloaded and then flooded at 2x its foreground bound (plus background screens and a hog tenant), reporting accepted-latency percentiles and shed rates")
+		overloadFG     = flag.Int("overload-fg", 2, "foreground in-flight bound in -overload mode")
+		overloadBG     = flag.Int("overload-bg", 1, "background job bound in -overload mode")
+		overloadQPS    = flag.Float64("overload-qps", 30, "per-tenant sustained QPS quota in -overload mode")
+		overloadBurst  = flag.Float64("overload-burst", 10, "per-tenant burst allowance in -overload mode")
+		overloadRounds = flag.Int("overload-rounds", 24, "requests per flood client in -overload mode")
+		overloadNodes  = flag.Int("overload-nodes", 16000, "synthetic graph size in -overload mode")
+		soakOverload   = flag.Duration("soak-overload", 0, "run an overload soak for this duration: cycles of flood burst + acked mutations + graceful drain + reboot, verifying typed sheds and exact acked-epoch recovery each cycle (built for the nightly -race job)")
+
 		serve      = flag.String("serve", "", "load-test a running tescd daemon at this base URL instead of running experiments")
 		serveReqs  = flag.Int("serve-requests", 200, "number of correlate queries in -serve mode")
 		serveConc  = flag.Int("serve-concurrency", 8, "concurrent clients in -serve mode")
@@ -127,6 +136,29 @@ func main() {
 	}
 	if *soakReplica > 0 {
 		if err := runSoakReplica(*soakReplica, *seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overload {
+		err := runOverload(overloadConfig{
+			FG:     *overloadFG,
+			BG:     *overloadBG,
+			QPS:    *overloadQPS,
+			Burst:  *overloadBurst,
+			Rounds: *overloadRounds,
+			Nodes:  *overloadNodes,
+			Seed:   *seed,
+		}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soakOverload > 0 {
+		if err := runSoakOverload(*soakOverload, *seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "tescbench:", err)
 			os.Exit(1)
 		}

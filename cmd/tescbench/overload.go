@@ -1,0 +1,551 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tesc"
+	"tesc/internal/graphgen"
+	"tesc/internal/server"
+)
+
+// overloadConfig parameterizes the -overload benchmark: an in-process
+// tescd with deliberately tight admission bounds, measured unloaded
+// and then under a 2x flood with background screens and a hog tenant,
+// so the degradation ladder (typed sheds, per-tenant quotas, bounded
+// foreground latency) is observable as numbers rather than prose.
+type overloadConfig struct {
+	FG     int // foreground concurrency bound (MaxInflightFG)
+	BG     int // background job bound (MaxInflightBG)
+	QPS    float64
+	Burst  float64
+	Rounds int // flood rounds per client
+	Nodes  int
+	Seed   uint64
+}
+
+// typedReply is the unified retryable error body every 429/503/504
+// carries (see docs/OVERLOAD.md).
+type typedReply struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// overloadResult is one classified response: terminal status, the shed
+// reason when typed, and the latency when accepted.
+type overloadResult struct {
+	status  int
+	reason  string
+	retryOK bool
+	elapsed time.Duration
+	body    string // raw reply, kept for violation diagnostics
+}
+
+// overloadPost fires one request with an optional tenant header and
+// classifies the reply. Accepted replies (2xx) record latency; shed
+// replies must carry the unified body and a Retry-After header or the
+// caller treats them as protocol violations.
+func overloadPost(client *http.Client, url, tenant string, body any) (overloadResult, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return overloadResult{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return overloadResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tesc-Tenant", tenant)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return overloadResult{}, err
+	}
+	defer resp.Body.Close()
+	out := overloadResult{status: resp.StatusCode, elapsed: time.Since(start)}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if len(raw) > 200 {
+		out.body = string(raw[:200])
+	} else {
+		out.body = string(raw)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusGatewayTimeout {
+		var tr typedReply
+		if json.Unmarshal(raw, &tr) == nil && tr.Reason != "" && tr.RetryAfterMS > 0 {
+			out.reason = tr.Reason
+		}
+		out.retryOK = resp.Header.Get("Retry-After") != ""
+	}
+	return out, nil
+}
+
+// pctDur picks the p-quantile of a sorted latency slice.
+func pctDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// runOverload is the -overload mode. Phase A measures the service
+// unloaded; phase B floods it with 2x the foreground bound plus
+// background screens plus one hog tenant, and the table at the end is
+// the acceptance argument: accepted-foreground p99 stays within 2x of
+// unloaded while the excess is shed with typed, Retry-After-stamped
+// answers. Numbers from this run feed BENCH_pr9.json.
+func runOverload(cfg overloadConfig, w io.Writer) error {
+	if cfg.FG < 1 || cfg.BG < 1 {
+		return fmt.Errorf("-overload-fg and -overload-bg must be >= 1 (got %d, %d)", cfg.FG, cfg.BG)
+	}
+	srv := server.New(server.Config{
+		IndexCacheCapacity: 8,
+		Admission: server.AdmissionConfig{
+			MaxInflightFG: cfg.FG,
+			MaxInflightBG: cfg.BG,
+			TenantQPS:     cfg.QPS,
+			TenantBurst:   cfg.Burst,
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// A generous idle pool: the default transport keeps only two idle
+	// connections per host, and the resulting handshake churn would
+	// throttle the flood below the admission bounds it is meant to hit.
+	client := &http.Client{
+		Timeout: 2 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+	base := ts.URL
+
+	// Workload: a community graph big enough that a correlate query does
+	// real sampling work, with event occurrences planted in two regions.
+	g := tesc.RandomCommunityGraph(8, cfg.Nodes/8, 6, 0.5, cfg.Seed)
+	var sb strings.Builder
+	if err := g.WriteGraph(&sb); err != nil {
+		return err
+	}
+	if err := postJSON(client, base+"/v1/graphs", map[string]any{"name": "ovl", "edge_list": sb.String()}, nil); err != nil {
+		return fmt.Errorf("registering graph: %w", err)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	region := cfg.Nodes / 8
+	events := map[string][]int{}
+	for e := 0; e < 8; e++ {
+		ids := make([]int, 40)
+		for i := range ids {
+			ids[i] = e*region + rng.IntN(region)
+		}
+		events[fmt.Sprintf("e%d", e)] = ids
+	}
+	if err := postJSON(client, base+"/v1/graphs/ovl/events",
+		map[string]any{"events": events}, nil); err != nil {
+		return fmt.Errorf("registering events: %w", err)
+	}
+
+	correlateBody := func(seed uint64) map[string]any {
+		// A unique seed per request keys a unique flight, so coalescing
+		// never collapses the flood and every latency sample is a real
+		// end-to-end evaluation.
+		return map[string]any{
+			"a": "e0", "b": "e1", "h": 3, "sample_size": 6000, "seed": seed,
+		}
+	}
+
+	// Warmup pays the vicinity-index build once.
+	if _, err := overloadPost(client, base+"/v1/graphs/ovl/correlate", "", correlateBody(1)); err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+
+	// Phase A: unloaded baseline at concurrency 1, paced just under the
+	// per-tenant quota so nothing sheds and every sample is a clean
+	// end-to-end latency.
+	const baselineN = 60
+	pace := time.Duration(float64(time.Second)/cfg.QPS) + time.Millisecond
+	baseline := make([]time.Duration, 0, baselineN)
+	for i := 0; i < baselineN; i++ {
+		r, err := overloadPost(client, base+"/v1/graphs/ovl/correlate", "baseline", correlateBody(1000+uint64(i)))
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if r.status != http.StatusOK {
+			return fmt.Errorf("baseline request shed with %d — admission bounds too tight for phase A", r.status)
+		}
+		baseline = append(baseline, r.elapsed)
+		time.Sleep(pace)
+	}
+	sort.Slice(baseline, func(i, j int) bool { return baseline[i] < baseline[j] })
+
+	// Phase B: flood. 2x the foreground bound in correlate clients, the
+	// background bound x4 in screen submitters, one hog tenant hammering
+	// with no pacing. Every response must be 200/202 or a typed shed.
+	var (
+		mu          sync.Mutex
+		fgAccepted  []time.Duration
+		shed        = map[string]int64{}
+		shedByClass = map[string]int64{}
+		bgAccepted  int64
+		hogOK       int64
+		violations  int64
+	)
+	record := func(r overloadResult, class string) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case r.status == http.StatusOK && class == "fg":
+			fgAccepted = append(fgAccepted, r.elapsed)
+		case r.status == http.StatusAccepted && class == "bg":
+			bgAccepted++
+		case r.reason != "" && r.retryOK:
+			shed[r.reason]++
+			shedByClass[class]++
+		case r.status == http.StatusOK && class == "hog":
+			hogOK++
+		default:
+			violations++
+		}
+	}
+
+	var wg sync.WaitGroup
+	floodStart := time.Now()
+	var reqSeed atomic.Uint64
+	reqSeed.Store(1 << 20)
+	for c := 0; c < 2*cfg.FG; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// One tenant per client keeps everyone inside their quota:
+			// what sheds here is the foreground concurrency gate, the
+			// overload signal this phase is about.
+			tenant := fmt.Sprintf("fg-%d", c)
+			for i := 0; i < cfg.Rounds; i++ {
+				r, err := overloadPost(client, base+"/v1/graphs/ovl/correlate", tenant, correlateBody(reqSeed.Add(1)))
+				if err != nil {
+					mu.Lock()
+					violations++
+					mu.Unlock()
+					return
+				}
+				record(r, "fg")
+			}
+		}(c)
+	}
+	for c := 0; c < 4*cfg.BG; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < cfg.Rounds/2+1; i++ {
+				r, err := overloadPost(client, base+"/v1/graphs/ovl/screen", fmt.Sprintf("bg-%d", c),
+					map[string]any{"h": 1, "sample_size": 400, "min_occurrences": 1, "seed": uint64(c*1000 + i)})
+				if err != nil {
+					mu.Lock()
+					violations++
+					mu.Unlock()
+					return
+				}
+				record(r, "bg")
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4*cfg.Rounds; i++ {
+			r, err := overloadPost(client, base+"/v1/graphs/ovl/correlate", "hog", correlateBody(reqSeed.Add(1)))
+			if err != nil {
+				mu.Lock()
+				violations++
+				mu.Unlock()
+				return
+			}
+			record(r, "hog")
+		}
+	}()
+	wg.Wait()
+	floodWall := time.Since(floodStart)
+
+	// Let background jobs finish, then read the server-side SLO view.
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srv.Drain(drainCtx)
+	var health struct {
+		SLO map[string]any `json:"slo"`
+	}
+	if err := getJSON(client, base+"/healthz", &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	sort.Slice(fgAccepted, func(i, j int) bool { return fgAccepted[i] < fgAccepted[j] })
+	bp50, bp95, bp99 := pctDur(baseline, 0.50), pctDur(baseline, 0.95), pctDur(baseline, 0.99)
+	fp50, fp95, fp99 := pctDur(fgAccepted, 0.50), pctDur(fgAccepted, 0.95), pctDur(fgAccepted, 0.99)
+	totalFG := int64(len(fgAccepted)) + shedByClass["fg"]
+	shedRateFG := 100 * float64(shedByClass["fg"]) / float64(totalFG)
+	totalBG := bgAccepted + shedByClass["bg"]
+	shedRateBG := float64(0)
+	if totalBG > 0 {
+		shedRateBG = 100 * float64(shedByClass["bg"]) / float64(totalBG)
+	}
+
+	fmt.Fprintf(w, "== overload (fg=%d bg=%d qps=%.0f burst=%.0f, %d nodes, seed %d) ==\n",
+		cfg.FG, cfg.BG, cfg.QPS, cfg.Burst, g.NumNodes(), cfg.Seed)
+	fmt.Fprintf(w, "flood: %d fg clients x %d rounds, %d bg submitters, 1 hog tenant; wall %v\n",
+		2*cfg.FG, cfg.Rounds, 4*cfg.BG, floodWall.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %10s %10s\n", "phase", "p50", "p95", "p99", "accepted", "shed")
+	fmt.Fprintf(w, "%-22s %12v %12v %12v %10d %10s\n", "unloaded correlate",
+		bp50.Round(time.Microsecond), bp95.Round(time.Microsecond), bp99.Round(time.Microsecond), len(baseline), "-")
+	fmt.Fprintf(w, "%-22s %12v %12v %12v %10d %9.1f%%\n", "flood fg accepted",
+		fp50.Round(time.Microsecond), fp95.Round(time.Microsecond), fp99.Round(time.Microsecond), len(fgAccepted), shedRateFG)
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %10d %9.1f%%\n", "flood bg accepted", "-", "-", "-", bgAccepted, shedRateBG)
+	fmt.Fprintf(w, "shed by reason:")
+	reasons := make([]string, 0, len(shed))
+	for r := range shed {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, " %s=%d", r, shed[r])
+	}
+	fmt.Fprintf(w, "\nhog tenant: %d ok, %d shed (quota isolates the polite tenants)\n", hogOK, shedByClass["hog"])
+	fmt.Fprintf(w, "server slo: %v\n", health.SLO)
+
+	if violations > 0 {
+		return fmt.Errorf("overload: %d responses were neither accepted nor typed sheds with Retry-After", violations)
+	}
+	bound := 2 * bp99
+	if floor := 250 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if fp99 > bound {
+		return fmt.Errorf("overload: flood fg p99 %v exceeds 2x unloaded p99 bound %v", fp99, bound)
+	}
+	fmt.Fprintf(w, "acceptance: flood fg p99 %v <= bound %v (2x unloaded p99, 250ms floor); all sheds typed\n",
+		fp99.Round(time.Microsecond), bound.Round(time.Microsecond))
+	return nil
+}
+
+// runSoakOverload is the -soak-overload mode, built for the nightly
+// -race job: cycles of flood burst + acked mutations + graceful drain +
+// reboot, each cycle asserting that every response is typed, the drain
+// retires all jobs, and recovery lands on exactly the acknowledged
+// epoch. It composes the overload ladder with the durability contract:
+// shedding under pressure must never cost an acknowledged write.
+func runSoakOverload(d time.Duration, seed uint64, w io.Writer) error {
+	dir, err := os.MkdirTemp("", "tescbench-soak-overload-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	boot := func() (*server.Server, *httptest.Server, error) {
+		srv := server.New(server.Config{
+			IndexCacheCapacity: 4,
+			DataDir:            dir,
+			// Stay on the WAL tail: recovery after every cycle must
+			// replay, not ride a conveniently fresh snapshot.
+			CheckpointDelay: time.Hour,
+			FsyncPolicy:     "always",
+			Admission: server.AdmissionConfig{
+				MaxInflightFG: 4,
+				MaxInflightBG: 1,
+				TenantQPS:     50,
+				TenantBurst:   10,
+			},
+		})
+		if _, err := srv.LoadData(); err != nil {
+			return nil, nil, err
+		}
+		return srv, httptest.NewServer(srv.Handler()), nil
+	}
+
+	srv, ts, err := boot()
+	if err != nil {
+		return err
+	}
+	g := tesc.RandomCommunityGraph(4, 400, 6, 0.5, seed)
+	var sb strings.Builder
+	if err := g.WriteGraph(&sb); err != nil {
+		return err
+	}
+	if err := postJSON(ts.Client(), ts.URL+"/v1/graphs", map[string]any{"name": "ovl", "edge_list": sb.String()}, nil); err != nil {
+		return fmt.Errorf("registering graph: %w", err)
+	}
+	occ := func(lo int) []int {
+		ids := make([]int, 30)
+		for i := range ids {
+			ids[i] = lo + i
+		}
+		return ids
+	}
+	if err := postJSON(ts.Client(), ts.URL+"/v1/graphs/ovl/events",
+		map[string]any{"events": map[string][]int{"ovl-a": occ(0), "ovl-b": occ(500)}}, nil); err != nil {
+		return fmt.Errorf("registering events: %w", err)
+	}
+	reg, ok := srv.Registry().Get("ovl")
+	if !ok {
+		return fmt.Errorf("graph vanished after registration")
+	}
+	wantEpoch := reg.Epoch()
+
+	rng := rand.New(rand.NewPCG(seed, seed^44))
+	deadline := time.Now().Add(d)
+	var cycles, floods, sheds, accepted, batches int64
+	for {
+		cycles++
+		client := ts.Client()
+
+		// 1. flood burst: mixed correlates (default + hog tenant) and
+		// screens against the tight admission bounds. Every reply must be
+		// an accept or a typed shed.
+		var wg sync.WaitGroup
+		var violations atomic.Int64
+		var firstViolation atomic.Value
+		violate := func(msg string) {
+			violations.Add(1)
+			firstViolation.CompareAndSwap(nil, msg)
+		}
+		var cShed, cOK atomic.Int64
+		for c := 0; c < 12; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				tenant := ""
+				if c%3 == 0 {
+					tenant = "hog"
+				}
+				for i := 0; i < 6; i++ {
+					var r overloadResult
+					var err error
+					if c%4 == 3 {
+						r, err = overloadPost(client, ts.URL+"/v1/graphs/ovl/screen", tenant,
+							map[string]any{"h": 1, "sample_size": 150, "min_occurrences": 1, "seed": uint64(c*100 + i)})
+					} else {
+						r, err = overloadPost(client, ts.URL+"/v1/graphs/ovl/correlate", tenant,
+							map[string]any{"a": "ovl-a", "b": "ovl-b", "h": 1, "sample_size": 200,
+								"seed": uint64(cycles)<<20 | uint64(c)<<10 | uint64(i)})
+					}
+					if err != nil {
+						violate(fmt.Sprintf("client %d: %v", c, err))
+						return
+					}
+					switch {
+					case r.status == http.StatusOK || r.status == http.StatusAccepted:
+						cOK.Add(1)
+					case r.reason != "" && r.retryOK:
+						cShed.Add(1)
+					default:
+						violate(fmt.Sprintf("client %d: status %d reason %q retry-after %v body %q", c, r.status, r.reason, r.retryOK, r.body))
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		if n := violations.Load(); n > 0 {
+			return fmt.Errorf("cycle %d: %d untyped or failed responses under flood (first: %s)", cycles, n, firstViolation.Load())
+		}
+		floods += 12 * 6
+		sheds += cShed.Load()
+		accepted += cOK.Load()
+
+		// 2. acked mutations: each acknowledged batch bumps the epoch by
+		// exactly one; these are the writes drain+recovery must keep.
+		entry, ok := srv.Registry().Get("ovl")
+		if !ok {
+			return fmt.Errorf("cycle %d: graph missing", cycles)
+		}
+		stream := graphgen.NewFlipStream(entry.Graph().Internal(), 0.5, rand.New(rand.NewPCG(seed^uint64(cycles), 3)))
+		for i := 0; i < 3+rng.IntN(5); i++ {
+			var ins, del [][2]int
+			for _, c := range stream.Take(1 + rng.IntN(6)) {
+				p := [2]int{int(c.U), int(c.V)}
+				if c.Insert {
+					ins = append(ins, p)
+				} else {
+					del = append(del, p)
+				}
+			}
+			// The mutator runs under its own tenant: the flood just drained
+			// the default bucket, and only acknowledged batches may count
+			// toward the epoch the recovery check demands.
+			r, err := overloadPost(client, ts.URL+"/v1/graphs/ovl/edges", "mutator",
+				map[string]any{"insert": ins, "delete": del})
+			if err != nil {
+				return fmt.Errorf("cycle %d: edge batch: %w", cycles, err)
+			}
+			if r.status != http.StatusOK {
+				return fmt.Errorf("cycle %d: edge batch got %d (reason %q)", cycles, r.status, r.reason)
+			}
+			wantEpoch++
+			batches++
+		}
+
+		// 3. graceful drain: new work is refused with the typed
+		// "draining" 503, jobs retire, and the WAL closes with every ack
+		// on disk.
+		srv.BeginDrain()
+		r, err := overloadPost(client, ts.URL+"/v1/graphs/ovl/correlate", "",
+			map[string]any{"a": "ovl-a", "b": "ovl-b", "h": 1, "sample_size": 100, "seed": uint64(cycles)})
+		if err != nil {
+			return fmt.Errorf("cycle %d: probe during drain: %w", cycles, err)
+		}
+		if r.status != http.StatusServiceUnavailable || r.reason != "draining" || !r.retryOK {
+			return fmt.Errorf("cycle %d: drain probe got %d reason %q, want typed 503 draining", cycles, r.status, r.reason)
+		}
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		drained := srv.Drain(drainCtx)
+		cancel()
+		if !drained {
+			return fmt.Errorf("cycle %d: drain did not retire all jobs in 30s", cycles)
+		}
+		ts.Close()
+		srv.Close()
+
+		// 4. reboot and verify the acked epoch survived.
+		if srv, ts, err = boot(); err != nil {
+			return fmt.Errorf("cycle %d: reboot: %w", cycles, err)
+		}
+		entry, ok = srv.Registry().Get("ovl")
+		if !ok {
+			return fmt.Errorf("cycle %d: graph lost across restart", cycles)
+		}
+		if got := entry.Epoch(); got != wantEpoch {
+			return fmt.Errorf("cycle %d: recovered epoch %d, want %d — drain lost acknowledged mutations", cycles, got, wantEpoch)
+		}
+
+		if !time.Now().Before(deadline) {
+			srv.Close()
+			ts.Close()
+			break
+		}
+	}
+	if sheds == 0 {
+		return fmt.Errorf("soak-overload: the flood never shed — bounds not exercised")
+	}
+	fmt.Fprintf(w, "== soak-overload (%v) ==\n", d)
+	fmt.Fprintf(w, "cycles: %d; flood requests: %d (%d accepted, %d typed sheds); batches acked: %d; final epoch: %d\n",
+		cycles, floods, accepted, sheds, batches, wantEpoch)
+	fmt.Fprintf(w, "every cycle: all responses typed, drain retired all jobs, recovery replayed to the exact acked epoch\n")
+	return nil
+}

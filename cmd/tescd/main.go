@@ -73,6 +73,12 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof diagnostics on this address (off by default; bind loopback only, e.g. 127.0.0.1:6060 — the profiler exposes heap contents and must never face untrusted networks)")
 		follow    = flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8537): bootstrap from its snapshots, stream its WAL, serve reads; mutation endpoints return 403")
 		followIvl = flag.Duration("follow-poll", 500*time.Millisecond, "poll interval between replication sync rounds (with -follow)")
+
+		maxFG        = flag.Int("max-inflight-fg", 0, "max concurrently executing foreground requests (correlate, point reads, mutations); 0 = default (256), negative = unlimited")
+		maxBG        = flag.Int("max-inflight-bg", 0, "max concurrently executing background tasks (screen jobs, monitor work, checkpoints); 0 = default (GOMAXPROCS, min 4), negative = unlimited")
+		tenantQPS    = flag.Float64("tenant-qps", 0, "per-tenant token-bucket quota in requests/second (tenant from the X-Tesc-Tenant header or the graph-name prefix); 0 = unlimited")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant bucket capacity with -tenant-qps; 0 = max(2x qps, 1)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "graceful-drain window on SIGTERM: in-flight requests get this long before remaining jobs are cancelled and the WAL is flushed")
 	)
 	var loads, eventLoads []string
 	flag.Func("load", "preload a graph at startup as name=edgelist-path (repeatable)", func(v string) error {
@@ -89,6 +95,16 @@ func main() {
 	if _, err := wal.ParsePolicy(*fsync); err != nil {
 		logger.Fatalf("-fsync: %v", err)
 	}
+	adm := server.AdmissionConfig{
+		MaxInflightFG: *maxFG,
+		MaxInflightBG: *maxBG,
+		TenantQPS:     *tenantQPS,
+		TenantBurst:   *tenantBurst,
+		DrainTimeout:  *drainTimeout,
+	}
+	if err := adm.Normalize(); err != nil {
+		logger.Fatalf("admission flags: %v", err)
+	}
 	cfg := server.Config{
 		IndexCacheCapacity: *cache,
 		IndexWorkers:       *workers,
@@ -98,6 +114,7 @@ func main() {
 		FsyncInterval:      *fsyncIvl,
 		WALSegmentBytes:    *walSeg,
 		ReadOnly:           *follow != "",
+		Admission:          adm,
 	}
 	if !*quiet {
 		cfg.Log = logger

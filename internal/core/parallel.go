@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,17 @@ const parallelChunk = 64
 // for its problem/level configuration; its BFSCount is advanced by the
 // total number of traversals.
 func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, sb []float64, ds []Density) {
+	sa, sb, ds, _ = e.EvalAllParallelCtx(nil, rs, workers)
+	return sa, sb, ds
+}
+
+// EvalAllParallelCtx is EvalAllParallel with cancellation: workers
+// check ctx between chunks and stop claiming work once it is done, so
+// an abandoned request stops burning traversals within one chunk per
+// worker. On cancellation the wrapped cause is returned and the
+// density slices must be discarded (partially filled). A nil ctx never
+// cancels.
+func (e *DensityEvaluator) EvalAllParallelCtx(ctx context.Context, rs []graph.NodeID, workers int) (sa, sb []float64, ds []Density, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -42,16 +54,10 @@ func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, 
 	sb = make([]float64, len(rs))
 	ds = make([]Density, len(rs))
 	if len(rs) == 0 {
-		return sa, sb, ds
+		return sa, sb, ds, nil
 	}
 	if workers <= 1 {
-		for i, r := range rs {
-			d := e.Eval(r)
-			ds[i] = d
-			sa[i] = d.SA()
-			sb[i] = d.SB()
-		}
-		return sa, sb, ds
+		return e.evalAllCtxInto(ctx, rs, sa, sb, ds)
 	}
 
 	// Prebuild the shared label array outside the workers: Labels uses
@@ -61,6 +67,7 @@ func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, 
 
 	var wg sync.WaitGroup
 	var next atomic.Int64
+	var canceled atomic.Bool
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -74,6 +81,10 @@ func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, 
 				local = NewDensityEvaluator(e.p, e.h)
 			}
 			for {
+				if ctxErr(ctx) != nil {
+					canceled.Store(true)
+					break
+				}
 				lo := int(next.Add(parallelChunk)) - parallelChunk
 				if lo >= len(rs) {
 					break
@@ -88,5 +99,32 @@ func (e *DensityEvaluator) EvalAllParallel(rs []graph.NodeID, workers int) (sa, 
 		}()
 	}
 	wg.Wait()
-	return sa, sb, ds
+	if canceled.Load() {
+		return sa, sb, ds, ctxErr(ctx)
+	}
+	return sa, sb, ds, nil
+}
+
+// evalAllCtx is the sequential density pass with cancellation checked
+// every parallelChunk traversals — the same granularity the parallel
+// workers use, so a canceled sequential test stops just as promptly.
+func (e *DensityEvaluator) evalAllCtx(ctx context.Context, rs []graph.NodeID) (sa, sb []float64, ds []Density, err error) {
+	sa = make([]float64, len(rs))
+	sb = make([]float64, len(rs))
+	ds = make([]Density, len(rs))
+	return e.evalAllCtxInto(ctx, rs, sa, sb, ds)
+}
+
+func (e *DensityEvaluator) evalAllCtxInto(ctx context.Context, rs []graph.NodeID, sa, sb []float64, ds []Density) ([]float64, []float64, []Density, error) {
+	for lo := 0; lo < len(rs); lo += parallelChunk {
+		if err := ctxErr(ctx); err != nil {
+			return sa, sb, ds, err
+		}
+		hi := lo + parallelChunk
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		e.evalInto(rs[lo:hi], sa[lo:hi], sb[lo:hi], ds[lo:hi])
+	}
+	return sa, sb, ds, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -65,6 +66,30 @@ type Options struct {
 	// built-in density evaluator and the BatchBFS sampler; ignored when
 	// bound to a different graph.
 	Engines *graph.EnginePool
+	// Ctx, when non-nil, lets a caller abandon the test: the density
+	// phase (the dominant cost — n independent h-hop BFS) checks it
+	// between chunks of traversals and returns the context's cause
+	// wrapped in ErrCanceled. Nil means run to completion.
+	Ctx context.Context
+}
+
+// ErrCanceled marks a test abandoned through Options.Ctx. Match with
+// errors.Is(err, ErrCanceled); the context's cause is wrapped, so
+// errors.Is(err, context.Canceled) works too.
+var ErrCanceled = fmt.Errorf("tesc: test canceled")
+
+// ctxErr reports the wrapped cancellation cause when ctx is non-nil
+// and done, else nil.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+	default:
+		return nil
+	}
 }
 
 // DefaultOptions mirrors the paper's experimental setup: n = 900
@@ -157,8 +182,15 @@ func Test(p *Problem, opts Options) (Result, error) {
 		rng = rand.New(rand.NewPCG(0x7e5c, 0x7e5c))
 	}
 
+	if err := ctxErr(opts.Ctx); err != nil {
+		return Result{}, err
+	}
+
 	sample, err := sampler.SampleReferences(p, opts.H, opts.SampleSize, rng)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := ctxErr(opts.Ctx); err != nil {
 		return Result{}, err
 	}
 
@@ -183,9 +215,16 @@ func Test(p *Problem, opts Options) (Result, error) {
 			eval = NewDensityEvaluator(p, opts.H)
 		}
 		if opts.Workers == 0 || opts.Workers == 1 {
-			sa, sb, ds = eval.EvalAll(sample.Nodes)
+			if opts.Ctx != nil {
+				sa, sb, ds, err = eval.evalAllCtx(opts.Ctx, sample.Nodes)
+			} else {
+				sa, sb, ds = eval.EvalAll(sample.Nodes)
+			}
 		} else {
-			sa, sb, ds = eval.EvalAllParallel(sample.Nodes, opts.Workers)
+			sa, sb, ds, err = eval.EvalAllParallelCtx(opts.Ctx, sample.Nodes, opts.Workers)
+		}
+		if err != nil {
+			return Result{}, err
 		}
 		densityBFS = eval.BFSCount
 	}

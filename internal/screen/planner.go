@@ -353,6 +353,9 @@ func Plan(g *graph.Graph, store *events.Store, pairs [][2]string, cfg PlanConfig
 	if stale() {
 		return PlanResult{}, ErrStaleEpoch
 	}
+	if err := cfg.canceled(); err != nil {
+		return PlanResult{}, err
+	}
 
 	memo, mem, eventIdx, err := bindSweepMemo(g, store, pairs, cfg.Config)
 	if err != nil {
@@ -417,9 +420,10 @@ func Plan(g *graph.Graph, store *events.Store, pairs [][2]string, cfg PlanConfig
 
 	// Phase 2 — best-first evaluation with bound pruning.
 	var (
-		next      atomic.Int64
-		staleStop atomic.Bool
-		mu        sync.Mutex // guards the shared counters below
+		next       atomic.Int64
+		staleStop  atomic.Bool
+		cancelStop atomic.Bool
+		mu         sync.Mutex // guards the shared counters below
 	)
 	worker := func() {
 		sampler := &core.BatchBFSSampler{Engines: cfg.Engines}
@@ -445,6 +449,10 @@ func Plan(g *graph.Graph, store *events.Store, pairs [][2]string, cfg PlanConfig
 				staleStop.Store(true)
 				break
 			}
+			if cfg.canceled() != nil {
+				cancelStop.Store(true)
+				break
+			}
 			c := queue[i]
 			var fate pairFate
 			if c.priorUB < bar.bar() {
@@ -454,6 +462,10 @@ func Plan(g *graph.Graph, store *events.Store, pairs [][2]string, cfg PlanConfig
 			} else {
 				var res PairResult
 				res, fate = planPair(g, store, c, cfg, sampler, src, eventIdx, bar, &local)
+				if fate == fateCanceled {
+					cancelStop.Store(true)
+					break
+				}
 				if fate == fateFull {
 					bar.offer(res)
 				}
@@ -499,6 +511,14 @@ func Plan(g *graph.Graph, store *events.Store, pairs [][2]string, cfg PlanConfig
 		st.MemoHits = memo.memoHits.Load() - hitsBefore
 	}
 	out := PlanResult{Pairs: bar.ranked(), Stats: st}
+	if cancelStop.Load() {
+		// A canceled plan is the one abandonment that keeps its partial
+		// work: every pair in the bar completed its full exact test, so
+		// the ranking-so-far is sound over the pairs evaluated — the
+		// planner API already models partial results for streaming.
+		// The error still reports the sweep as incomplete.
+		return out, cfg.canceled()
+	}
 	return out, nil
 }
 
@@ -529,6 +549,10 @@ const (
 	fatePrunedEarly
 	fatePrunedPrior
 	fateSkipped
+	// fateCanceled marks a pair abandoned mid-evaluation because the
+	// sweep's context was canceled; the worker stops and Plan returns
+	// the bar's partial ranking with the cancellation error.
+	fateCanceled
 )
 
 // planStats64 is a worker's private accounting, folded once at exit.
@@ -599,6 +623,12 @@ func planPair(g *graph.Graph, store *events.Store, c planCandidate, cfg PlanConf
 	}
 
 	for _, m := range checkpointSchedule(cfg.FirstCheckpoint, n) {
+		// Checkpoints are the planner's natural cancellation points:
+		// the densities already paid for stay in the memo, and nothing
+		// partial ever reaches the bar.
+		if cfg.canceled() != nil {
+			return res, fateCanceled
+		}
 		evalTo(m)
 		local.checkpoints++
 		k := stats.KendallAuto(sa, sb)

@@ -12,6 +12,7 @@
 package screen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -105,6 +106,30 @@ type Config struct {
 	// nil when g and store are immutable for the sweep's lifetime.
 	Epoch        uint64
 	CurrentEpoch func() uint64
+	// Ctx, when non-nil, lets the caller abandon the sweep: workers
+	// check it before each pair (like the stale-epoch check) and the
+	// in-flight pair's density phase checks it between traversal
+	// chunks. A canceled Run discards its partial results and returns
+	// an error wrapping the context's cause; Plan instead returns the
+	// bar's partial ranking alongside the error (the planner API
+	// already models partial results). Nil means run to completion.
+	Ctx context.Context
+}
+
+// canceled reports the sweep-cancellation error when cfg.Ctx is done,
+// else nil. The context's cause is wrapped, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) work on the returned error.
+func (cfg Config) canceled() error {
+	if cfg.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-cfg.Ctx.Done():
+		return fmt.Errorf("screen: sweep canceled: %w", context.Cause(cfg.Ctx))
+	default:
+		return nil
+	}
 }
 
 // PairResult is one screened pair. Results are ordered by adjusted
@@ -186,6 +211,9 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	if stale() {
 		return Result{}, ErrStaleEpoch
 	}
+	if err := cfg.canceled(); err != nil {
+		return Result{}, err
+	}
 
 	memo, mem, eventIdx, err := bindSweepMemo(g, store, pairs, cfg)
 	if err != nil {
@@ -205,7 +233,7 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	// instead of a feeder goroutine pushing indexes down a channel.
 	var completed, nextPair atomic.Int64
 	var bfsRuns atomic.Int64
-	var staleStop atomic.Bool
+	var staleStop, cancelStop atomic.Bool
 	worker := func() {
 		sampler := &core.BatchBFSSampler{Engines: cfg.Engines}
 		var src *memoSource
@@ -227,9 +255,15 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 				break
 			}
 			// Re-validate the pinned epoch before spending BFS work
-			// on this pair; a stale sweep is discarded whole.
+			// on this pair; a stale sweep is discarded whole. A
+			// canceled sweep stops the same way: the caller is gone,
+			// so every further traversal is wasted work.
 			if stale() {
 				staleStop.Store(true)
+				break
+			}
+			if cfg.canceled() != nil {
+				cancelStop.Store(true)
 				break
 			}
 			var pairBFS int64
@@ -266,6 +300,13 @@ func Run(g *graph.Graph, store *events.Store, pairs [][2]string, cfg Config) (Re
 	// sampled reference nodes from the superseded snapshot's view.
 	if staleStop.Load() || stale() {
 		return Result{}, ErrStaleEpoch
+	}
+	// Same for cancellation: a cancel landing during the last pair sets
+	// no flag (no worker re-enters the loop), but that pair's test may
+	// have aborted mid-density-phase — re-check so it cannot escape as
+	// a mislabeled skip.
+	if cancelStop.Load() || cfg.canceled() != nil {
+		return Result{}, cfg.canceled()
 	}
 
 	// correction over the tested pairs only
@@ -404,12 +445,17 @@ func screenOne(g *graph.Graph, store *events.Store, pair [2]string, cfg Config, 
 		Alpha:       cfg.Alpha,
 		Rand:        rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 		Engines:     cfg.Engines,
+		Ctx:         cfg.Ctx,
 	}
 	if densities != nil {
 		opts.Densities = densities
 	}
 	tr, err := core.Test(p, opts)
 	if err != nil {
+		// A canceled test is not a skipped pair: the whole sweep is
+		// being abandoned, and Skipped would mislabel the pair if the
+		// partial result ever escaped. The worker loop's cancel check
+		// discards the sweep right after.
 		res.Skipped = err.Error()
 		return res, 0
 	}

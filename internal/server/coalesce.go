@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"strconv"
+	"sync"
+)
+
+// Request coalescing for the correlate path. Correlate is a pure
+// function of (graph name, snapshot epoch, request body): two identical
+// requests against the same epoch compute bit-identical responses, so
+// when one is already in flight the second should wait for its result
+// instead of paying a second density phase. This generalizes the index
+// cache's single-flight build to whole queries — under a thundering
+// herd (a dashboard fanning out, a retry storm) the server computes
+// each distinct query once per epoch.
+
+// flightCall is one in-flight correlate computation. done closes when
+// the leader has filled the outcome fields.
+type flightCall struct {
+	done   chan struct{}
+	resp   correlateResponse
+	code   int
+	errMsg string
+	// ctxFail marks an outcome caused by the leader's own request
+	// context (its client hung up or its deadline fired). Followers
+	// must not adopt it — their clients are still waiting — so they
+	// loop and re-join, one of them becoming the new leader.
+	ctxFail bool
+}
+
+// flightGroup tracks in-flight correlate calls by key. The zero value
+// is ready to use.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// join returns the call for key, creating it (leader == true) when no
+// identical call is in flight. A follower waits on the call's done
+// channel.
+func (g *flightGroup) join(key string) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// complete publishes the leader's outcome: the key is retired first so
+// requests arriving after this instant start a fresh computation (the
+// epoch may have advanced), then done is closed to release the
+// followers.
+func (g *flightGroup) complete(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// flightKey canonicalizes a correlate request's identity. Marshaling
+// the decoded struct (not the raw body) normalizes field order,
+// whitespace and defaulted fields, so textually different but
+// semantically identical requests coalesce.
+func flightKey(graph string, epoch uint64, req *correlateRequest) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// Cannot happen for this struct; an unkeyable request simply
+		// doesn't coalesce.
+		return ""
+	}
+	return graph + "|" + strconv.FormatUint(epoch, 10) + "|" + string(b)
+}

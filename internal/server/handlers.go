@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -501,7 +502,11 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 // handleCorrelate implements POST /v1/graphs/{name}/correlate: one TESC
 // test with per-request options, reusing the graph and (for the
-// index-backed samplers) the cached vicinity index.
+// index-backed samplers) the cached vicinity index. Identical requests
+// against the same snapshot epoch coalesce into one computation (see
+// coalesce.go), and the request's context — carrying any client
+// deadline the admission chain attached — propagates into the density
+// phase so abandoned queries stop burning BFS work.
 func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.entry(w, r)
 	if !ok {
@@ -527,17 +532,47 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Bind the whole query to one snapshot: occurrences, graph and
 	// vicinity index all come from the same epoch even if mutations
-	// land while the query runs.
+	// land while the query runs. The epoch is part of the coalescing
+	// key, so a request never adopts a result from another version.
 	snap := e.Snapshot()
 	if !s.freshEnough(w, e.Name(), snap.Epoch, req.MinEpoch) {
 		return
 	}
-	va, vb, code, err := resolveEventPair(snap, &req)
+	key := flightKey(e.Name(), snap.Epoch, &req)
+	for {
+		c, leader := s.flights.join(key)
+		if leader {
+			s.runCorrelate(r, e, snap, &req, method, tail, c)
+			s.flights.complete(key, c)
+			s.writeCorrelateOutcome(w, c)
+			return
+		}
+		s.adm.coalesceHits.Add(1)
+		select {
+		case <-c.done:
+			if c.ctxFail {
+				// The leader's client gave up, not ours: loop and
+				// re-join; whoever wins the next join recomputes.
+				continue
+			}
+			s.writeCorrelateOutcome(w, c)
+			return
+		case <-r.Context().Done():
+			s.writeCtxOutcome(w, r)
+			return
+		}
+	}
+}
+
+// runCorrelate performs the actual correlate computation, filling the
+// flight call's outcome fields (it never writes to the wire — the
+// leader and every follower render the outcome themselves).
+func (s *Server) runCorrelate(r *http.Request, e *GraphEntry, snap Snapshot, req *correlateRequest, method tesc.Method, tail tesc.Tail, c *flightCall) {
+	va, vb, code, err := resolveEventPair(snap, req)
 	if err != nil {
-		writeError(w, code, "%v", err)
+		c.code, c.errMsg = code, err.Error()
 		return
 	}
-
 	opts := tesc.Options{
 		H:               req.H,
 		SampleSize:      req.SampleSize,
@@ -547,11 +582,12 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		Alpha:           req.Alpha,
 		Seed:            req.Seed,
 		UseSpearman:     req.UseSpearman,
+		Ctx:             r.Context(),
 	}
 	if method == tesc.Importance || method == tesc.Rejection {
 		idx, err := s.cache.Get(e, snap, req.H, s.indexWorkers)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "building vicinity index: %v", err)
+			c.code, c.errMsg = http.StatusInternalServerError, fmt.Sprintf("building vicinity index: %v", err)
 			return
 		}
 		opts.Index = idx
@@ -563,11 +599,22 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := tesc.Correlation(snap.Graph, va, vb, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			c.code, c.errMsg, c.ctxFail = http.StatusGatewayTimeout, err.Error(), true
+		case errors.Is(err, context.Canceled):
+			// 499 is the de-facto "client closed request" status; the
+			// write is a no-op on the closed connection, but the code
+			// keeps the outcome honest in logs and tests.
+			c.code, c.errMsg, c.ctxFail = 499, err.Error(), true
+		default:
+			c.code, c.errMsg = http.StatusUnprocessableEntity, err.Error()
+		}
 		return
 	}
 	s.bfsRuns.Add(res.DensityBFS)
-	writeJSON(w, http.StatusOK, correlateResponse{
+	c.code = http.StatusOK
+	c.resp = correlateResponse{
 		Tau:         res.Tau,
 		Z:           res.Z,
 		P:           res.P,
@@ -580,7 +627,35 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		DensityBFS:  res.DensityBFS,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
 		Epoch:       snap.Epoch,
-	})
+	}
+}
+
+// writeCorrelateOutcome renders a completed flight call to one client.
+// Coalesced followers share the leader's response verbatim (including
+// ElapsedMS — the computation's cost, paid once).
+func (s *Server) writeCorrelateOutcome(w http.ResponseWriter, c *flightCall) {
+	switch c.code {
+	case http.StatusOK:
+		writeJSON(w, http.StatusOK, c.resp)
+	case http.StatusGatewayTimeout:
+		s.adm.timeouts.Add(1)
+		writeRetryable(w, http.StatusGatewayTimeout, time.Second, reasonTimeout, "%s", c.errMsg)
+	default:
+		writeError(w, c.code, "%s", c.errMsg)
+	}
+}
+
+// writeCtxOutcome renders a request abandoned by its own context: 504
+// for an expired deadline, 499 (best-effort; the connection is gone)
+// for a client hang-up.
+func (s *Server) writeCtxOutcome(w http.ResponseWriter, r *http.Request) {
+	if errors.Is(context.Cause(r.Context()), context.DeadlineExceeded) {
+		s.adm.timeouts.Add(1)
+		writeRetryable(w, http.StatusGatewayTimeout, time.Second, reasonTimeout,
+			"request deadline exceeded while waiting for a coalesced result")
+		return
+	}
+	writeError(w, 499, "client closed request")
 }
 
 // freshEnough enforces a request's min_epoch floor: a graph still
@@ -588,13 +663,13 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 // answers 503 + Retry-After so clients distinguish "retry here
 // shortly" from a real failure. The error wraps screen.ErrStaleEpoch —
 // the same staleness signal the screening engine raises when a pinned
-// snapshot falls behind.
+// snapshot falls behind — and the body carries the unified
+// backpressure shape (reason "stale_epoch") every 429/503 shares.
 func (s *Server) freshEnough(w http.ResponseWriter, name string, epoch, minEpoch uint64) bool {
 	if minEpoch == 0 || epoch >= minEpoch {
 		return true
 	}
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusServiceUnavailable,
+	writeRetryable(w, http.StatusServiceUnavailable, time.Second, reasonStaleEpoch,
 		"%v: graph %q is at epoch %d, request needs %d", screen.ErrStaleEpoch, name, epoch, minEpoch)
 	return false
 }
@@ -693,6 +768,21 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		Seed:           req.Seed,
 	}
 	opts.Engines = e.EnginePool(snap)
+	// A screen job holds a background admission slot for its whole
+	// lifetime — the middleware only applied quota/drain/deadline for
+	// this class (classBackgroundJob), so the concurrency bound is
+	// claimed here and released when the job finishes. At saturation
+	// the job is shed with a typed 503 before any work is spent.
+	release, ok := s.adm.acquireJobSlot()
+	if !ok {
+		writeRetryable(w, http.StatusServiceUnavailable, 2*time.Second, reasonOverloadBG,
+			"background capacity exhausted (%d screen/monitor tasks in flight)", s.adm.bg.inflight())
+		return
+	}
+	// The job runs under the tracker's cancellable context, NOT
+	// r.Context(): the handler returns at the 202 and Go cancels the
+	// request context with it, which must not kill the async sweep.
+	// Cancellation comes from DELETE /v1/jobs/{id} or server drain.
 	if planned {
 		popts := tesc.ScreenTopKOptions{
 			ScreenOptions: opts,
@@ -702,7 +792,8 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		if req.Theta != nil {
 			popts.Theta = *req.Theta
 		}
-		job := s.jobs.StartPlanned(e.Name(), func(j *Job) (tesc.ScreenTopKResult, error) {
+		job := s.jobs.StartPlanned(e.Name(), release, func(ctx context.Context, j *Job) (tesc.ScreenTopKResult, error) {
+			popts.Ctx = ctx
 			popts.Progress = j.setProgress
 			popts.Stream = j.setPartial
 			res, err := tesc.ScreenTopK(g, ev, popts)
@@ -717,7 +808,8 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, screenResponse{JobID: job.ID})
 		return
 	}
-	job := s.jobs.Start(e.Name(), func(progress func(done, total int)) (tesc.ScreenResult, error) {
+	job := s.jobs.Start(e.Name(), release, func(ctx context.Context, progress func(done, total int)) (tesc.ScreenResult, error) {
+		opts.Ctx = ctx
 		opts.Progress = progress
 		res, err := tesc.Screen(g, ev, opts)
 		if err == nil {
@@ -738,6 +830,23 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleCancelJob implements DELETE /v1/jobs/{id}: aborts a running
+// screening job. The sweep observes the cancellation at its next
+// per-pair check and the job lands in "cancelled" (planned jobs keep
+// the ranking over the pairs they finished under "partial").
+// Cancelling an already-finished job is a no-op; the response is the
+// job's current view either way, so clients can poll the transition.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
 }
 
 // handleHealth implements GET /healthz.
@@ -770,6 +879,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"wal_replayed":           s.walReplayed.Load(),
 		"recovery_epoch":         s.recoveryEpoch.Load(),
 		"records_shipped":        s.recordsShipped.Load(),
+		// slo is the overload-protection section: per-class latency
+		// quantiles (upper bucket bounds, ms) plus shed/quota/timeout/
+		// coalesce accounting — the live view the bench gate holds tail
+		// latency against. See docs/OVERLOAD.md.
+		"slo": s.adm.sloView(),
 	}
 	if s.readOnly {
 		health["read_only"] = true

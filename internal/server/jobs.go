@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -15,6 +17,11 @@ const (
 	JobRunning JobStatus = "running"
 	JobDone    JobStatus = "done"
 	JobFailed  JobStatus = "failed"
+	// JobCancelled marks a job abandoned before completion — by a
+	// client's DELETE, a propagated deadline, or server drain. Planned
+	// jobs keep their partial ranking (the pairs fully evaluated before
+	// the cancel) visible in the view.
+	JobCancelled JobStatus = "cancelled"
 )
 
 // Job is one asynchronous screening run. Screening sweeps test O(|Q|²)
@@ -23,6 +30,15 @@ const (
 type Job struct {
 	ID    string
 	Graph string
+
+	// cancel aborts the job's context; the screening sweep it feeds
+	// checks the context between pairs and stops. Set at registration,
+	// safe to call repeatedly.
+	cancel context.CancelFunc
+	// release returns the job's background admission slot; nil when the
+	// job was started without one. Called exactly once when the job
+	// finishes (the wrapper is idempotent).
+	release func()
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -166,7 +182,9 @@ func (j *Job) Snapshot() JobView {
 	} else {
 		v.Result = screenResultView(j.result)
 	}
-	if j.status == JobRunning && len(j.partial) > 0 {
+	// Partial rankings stay visible on a cancelled planned job: the
+	// pairs it finished are exact, and they are all the client gets.
+	if (j.status == JobRunning || j.status == JobCancelled) && len(j.partial) > 0 {
 		v.Partial = screenedPairViews(j.partial)
 	}
 	if !j.finished.IsZero() {
@@ -206,8 +224,15 @@ func (j *Job) setPartial(top []tesc.ScreenedPair) {
 // daemon's memory with every sweep. Running jobs are never pruned.
 const maxFinishedJobs = 64
 
-// Jobs tracks asynchronous screening jobs by ID.
+// Jobs tracks asynchronous screening jobs by ID. Every job runs under
+// a context derived from the tracker's base context, so CancelAll (the
+// drain path) aborts every sweep with one call, and individual jobs
+// cancel through DELETE /v1/jobs/{id}.
 type Jobs struct {
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
 	mu    sync.Mutex
 	seq   int
 	jobs  map[string]*Job
@@ -216,7 +241,8 @@ type Jobs struct {
 
 // NewJobs returns an empty job tracker.
 func NewJobs() *Jobs {
-	return &Jobs{jobs: make(map[string]*Job)}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Jobs{baseCtx: ctx, baseCancel: cancel, jobs: make(map[string]*Job)}
 }
 
 // pruneLocked evicts the oldest finished jobs beyond maxFinishedJobs.
@@ -252,63 +278,123 @@ func (j *Job) isFinished() bool {
 	return j.status != JobRunning
 }
 
-// register creates a running job for the named graph and tracks it.
-func (js *Jobs) register(graphName string) *Job {
+// register creates a running job for the named graph and tracks it,
+// deriving the job's cancellable context from the tracker's base.
+func (js *Jobs) register(graphName string) (*Job, context.Context) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	js.seq++
+	ctx, cancel := context.WithCancel(js.baseCtx)
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", js.seq),
 		Graph:   graphName,
+		cancel:  cancel,
 		status:  JobRunning,
 		created: time.Now(),
 	}
 	js.jobs[j.ID] = j
 	js.order = append(js.order, j.ID)
 	js.pruneLocked()
-	return j
+	return j, ctx
 }
 
 // finish transitions the job out of JobRunning; commit stores the
-// result under the job lock on success.
+// result under the job lock on success. A cancellation error (the
+// job's context was aborted) lands in JobCancelled, not JobFailed —
+// the job did nothing wrong, somebody stopped wanting it.
 func (j *Job) finish(err error, commit func()) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.finished = time.Now()
-	if err != nil {
+	switch {
+	case err == nil:
+		j.status = JobDone
+		commit()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = JobCancelled
+		j.err = err.Error()
+	default:
 		j.status = JobFailed
 		j.err = err.Error()
-		return
 	}
-	j.status = JobDone
-	commit()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources in every exit path
+	if j.release != nil {
+		j.release()
+	}
 }
 
 // Start registers a new job for the named graph and runs fn in a fresh
-// goroutine. fn receives the job's progress sink, suitable for
-// ScreenOptions.Progress.
-func (js *Jobs) Start(graphName string, fn func(progress func(done, total int)) (tesc.ScreenResult, error)) *Job {
-	j := js.register(graphName)
+// goroutine. fn receives the job's cancellable context (wire it into
+// ScreenOptions.Ctx) and progress sink (ScreenOptions.Progress).
+// release, when non-nil, is the job's admission slot, returned when the
+// job finishes.
+func (js *Jobs) Start(graphName string, release func(), fn func(ctx context.Context, progress func(done, total int)) (tesc.ScreenResult, error)) *Job {
+	j, ctx := js.register(graphName)
+	j.release = release
+	js.wg.Add(1)
 	go func() {
-		res, err := fn(j.setProgress)
+		defer js.wg.Done()
+		res, err := fn(ctx, j.setProgress)
 		j.finish(err, func() { j.result = &res })
 	}()
 	return j
 }
 
 // StartPlanned registers a planned (top-k / threshold) screening job.
-// fn receives the job itself so it can wire both the progress sink and
-// the partial-ranking stream (Job.setPartial) into ScreenTopKOptions.
-func (js *Jobs) StartPlanned(graphName string, fn func(j *Job) (tesc.ScreenTopKResult, error)) *Job {
-	j := js.register(graphName)
+// fn receives the job's context and the job itself so it can wire the
+// progress sink and the partial-ranking stream (Job.setPartial) into
+// ScreenTopKOptions. A cancelled planned sweep returns its ranking so
+// far alongside the error; the pairs it completed are exact, so they
+// are kept as the job's final partial.
+func (js *Jobs) StartPlanned(graphName string, release func(), fn func(ctx context.Context, j *Job) (tesc.ScreenTopKResult, error)) *Job {
+	j, ctx := js.register(graphName)
+	j.release = release
+	js.wg.Add(1)
 	go func() {
-		res, err := fn(j)
+		defer js.wg.Done()
+		res, err := fn(ctx, j)
+		if err != nil && len(res.Pairs) > 0 {
+			j.setPartial(res.Pairs)
+		}
 		j.finish(err, func() {
 			j.planned = &res
 			j.partial = nil // the final ranking supersedes any partial
 		})
 	}()
 	return j
+}
+
+// Cancel aborts the job with the given ID. Reports whether the job
+// exists; cancelling a finished job is a no-op.
+func (js *Jobs) Cancel(id string) bool {
+	j, ok := js.Get(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// CancelAll aborts every job started from this tracker — the drain
+// path. New jobs registered afterwards are born cancelled.
+func (js *Jobs) CancelAll() {
+	js.baseCancel()
+}
+
+// Wait blocks until every started job goroutine has exited or ctx
+// expires, reporting whether all finished in time.
+func (js *Jobs) Wait(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		js.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Get returns the job with the given ID, or false.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -29,7 +30,7 @@ func waitFinished(t *testing.T, js *Jobs, id string) JobView {
 
 func TestJobLifecycleAndFailure(t *testing.T) {
 	js := NewJobs()
-	ok := js.Start("g", func(progress func(done, total int)) (tesc.ScreenResult, error) {
+	ok := js.Start("g", nil, func(_ context.Context, progress func(done, total int)) (tesc.ScreenResult, error) {
 		progress(1, 2)
 		progress(2, 2)
 		return tesc.ScreenResult{Tested: 2}, nil
@@ -42,7 +43,7 @@ func TestJobLifecycleAndFailure(t *testing.T) {
 		t.Fatal("done job must carry a finished timestamp")
 	}
 
-	bad := js.Start("g", func(progress func(done, total int)) (tesc.ScreenResult, error) {
+	bad := js.Start("g", nil, func(_ context.Context, progress func(done, total int)) (tesc.ScreenResult, error) {
 		return tesc.ScreenResult{}, errors.New("kaput")
 	})
 	v = waitFinished(t, js, bad.ID)
@@ -55,12 +56,12 @@ func TestJobLifecycleAndFailure(t *testing.T) {
 // maxFinishedJobs are evicted oldest-first, running jobs never are.
 func TestJobsPruneFinished(t *testing.T) {
 	js := NewJobs()
-	noop := func(progress func(done, total int)) (tesc.ScreenResult, error) {
+	noop := func(_ context.Context, progress func(done, total int)) (tesc.ScreenResult, error) {
 		return tesc.ScreenResult{}, nil
 	}
 	var first *Job
 	for i := 0; i < maxFinishedJobs+10; i++ {
-		j := js.Start("g", noop)
+		j := js.Start("g", nil, noop)
 		if first == nil {
 			first = j
 		}
@@ -68,7 +69,7 @@ func TestJobsPruneFinished(t *testing.T) {
 	}
 	// One more Start triggers pruning of the overflow.
 	release := make(chan struct{})
-	running := js.Start("g", func(progress func(done, total int)) (tesc.ScreenResult, error) {
+	running := js.Start("g", nil, func(_ context.Context, progress func(done, total int)) (tesc.ScreenResult, error) {
 		<-release
 		return tesc.ScreenResult{}, nil
 	})
@@ -94,7 +95,7 @@ func TestPlannedJobPartialStreaming(t *testing.T) {
 	release := make(chan struct{})
 	streamed := make(chan *Job, 1)
 	top := []tesc.ScreenedPair{{A: "x", B: "y", Tau: 0.5}}
-	j := js.StartPlanned("g", func(j *Job) (tesc.ScreenTopKResult, error) {
+	j := js.StartPlanned("g", nil, func(_ context.Context, j *Job) (tesc.ScreenTopKResult, error) {
 		j.setPartial(top)
 		top[0].A = "mutated" // the planner reuses its backing array
 		streamed <- j
@@ -134,7 +135,7 @@ func TestJobProgressGaugeMonotone(t *testing.T) {
 	js := NewJobs()
 	release := make(chan struct{})
 	progressCh := make(chan func(done, total int), 1)
-	j := js.Start("g", func(p func(done, total int)) (tesc.ScreenResult, error) {
+	j := js.Start("g", nil, func(_ context.Context, p func(done, total int)) (tesc.ScreenResult, error) {
 		progressCh <- p
 		<-release
 		return tesc.ScreenResult{}, nil

@@ -222,6 +222,14 @@ func (s *Server) flushDirty() {
 		}
 	}
 	sort.Strings(names)
+	// Checkpoint writes are background-class work: borrow a slot so the
+	// flush queues behind client screen jobs instead of competing with
+	// them for cores — but only briefly. Past the timeout the flush
+	// proceeds ungated: durability outranks prioritization, and a
+	// saturated gate must never wedge shutdown (FlushSnapshots runs
+	// through here while draining).
+	releaseBG := s.adm.acquireBackground(2 * time.Second)
+	defer releaseBG()
 	for _, name := range names {
 		if _, err := s.Checkpoint(name); err != nil {
 			s.logf("checkpoint %q: %v", name, err)

@@ -53,6 +53,12 @@ type Config struct {
 	// attached replication follower (queries, monitor refreshes and
 	// checkpoints still serve).
 	ReadOnly bool
+	// Admission bounds what the front door admits: per-tenant quotas,
+	// foreground/background concurrency limits, client deadlines, and
+	// the graceful-drain window. The zero value selects sane defaults
+	// (see AdmissionConfig); invalid values fall back to them too — an
+	// embedded caller's typo must not disable overload protection.
+	Admission AdmissionConfig
 	// Log receives request-level diagnostics; nil disables logging.
 	Log *log.Logger
 }
@@ -68,6 +74,12 @@ type Server struct {
 	indexWorkers int
 	logger       *log.Logger
 	mux          *http.ServeMux
+
+	// adm is the overload-protection front door: every /v1 route runs
+	// behind its admission chain (see admission.go). flights coalesces
+	// identical in-flight correlate calls.
+	adm     *admission
+	flights flightGroup
 
 	// persist is nil without Config.DataDir. snapLoaded counts graphs
 	// restored from snapshots (boot + admission-time imports);
@@ -114,6 +126,13 @@ func New(cfg Config) *Server {
 	if cfg.CheckpointDelay == 0 {
 		cfg.CheckpointDelay = 2 * time.Second
 	}
+	adm, err := newAdmission(cfg.Admission)
+	if err != nil {
+		// Invalid admission settings fall back to the defaults rather
+		// than running unprotected; cmd/tescd validates flags before
+		// they reach here, so this only guards embedded callers.
+		adm, _ = newAdmission(AdmissionConfig{})
+	}
 	s := &Server{
 		registry:     NewRegistry(),
 		cache:        NewIndexCache(cfg.IndexCacheCapacity),
@@ -122,6 +141,7 @@ func New(cfg Config) *Server {
 		indexWorkers: cfg.IndexWorkers,
 		logger:       cfg.Log,
 		mux:          http.NewServeMux(),
+		adm:          adm,
 	}
 	if cfg.DataDir != "" {
 		fsys := cfg.FS
@@ -151,22 +171,31 @@ func New(cfg Config) *Server {
 	// Mutation endpoints go through the read-only gate; on a replica
 	// they 403 so every state change arrives via replication, keeping
 	// follower state bit-for-bit derivable from the primary's log.
-	s.mux.HandleFunc("POST /v1/graphs", s.mutating(s.handleRegisterGraph))
-	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.mutating(s.handleDeleteGraph))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.mutating(s.handleRegisterEvents))
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.mutating(s.handleDeleteEvent))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.mutating(s.handleMutateEdges))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.handleCheckpoint)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.handleCorrelate)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.handleScreen)
-	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors", s.mutating(s.handleCreateMonitor))
-	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors", s.handleListMonitors)
-	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors/{id}", s.handleGetMonitor)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}/monitors/{id}", s.mutating(s.handleDeleteMonitor))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors/{id}/refresh", s.handleRefreshMonitor)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	//
+	// Every /v1 route also runs behind the admission chain (admit),
+	// classed foreground (point reads, mutations, correlate — the
+	// latency-sensitive path) or background (screening, monitor work,
+	// checkpoints — the analytic path that sheds first under load).
+	// healthz and the replica protocol stay ungated: operators must be
+	// able to observe an overloaded server, and followers must keep
+	// streaming so shedding never grows replication lag.
+	s.mux.HandleFunc("POST /v1/graphs", s.admit(classForeground, s.mutating(s.handleRegisterGraph)))
+	s.mux.HandleFunc("GET /v1/graphs", s.admit(classForeground, s.handleListGraphs))
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.admit(classForeground, s.handleGetGraph))
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.admit(classForeground, s.mutating(s.handleDeleteGraph)))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.admit(classForeground, s.mutating(s.handleRegisterEvents)))
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.admit(classForeground, s.mutating(s.handleDeleteEvent)))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.admit(classForeground, s.mutating(s.handleMutateEdges)))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.admit(classBackground, s.handleCheckpoint))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.admit(classForeground, s.handleCorrelate))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.admit(classBackgroundJob, s.handleScreen))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors", s.admit(classBackground, s.mutating(s.handleCreateMonitor)))
+	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors", s.admit(classForeground, s.handleListMonitors))
+	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors/{id}", s.admit(classForeground, s.handleGetMonitor))
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}/monitors/{id}", s.admit(classForeground, s.mutating(s.handleDeleteMonitor)))
+	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors/{id}/refresh", s.admit(classBackground, s.handleRefreshMonitor))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.admit(classForeground, s.handleGetJob))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.admit(classForeground, s.handleCancelJob))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
 	s.mux.HandleFunc("GET /v1/replica/graphs/{name}/snapshot", s.handleReplicaSnapshot)
@@ -203,10 +232,45 @@ func (s *Server) Handler() http.Handler {
 	return logRequests(s.logger, s.mux)
 }
 
+// BeginDrain flips the server into drain mode: the admission chain
+// answers every new request 503 "draining" (with Retry-After, so
+// load balancers and retrying clients move to another replica) while
+// in-flight requests run on. Idempotent.
+func (s *Server) BeginDrain() {
+	s.adm.draining.Store(true)
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.adm.draining.Load() }
+
+// Drain runs the job half of a graceful stop: stop admitting (BeginDrain,
+// idempotent), cancel still-running screen jobs — they land in
+// "cancelled", planned jobs keeping their partial ranking — and wait for
+// the job goroutines to exit or ctx to expire, reporting which happened.
+// Callers embedding the server (tests, soak harnesses) pair it with
+// Close, which flushes snapshots and closes the WAL; ListenAndServe does
+// both on context cancellation.
+func (s *Server) Drain(ctx context.Context) bool {
+	s.BeginDrain()
+	s.jobs.CancelAll()
+	return s.jobs.Wait(ctx)
+}
+
 // ListenAndServe runs the service at addr until the context is
-// canceled, then shuts down gracefully (in-flight requests get 5s),
-// flushes any pending snapshot checkpoints, and closes the WAL, so
-// mutations applied just before the signal survive the restart.
+// canceled, then drains gracefully under the configured drain window
+// (AdmissionConfig.DrainTimeout, default 5s):
+//
+//  1. stop admitting — new requests get a typed 503 "draining";
+//  2. let in-flight requests finish (http.Server.Shutdown);
+//  3. cancel still-running screen jobs (they land in "cancelled",
+//     planned jobs keeping their partial ranking) and wait for the
+//     job goroutines to exit;
+//  4. flush pending snapshot checkpoints and close the WAL (Close),
+//     so every acknowledged mutation survives the restart.
+//
+// The ordering is load-bearing: jobs are cancelled before Close so no
+// sweep can race the WAL teardown, and the WAL closes last so anything
+// acknowledged during the drain is on disk.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	if addr == "" {
 		addr = ":8537"
@@ -218,9 +282,13 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.BeginDrain()
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.adm.cfg.DrainTimeout)
 		defer cancel()
-		err := srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(drainCtx)
+		if !s.Drain(drainCtx) && s.logger != nil {
+			s.logger.Printf("drain: job goroutines still running at the drain deadline")
+		}
 		s.Close()
 		return err
 	}

@@ -1,6 +1,8 @@
 package tesc
 
 import (
+	"context"
+
 	"tesc/internal/events"
 	"tesc/internal/graph"
 	"tesc/internal/screen"
@@ -57,6 +59,15 @@ type ScreenOptions struct {
 	// Engines, when non-nil and bound to g, lends pooled BFS engines to
 	// the sweep's workers (see Graph.NewEnginePool).
 	Engines *EnginePool
+	// Ctx, when non-nil, lets the caller abandon the sweep: workers
+	// check it between pairs and the in-flight density phase checks it
+	// between traversal chunks. A canceled Screen discards its partial
+	// results and returns an error wrapping the context's cause
+	// (errors.Is with context.Canceled / context.DeadlineExceeded
+	// works); a canceled ScreenTopK instead returns the ranking over
+	// the pairs completed so far alongside the error. Nil runs to
+	// completion.
+	Ctx context.Context
 }
 
 // ScreenedPair is one tested pair, ordered by corrected p-value.
@@ -110,6 +121,7 @@ func Screen(g *Graph, ev EventSet, opts ScreenOptions) (ScreenResult, error) {
 		Seed:           opts.Seed,
 		Progress:       opts.Progress,
 		NoMemo:         opts.NoMemo,
+		Ctx:            opts.Ctx,
 	}
 	if opts.Engines != nil {
 		cfg.Engines = opts.Engines.p
@@ -208,6 +220,7 @@ func ScreenTopK(g *Graph, ev EventSet, opts ScreenTopKOptions) (ScreenTopKResult
 			Seed:           opts.Seed,
 			Progress:       opts.Progress,
 			NoMemo:         opts.NoMemo,
+			Ctx:            opts.Ctx,
 		},
 		K:          opts.K,
 		Theta:      opts.Theta,
@@ -225,10 +238,7 @@ func ScreenTopK(g *Graph, ev EventSet, opts ScreenTopKOptions) (ScreenTopKResult
 		}
 	}
 	res, err := screen.Plan(g.g, store, screen.AllPairs(store, max(1, opts.MinOccurrences)), cfg)
-	if err != nil {
-		return ScreenTopKResult{}, err
-	}
-	return ScreenTopKResult{
+	out := ScreenTopKResult{
 		Pairs:        screenedPairs(res.Pairs),
 		Candidates:   res.Stats.Candidates,
 		FullTests:    res.Stats.FullTests,
@@ -239,7 +249,13 @@ func ScreenTopK(g *Graph, ev EventSet, opts ScreenTopKOptions) (ScreenTopKResult
 		DensityEvals: res.Stats.DensityEvals,
 		BFSRuns:      res.Stats.BFSRuns,
 		MemoHits:     res.Stats.MemoHits,
-	}, nil
+	}
+	if err != nil {
+		// A canceled plan carries the ranking over the pairs it finished
+		// (see ScreenOptions.Ctx); every other error leaves it empty.
+		return out, err
+	}
+	return out, nil
 }
 
 func screenedPairs(in []screen.PairResult) []ScreenedPair {

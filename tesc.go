@@ -28,6 +28,7 @@
 package tesc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -365,6 +366,14 @@ type Options struct {
 	// repeated queries stop allocating O(NumNodes) scratch each (see
 	// Graph.NewEnginePool). Results are identical with or without it.
 	Engines *EnginePool
+	// Ctx, when non-nil, lets the caller abandon the test: the density
+	// phase (the dominant cost) checks it between chunks of traversals
+	// and returns an error wrapping the context's cause
+	// (errors.Is with context.Canceled / context.DeadlineExceeded
+	// works). tescd threads each HTTP request's context through here so
+	// disconnected clients stop burning BFS work. Nil runs to
+	// completion.
+	Ctx context.Context
 }
 
 // Result reports a TESC test.
@@ -431,6 +440,7 @@ func Correlation(g *Graph, va, vb []int, opts Options) (Result, error) {
 		SampleSize:  opts.SampleSize,
 		Alternative: opts.Tail.alternative(),
 		Alpha:       opts.Alpha,
+		Ctx:         opts.Ctx,
 	}
 	if opts.Engines != nil {
 		copts.Engines = opts.Engines.p
