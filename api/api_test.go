@@ -1,0 +1,128 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValidateGraphName(t *testing.T) {
+	valid := []string{"g", "web-1_x.y", "acme:web", "ev@home", "a+b", "UPPER", "graph42"}
+	for _, name := range valid {
+		if err := ValidateGraphName(name); err != nil {
+			t.Errorf("ValidateGraphName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{"", ".", "..", "a/b", "a b", "a%2Fb", "a%b", "a,b", "a;b", "日本", "a\nb", "a\x00b"}
+	for _, name := range invalid {
+		if err := ValidateGraphName(name); err == nil {
+			t.Errorf("ValidateGraphName(%q) = nil, want error", name)
+		}
+	}
+}
+
+func TestStatusOfCoversEveryCode(t *testing.T) {
+	codes := []ErrorCode{
+		CodeBadRequest, CodeInvalidName, CodeNotFound, CodeConflict,
+		CodeUnprocessable, CodeReadOnly, CodeTenantQuota, CodeOverloadedFG,
+		CodeOverloadedBG, CodeDraining, CodeStaleEpoch, CodeTimeout,
+		CodeClientClosed, CodeNoOwner, CodeUnavailable, CodeInternal,
+	}
+	for _, c := range codes {
+		if got := StatusOf(c); got < 400 || got > 599 {
+			t.Errorf("StatusOf(%s) = %d, not an error status", c, got)
+		}
+	}
+	if StatusOf("never-seen") != 500 {
+		t.Errorf("unknown codes must map to 500")
+	}
+	// The retryable set always maps to statuses clients retry on.
+	for _, c := range codes {
+		e := &Error{Code: c}
+		if e.Retryable() {
+			switch StatusOf(c) {
+			case 429, 503, 504:
+			default:
+				t.Errorf("retryable code %s maps to non-retryable status %d", c, StatusOf(c))
+			}
+		}
+	}
+}
+
+func TestErrorEnvelopeShape(t *testing.T) {
+	e := &Error{Code: CodeStaleEpoch, Reason: "graph is behind", RetryAfterMS: 1000, Status: 503}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"code":"stale_epoch","reason":"graph is behind","retry_after_ms":1000}`
+	if string(data) != want {
+		t.Errorf("envelope = %s, want %s", data, want)
+	}
+	if !strings.Contains(e.Error(), "stale_epoch") || !strings.Contains(e.Error(), "1000ms") {
+		t.Errorf("Error() = %q, want code and retry hint", e.Error())
+	}
+}
+
+func TestOpenAPIDeterministicAndComplete(t *testing.T) {
+	doc := OpenAPI()
+	if !bytes.Equal(doc, OpenAPI()) {
+		t.Fatal("OpenAPI output is not deterministic")
+	}
+	text := string(doc)
+	for _, r := range Routes {
+		if !strings.Contains(text, "  "+r.Pattern+":") {
+			t.Errorf("spec is missing path %s", r.Pattern)
+		}
+		if !strings.Contains(text, operationID(r)) {
+			t.Errorf("spec is missing operation %s %s", r.Method, r.Pattern)
+		}
+	}
+	// Every named wire struct referenced by a route must have a schema,
+	// and every $ref must resolve.
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if name, ok := strings.CutPrefix(line, `$ref: "#/components/schemas/`); ok {
+			name = strings.TrimSuffix(name, `"`)
+			if !strings.Contains(text, "\n    "+name+":\n") {
+				t.Errorf("$ref to %s does not resolve to a schema", name)
+			}
+		}
+	}
+	for _, schema := range []string{"Error", "CorrelateResponse", "JobView", "Health", "MonitorDetail", "ReplicaStatus"} {
+		if !strings.Contains(text, "\n    "+schema+":\n") {
+			t.Errorf("spec is missing schema %s", schema)
+		}
+	}
+	// The flattened embedded shapes must promote their fields.
+	if !strings.Contains(text, "replica_lag_epochs") {
+		t.Error("Health schema lost the embedded ReplicaHealth fields")
+	}
+	if !strings.Contains(text, "ran") {
+		t.Error("MonitorRefreshResponse schema lost the ran field")
+	}
+}
+
+func TestRouteTableSanity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Routes {
+		key := r.Method + " " + r.Pattern
+		if seen[key] {
+			t.Errorf("duplicate route %s", key)
+		}
+		seen[key] = true
+		if r.Status < 200 || r.Status > 299 {
+			t.Errorf("%s: success status %d is not 2xx", key, r.Status)
+		}
+		if r.Binary && r.Response != nil {
+			t.Errorf("%s: binary routes must not declare a JSON response", key)
+		}
+		switch r.Method {
+		case "GET", "DELETE":
+			if r.Request != nil {
+				t.Errorf("%s: %s routes must not declare a request body", key, r.Method)
+			}
+		}
+	}
+}

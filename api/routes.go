@@ -1,0 +1,159 @@
+package api
+
+// Route describes one wire endpoint: the mux pattern a server
+// registers, the request/response shapes it speaks, and the success
+// status it answers with. The table below is the canonical route list —
+// internal/server asserts at test time that the mux registers exactly
+// these patterns, and cmd/tescapi generates docs/openapi.yaml from it,
+// so a handler cannot exist off the books.
+type Route struct {
+	// Method and Pattern form the Go 1.22 mux pattern
+	// ("POST /v1/graphs/{name}/edges").
+	Method  string
+	Pattern string
+	// Summary is the one-line human description (OpenAPI summary).
+	Summary string
+	// Request and Response hold zero values of the wire shapes (nil for
+	// no body); the OpenAPI generator reflects over them.
+	Request  any
+	Response any
+	// Status is the success status (200/201/202/204).
+	Status int
+	// Binary marks an octet-stream response (the replication transfer
+	// endpoints) — no JSON schema.
+	Binary bool
+}
+
+// Routes is the canonical endpoint table, in registration order.
+var Routes = []Route{
+	{
+		Method: "POST", Pattern: "/v1/graphs",
+		Summary:  "Register a graph from an inline edge list, a server-side file, or a snapshot image",
+		Request:  RegisterGraphRequest{},
+		Response: GraphInfo{},
+		Status:   201,
+	},
+	{
+		Method: "GET", Pattern: "/v1/graphs",
+		Summary:  "List registered graphs",
+		Response: []GraphInfo{},
+		Status:   200,
+	},
+	{
+		Method: "GET", Pattern: "/v1/graphs/{name}",
+		Summary:  "Describe one registered graph",
+		Response: GraphInfo{},
+		Status:   200,
+	},
+	{
+		Method: "DELETE", Pattern: "/v1/graphs/{name}",
+		Summary: "Deregister a graph and evict its cached indexes",
+		Status:  204,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/events",
+		Summary:  "Add and/or remove event occurrences as one mutation",
+		Request:  RegisterEventsRequest{},
+		Response: RegisterEventsResponse{},
+		Status:   200,
+	},
+	{
+		Method: "DELETE", Pattern: "/v1/graphs/{name}/events/{event}",
+		Summary:  "Remove an event and all its occurrences",
+		Response: RegisterEventsResponse{},
+		Status:   200,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/edges",
+		Summary:  "Apply a live edge-mutation batch",
+		Request:  MutateEdgesRequest{},
+		Response: MutateEdgesResponse{},
+		Status:   200,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/snapshot",
+		Summary:  "Checkpoint the graph's current snapshot to the data directory",
+		Response: CheckpointInfo{},
+		Status:   200,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/correlate",
+		Summary:  "Run one TESC correlation significance test",
+		Request:  CorrelateRequest{},
+		Response: CorrelateResponse{},
+		Status:   200,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/screen",
+		Summary:  "Start an asynchronous screening sweep (exhaustive, top-k, or threshold)",
+		Request:  ScreenRequest{},
+		Response: ScreenAccepted{},
+		Status:   202,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/monitors",
+		Summary:  "Create a standing query (fixed pair or top-k watchlist)",
+		Request:  CreateMonitorRequest{},
+		Response: MonitorView{},
+		Status:   201,
+	},
+	{
+		Method: "GET", Pattern: "/v1/graphs/{name}/monitors",
+		Summary:  "List the graph's standing queries",
+		Response: []MonitorView{},
+		Status:   200,
+	},
+	{
+		Method: "GET", Pattern: "/v1/graphs/{name}/monitors/{id}",
+		Summary:  "Describe one standing query with its full history ring",
+		Response: MonitorDetail{},
+		Status:   200,
+	},
+	{
+		Method: "DELETE", Pattern: "/v1/graphs/{name}/monitors/{id}",
+		Summary: "Delete a standing query",
+		Status:  204,
+	},
+	{
+		Method: "POST", Pattern: "/v1/graphs/{name}/monitors/{id}/refresh",
+		Summary:  "Fold pending deltas into one synchronous re-screen (?force=1 re-screens regardless)",
+		Response: MonitorRefreshResponse{},
+		Status:   200,
+	},
+	{
+		Method: "GET", Pattern: "/v1/jobs/{id}",
+		Summary:  "Poll an asynchronous screening job",
+		Response: JobView{},
+		Status:   200,
+	},
+	{
+		Method: "DELETE", Pattern: "/v1/jobs/{id}",
+		Summary:  "Cancel a running screening job",
+		Response: JobView{},
+		Status:   202,
+	},
+	{
+		Method: "GET", Pattern: "/healthz",
+		Summary:  "Service health, counters, and the SLO section",
+		Response: Health{},
+		Status:   200,
+	},
+	{
+		Method: "GET", Pattern: "/v1/replica/status",
+		Summary:  "Replication primary status: graph epochs and retained log bounds",
+		Response: ReplicaStatus{},
+		Status:   200,
+	},
+	{
+		Method: "GET", Pattern: "/v1/replica/graphs/{name}/snapshot",
+		Summary: "Bootstrap image of one graph (snapshot bytes; barrier cursor in headers)",
+		Status:  200,
+		Binary:  true,
+	},
+	{
+		Method: "GET", Pattern: "/v1/replica/wal",
+		Summary: "Ship WAL frames from a cursor (raw frames; next cursor in headers)",
+		Status:  200,
+		Binary:  true,
+	},
+}

@@ -1,0 +1,397 @@
+// Package client is the typed Go client for the tescd HTTP API. Every
+// method speaks the shapes in tesc/api, decodes non-2xx responses into
+// *api.Error (so callers switch on error codes, not status strings),
+// and maps a context deadline onto the X-Tesc-Timeout-Ms header so the
+// server sheds work the caller has already given up on.
+//
+// The coordinator proxy (internal/cluster) and the benchmark CLI
+// (cmd/tescbench) are both built on this package.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"tesc/api"
+)
+
+// Client talks to one tescd endpoint — a single node or a coordinator;
+// the API is the same. The zero value is not usable; call New.
+type Client struct {
+	base   string
+	http   *http.Client
+	tenant string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (custom
+// transports, test doubles). The default client has no timeout — per
+// request deadlines come from the context.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithTenant stamps every request with the X-Tesc-Tenant header, the
+// admission chain's per-tenant quota key.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// New returns a client for the tescd at baseURL (e.g.
+// "http://127.0.0.1:9181"). A trailing slash is tolerated.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the endpoint this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// tenantHeader and timeoutHeader mirror the server's admission chain.
+const (
+	tenantHeader  = "X-Tesc-Tenant"
+	timeoutHeader = "X-Tesc-Timeout-Ms"
+)
+
+// do runs one JSON round trip: marshal in (when non-nil), attach the
+// context and its deadline as the timeout header, decode 2xx bodies
+// into out (when non-nil) and everything else into *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var rd io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s %s request: %w", method, path, err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.stamp(ctx, req.Header)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// stamp adds the tenant header and translates the context deadline into
+// the admission chain's timeout header, so the serving side stops work
+// the moment the caller's budget is gone instead of computing an answer
+// nobody is waiting for.
+func (c *Client) stamp(ctx context.Context, h http.Header) {
+	if c.tenant != "" {
+		h.Set(tenantHeader, c.tenant)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1 // already expired; let the server answer the typed 504
+		}
+		h.Set(timeoutHeader, strconv.FormatInt(ms, 10))
+	}
+}
+
+// decodeError turns a non-2xx response into *api.Error. A body that is
+// not the envelope (a proxy's bare 502, a panic page) still yields a
+// typed error, with the status mapped onto the closest code.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var e api.Error
+	if err := json.Unmarshal(raw, &e); err == nil && e.Code != "" {
+		e.Status = resp.StatusCode
+		return &e
+	}
+	reason := strings.TrimSpace(string(raw))
+	if reason == "" {
+		reason = resp.Status
+	}
+	code := api.CodeInternal
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		code = api.CodeNotFound
+	case http.StatusBadRequest:
+		code = api.CodeBadRequest
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+		code = api.CodeUnavailable
+	case http.StatusGatewayTimeout:
+		code = api.CodeTimeout
+	}
+	return &api.Error{Code: code, Reason: reason, Status: resp.StatusCode}
+}
+
+// graphPath builds a per-graph route, validating the name first — a
+// name the server would reject never leaves the process.
+func graphPath(name string, suffix string) (string, error) {
+	if err := api.ValidateGraphName(name); err != nil {
+		return "", &api.Error{Code: api.CodeInvalidName, Reason: err.Error(), Status: http.StatusBadRequest}
+	}
+	return "/v1/graphs/" + name + suffix, nil
+}
+
+// ---- graphs ---------------------------------------------------------
+
+// RegisterGraph registers a graph (inline edge list, server-side file,
+// or snapshot import).
+func (c *Client) RegisterGraph(ctx context.Context, req api.RegisterGraphRequest) (api.GraphInfo, error) {
+	var out api.GraphInfo
+	if err := api.ValidateGraphName(req.Name); err != nil {
+		return out, &api.Error{Code: api.CodeInvalidName, Reason: err.Error(), Status: http.StatusBadRequest}
+	}
+	err := c.do(ctx, http.MethodPost, "/v1/graphs", &req, &out)
+	return out, err
+}
+
+// ListGraphs lists the registered graphs.
+func (c *Client) ListGraphs(ctx context.Context) ([]api.GraphInfo, error) {
+	var out []api.GraphInfo
+	err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out)
+	return out, err
+}
+
+// GetGraph describes one graph.
+func (c *Client) GetGraph(ctx context.Context, name string) (api.GraphInfo, error) {
+	var out api.GraphInfo
+	p, err := graphPath(name, "")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodGet, p, nil, &out)
+	return out, err
+}
+
+// DeleteGraph deregisters a graph.
+func (c *Client) DeleteGraph(ctx context.Context, name string) error {
+	p, err := graphPath(name, "")
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodDelete, p, nil, nil)
+}
+
+// ---- events and edges -----------------------------------------------
+
+// RegisterEvents applies one event mutation (adds and/or removals).
+func (c *Client) RegisterEvents(ctx context.Context, graph string, req api.RegisterEventsRequest) (api.RegisterEventsResponse, error) {
+	var out api.RegisterEventsResponse
+	p, err := graphPath(graph, "/events")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, &req, &out)
+	return out, err
+}
+
+// DeleteEvent removes an event and all its occurrences.
+func (c *Client) DeleteEvent(ctx context.Context, graph, event string) (api.RegisterEventsResponse, error) {
+	var out api.RegisterEventsResponse
+	p, err := graphPath(graph, "/events/"+url.PathEscape(event))
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodDelete, p, nil, &out)
+	return out, err
+}
+
+// MutateEdges applies one edge-mutation batch.
+func (c *Client) MutateEdges(ctx context.Context, graph string, req api.MutateEdgesRequest) (api.MutateEdgesResponse, error) {
+	var out api.MutateEdgesResponse
+	p, err := graphPath(graph, "/edges")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, &req, &out)
+	return out, err
+}
+
+// Snapshot checkpoints the graph to the server's data directory.
+func (c *Client) Snapshot(ctx context.Context, graph string) (api.CheckpointInfo, error) {
+	var out api.CheckpointInfo
+	p, err := graphPath(graph, "/snapshot")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, nil, &out)
+	return out, err
+}
+
+// ---- queries --------------------------------------------------------
+
+// Correlate runs one TESC significance test.
+func (c *Client) Correlate(ctx context.Context, graph string, req api.CorrelateRequest) (api.CorrelateResponse, error) {
+	var out api.CorrelateResponse
+	p, err := graphPath(graph, "/correlate")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, &req, &out)
+	return out, err
+}
+
+// Screen starts an asynchronous screening sweep; poll the returned job.
+func (c *Client) Screen(ctx context.Context, graph string, req api.ScreenRequest) (api.ScreenAccepted, error) {
+	var out api.ScreenAccepted
+	p, err := graphPath(graph, "/screen")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, &req, &out)
+	return out, err
+}
+
+// GetJob polls a screening job.
+func (c *Client) GetJob(ctx context.Context, id string) (api.JobView, error) {
+	var out api.JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// CancelJob cancels a running screening job, returning its last view.
+func (c *Client) CancelJob(ctx context.Context, id string) (api.JobView, error) {
+	var out api.JobView
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitJob polls a job until it leaves JobRunning, the context expires,
+// or the poll itself fails.
+func (c *Client) WaitJob(ctx context.Context, id string, interval time.Duration) (api.JobView, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		v, err := c.GetJob(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		if v.Status != api.JobRunning {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// ---- monitors -------------------------------------------------------
+
+// CreateMonitor registers a standing query.
+func (c *Client) CreateMonitor(ctx context.Context, graph string, req api.CreateMonitorRequest) (api.MonitorView, error) {
+	var out api.MonitorView
+	p, err := graphPath(graph, "/monitors")
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, &req, &out)
+	return out, err
+}
+
+// ListMonitors lists a graph's standing queries.
+func (c *Client) ListMonitors(ctx context.Context, graph string) ([]api.MonitorView, error) {
+	var out []api.MonitorView
+	p, err := graphPath(graph, "/monitors")
+	if err != nil {
+		return nil, err
+	}
+	err = c.do(ctx, http.MethodGet, p, nil, &out)
+	return out, err
+}
+
+// GetMonitor fetches one standing query with its history ring.
+func (c *Client) GetMonitor(ctx context.Context, graph, id string) (api.MonitorDetail, error) {
+	var out api.MonitorDetail
+	p, err := graphPath(graph, "/monitors/"+url.PathEscape(id))
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodGet, p, nil, &out)
+	return out, err
+}
+
+// DeleteMonitor deletes a standing query.
+func (c *Client) DeleteMonitor(ctx context.Context, graph, id string) error {
+	p, err := graphPath(graph, "/monitors/"+url.PathEscape(id))
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodDelete, p, nil, nil)
+}
+
+// RefreshMonitor folds pending deltas into one synchronous re-screen;
+// force re-screens even when nothing is pending.
+func (c *Client) RefreshMonitor(ctx context.Context, graph, id string, force bool) (api.MonitorRefreshResponse, error) {
+	var out api.MonitorRefreshResponse
+	suffix := "/monitors/" + url.PathEscape(id) + "/refresh"
+	if force {
+		suffix += "?force=1"
+	}
+	p, err := graphPath(graph, suffix)
+	if err != nil {
+		return out, err
+	}
+	err = c.do(ctx, http.MethodPost, p, nil, &out)
+	return out, err
+}
+
+// ---- health and replication -----------------------------------------
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// ReplicaStatus fetches the replication primary's status.
+func (c *Client) ReplicaStatus(ctx context.Context) (api.ReplicaStatus, error) {
+	var out api.ReplicaStatus
+	err := c.do(ctx, http.MethodGet, "/v1/replica/status", nil, &out)
+	return out, err
+}
+
+// ---- raw passthrough ------------------------------------------------
+
+// Forward replays an incoming HTTP request against this client's
+// endpoint, byte-transparently: method, path+query, body and
+// entity headers travel unchanged, and the member's response (status,
+// headers, body) comes back verbatim. The cluster coordinator's proxy
+// is built on this — responses must stay bit-identical to what the
+// owning node produced, so no re-encoding is allowed.
+func (c *Client) Forward(ctx context.Context, method, pathAndQuery string, header http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+pathAndQuery, body)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade", "Proxy-Authorization", "Te", "Trailer":
+			continue // hop-by-hop; never forwarded
+		}
+		req.Header[k] = append([]string(nil), vs...)
+	}
+	c.stamp(ctx, req.Header)
+	return c.http.Do(req)
+}

@@ -1,0 +1,53 @@
+// Command tescapi renders the service's OpenAPI 3.0 document from the
+// canonical route table and wire types in package api. The document is
+// generated, never hand-edited: the api package is the single source
+// of truth for the HTTP contract, and docs/openapi.yaml is its
+// committed rendering.
+//
+// Usage:
+//
+//	tescapi                            # write the document to stdout
+//	tescapi -o docs/openapi.yaml       # regenerate the committed spec
+//	tescapi -check docs/openapi.yaml   # drift gate: exit non-zero if stale
+//
+// CI runs the -check form: a route or field changed without
+// regenerating the spec fails the build.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"tesc/api"
+)
+
+func main() {
+	out := flag.String("o", "", "write the generated document to this path instead of stdout")
+	check := flag.String("check", "", "compare the generated document against this file; exit 1 on drift")
+	flag.Parse()
+
+	doc := api.OpenAPI()
+	switch {
+	case *check != "":
+		committed, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tescapi: %v\n", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(committed, doc) {
+			fmt.Fprintf(os.Stderr, "tescapi: %s is stale — regenerate with: go run ./cmd/tescapi -o %s\n", *check, *check)
+			os.Exit(1)
+		}
+		fmt.Printf("tescapi: %s is up to date (%d bytes)\n", *check, len(doc))
+	case *out != "":
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tescapi: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tescapi: wrote %s (%d bytes)\n", *out, len(doc))
+	default:
+		os.Stdout.Write(doc)
+	}
+}

@@ -1,0 +1,448 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"tesc"
+	"tesc/api"
+	"tesc/client"
+	"tesc/internal/cluster"
+	"tesc/internal/replica"
+	"tesc/internal/server"
+)
+
+// soakClusterNode is one in-process tescd of the cluster soak.
+type soakClusterNode struct {
+	dir string
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func newSoakClusterNode(readOnly bool) (*soakClusterNode, error) {
+	dir, err := os.MkdirTemp("", "tescbench-soak-cluster-")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{
+		IndexCacheCapacity: 4,
+		DataDir:            dir,
+		CheckpointDelay:    time.Hour,
+		FsyncPolicy:        "off", // soak durability is the replica tier, not fsync latency
+		ReadOnly:           readOnly,
+	})
+	if _, err := srv.LoadData(); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return &soakClusterNode{dir: dir, srv: srv, ts: httptest.NewServer(srv.Handler())}, nil
+}
+
+func (n *soakClusterNode) close() {
+	n.ts.Close()
+	n.srv.Close()
+	os.RemoveAll(n.dir)
+}
+
+// soakClusterMember is an owner plus one replica following it.
+type soakClusterMember struct {
+	name  string
+	owner *soakClusterNode
+	rep   *soakClusterNode
+	fol   *replica.Follower
+}
+
+func newSoakClusterMember(name string) (*soakClusterMember, error) {
+	m := &soakClusterMember{name: name}
+	var err error
+	if m.owner, err = newSoakClusterNode(false); err != nil {
+		return nil, err
+	}
+	if m.rep, err = newSoakClusterNode(true); err != nil {
+		m.owner.close()
+		return nil, err
+	}
+	m.fol = replica.New(&replica.HTTPTransport{Base: m.owner.ts.URL}, m.rep.srv.FollowerState(), nil)
+	m.rep.srv.AttachFollower(m.fol)
+	return m, nil
+}
+
+func (m *soakClusterMember) converge(ctx context.Context) error {
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	return m.fol.CatchUp(cctx, time.Millisecond)
+}
+
+func (m *soakClusterMember) close() {
+	m.owner.close()
+	m.rep.close()
+}
+
+// clusterOracle mirrors every successful cluster mutation onto a
+// single node; reads through the coordinator must match its answers.
+type clusterOracle struct {
+	node *soakClusterNode
+	cl   *client.Client
+}
+
+// soakNormalize re-encodes a JSON body canonically with wall-clock
+// fields zeroed, mirroring the e2e test's equivalence relation.
+func soakNormalize(raw []byte) (string, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", fmt.Errorf("normalizing %q: %w", raw, err)
+	}
+	var scrub func(any)
+	scrub = func(x any) {
+		switch n := x.(type) {
+		case map[string]any:
+			for _, k := range []string{"created", "finished", "elapsed_ms"} {
+				if _, ok := n[k]; ok {
+					n[k] = nil
+				}
+			}
+			for _, vv := range n {
+				scrub(vv)
+			}
+		case []any:
+			for _, vv := range n {
+				scrub(vv)
+			}
+		}
+	}
+	scrub(v)
+	out, err := json.Marshal(v)
+	return string(out), err
+}
+
+func soakDoRaw(method, url string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// compareRead issues the same read against the coordinator and the
+// oracle and fails unless the bodies are byte-equivalent (modulo
+// wall-clock fields).
+func compareRead(coordURL, oracleURL, method, path string, body any) error {
+	cCode, cRaw, err := soakDoRaw(method, coordURL+path, body)
+	if err != nil {
+		return err
+	}
+	oCode, oRaw, err := soakDoRaw(method, oracleURL+path, body)
+	if err != nil {
+		return err
+	}
+	if cCode != oCode {
+		return fmt.Errorf("%s %s: coordinator %d vs oracle %d (%s vs %s)", method, path, cCode, oCode, cRaw, oRaw)
+	}
+	if bytes.Equal(cRaw, oRaw) {
+		return nil
+	}
+	c, err := soakNormalize(cRaw)
+	if err != nil {
+		return err
+	}
+	o, err := soakNormalize(oRaw)
+	if err != nil {
+		return err
+	}
+	if c != o {
+		return fmt.Errorf("%s %s diverged from the oracle:\n  cluster: %s\n  oracle:  %s", method, path, c, o)
+	}
+	return nil
+}
+
+// memberGraphCount reads the coordinator's healthz and returns how
+// many graphs are placed on the named member.
+func memberGraphCount(coordURL, member string) (int, error) {
+	_, raw, err := soakDoRaw("GET", coordURL+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	var h api.Health
+	if err := json.Unmarshal(raw, &h); err != nil || h.Cluster == nil {
+		return 0, fmt.Errorf("coordinator healthz: %v (%s)", err, raw)
+	}
+	for _, m := range h.Cluster.Members {
+		if m.Name == member {
+			return m.Graphs, nil
+		}
+	}
+	return 0, fmt.Errorf("coordinator healthz: no member %q", member)
+}
+
+// runSoakCluster drives a 3-member coordinator (each member an owner
+// plus a live replica) against a single-node oracle for a wall-clock
+// duration. Every cycle registers and mutates graphs through the
+// coordinator, mirrors the successful mutations onto the oracle, and
+// asserts reads through the coordinator are byte-equivalent to the
+// oracle's. Then it kills one member's owner: reads must keep
+// answering from the replica (still oracle-equivalent), mutations on
+// that member must shed the typed no_owner envelope, and a fresh node
+// must rejoin via the snapshot+WAL handoff (bootstrap from the
+// surviving replica, catch up, promote, atomic placement flip) and
+// take writes again. Built for the nightly -race job; see
+// docs/CLUSTER.md.
+func runSoakCluster(d time.Duration, seed uint64, w io.Writer) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	memberNames := []string{"n1", "n2", "n3"}
+
+	members := make(map[string]*soakClusterMember, len(memberNames))
+	for _, name := range memberNames {
+		m, err := newSoakClusterMember(name)
+		if err != nil {
+			return err
+		}
+		members[name] = m
+	}
+	defer func() {
+		for _, m := range members {
+			m.close()
+		}
+	}()
+
+	top := cluster.Topology{}
+	for _, name := range memberNames {
+		m := members[name]
+		top.Members = append(top.Members, cluster.Member{
+			Name: name, URL: m.owner.ts.URL, Replicas: []string{m.rep.ts.URL},
+		})
+	}
+	coord, err := cluster.NewCoordinator(cluster.Config{Topology: top, FailThreshold: 1})
+	if err != nil {
+		return err
+	}
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+	ccl := client.New(cts.URL)
+
+	oracleNode, err := newSoakClusterNode(false)
+	if err != nil {
+		return err
+	}
+	defer oracleNode.close()
+	oracle := clusterOracle{node: oracleNode, cl: client.New(oracleNode.ts.URL)}
+
+	ctx := context.Background()
+	deadline := time.Now().Add(d)
+	var cycles, graphs, mutations, compares, sheds, rebalances int
+	var names []string
+
+	for time.Now().Before(deadline) {
+		cycles++
+
+		// Populate: a few new graphs plus mutations on existing ones,
+		// through the coordinator and mirrored onto the oracle.
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("g%03d", len(names))
+			g := tesc.RandomCommunityGraph(2, 40+rng.IntN(40), 4, 0.5, rng.Uint64())
+			var sb strings.Builder
+			if err := g.WriteGraph(&sb); err != nil {
+				return err
+			}
+			req := api.RegisterGraphRequest{Name: name, EdgeList: sb.String()}
+			cg, err := ccl.RegisterGraph(ctx, req)
+			if err != nil {
+				return fmt.Errorf("cycle %d: cluster register %s: %w", cycles, name, err)
+			}
+			og, err := oracle.cl.RegisterGraph(ctx, req)
+			if err != nil {
+				return fmt.Errorf("cycle %d: oracle register %s: %w", cycles, name, err)
+			}
+			if cg.Nodes != og.Nodes || cg.Edges != og.Edges || cg.Epoch != og.Epoch {
+				return fmt.Errorf("cycle %d: register %s diverged: cluster %+v, oracle %+v", cycles, name, cg, og)
+			}
+			n := g.NumNodes()
+			evReq := api.RegisterEventsRequest{Events: map[string][]int{
+				"a": {0, 1, 2 + rng.IntN(n-3)},
+				"b": {n - 1, n - 2, rng.IntN(n)},
+			}}
+			if _, err := ccl.RegisterEvents(ctx, name, evReq); err != nil {
+				return fmt.Errorf("cycle %d: cluster events %s: %w", cycles, name, err)
+			}
+			if _, err := oracle.cl.RegisterEvents(ctx, name, evReq); err != nil {
+				return fmt.Errorf("cycle %d: oracle events %s: %w", cycles, name, err)
+			}
+			names = append(names, name)
+			graphs++
+		}
+		for i := 0; i < 8; i++ {
+			name := names[rng.IntN(len(names))]
+			a, b := rng.IntN(20), rng.IntN(20)
+			if a == b {
+				b = (b + 1) % 20
+			}
+			mreq := api.MutateEdgesRequest{Insert: [][2]int{{a, b}}}
+			cm, err := ccl.MutateEdges(ctx, name, mreq)
+			if err != nil {
+				return fmt.Errorf("cycle %d: cluster mutate %s: %w", cycles, name, err)
+			}
+			om, err := oracle.cl.MutateEdges(ctx, name, mreq)
+			if err != nil {
+				return fmt.Errorf("cycle %d: oracle mutate %s: %w", cycles, name, err)
+			}
+			if cm.Epoch != om.Epoch || cm.Edges != om.Edges {
+				return fmt.Errorf("cycle %d: mutate %s diverged: cluster %+v, oracle %+v", cycles, name, cm, om)
+			}
+			mutations++
+		}
+
+		readSweep := func(phase string) error {
+			for i := 0; i < 6; i++ {
+				name := names[rng.IntN(len(names))]
+				if err := compareRead(cts.URL, oracleNode.ts.URL, "GET", "/v1/graphs/"+name, nil); err != nil {
+					return fmt.Errorf("cycle %d (%s): %w", cycles, phase, err)
+				}
+				if err := compareRead(cts.URL, oracleNode.ts.URL, "POST", "/v1/graphs/"+name+"/correlate",
+					api.CorrelateRequest{A: "a", B: "b", H: 1, SampleSize: 40, Seed: rng.Uint64()}); err != nil {
+					return fmt.Errorf("cycle %d (%s): %w", cycles, phase, err)
+				}
+				compares += 2
+			}
+			return nil
+		}
+		if err := readSweep("healthy"); err != nil {
+			return err
+		}
+
+		// Converge the replica tier, then kill one owner.
+		for _, m := range members {
+			if err := m.converge(ctx); err != nil {
+				return fmt.Errorf("cycle %d: converge %s: %w", cycles, m.name, err)
+			}
+		}
+		victim := memberNames[rng.IntN(len(memberNames))]
+		members[victim].owner.ts.Close()
+		coord.ProbeNow(ctx)
+
+		// Reads keep answering from the replica, still oracle-equal.
+		if err := readSweep("owner down"); err != nil {
+			return err
+		}
+
+		// Mutations on the victim's graphs shed the typed no_owner
+		// envelope; mutations elsewhere keep working and are mirrored.
+		// Sweep every graph (capped) so a victim-owned one is surely hit.
+		cycleSheds := 0
+		probe := names
+		if len(probe) > 60 {
+			probe = probe[len(probe)-60:]
+		}
+		for _, name := range probe {
+			a, b := rng.IntN(20), rng.IntN(20)
+			if a == b {
+				b = (b + 1) % 20
+			}
+			mreq := api.MutateEdgesRequest{Insert: [][2]int{{a, b}}}
+			cm, err := ccl.MutateEdges(ctx, name, mreq)
+			var ae *api.Error
+			switch {
+			case err == nil:
+				om, oerr := oracle.cl.MutateEdges(ctx, name, mreq)
+				if oerr != nil {
+					return fmt.Errorf("cycle %d: oracle mirror %s: %w", cycles, name, oerr)
+				}
+				if cm.Epoch != om.Epoch {
+					return fmt.Errorf("cycle %d: mutate %s diverged under partial outage", cycles, name)
+				}
+				mutations++
+			case errors.As(err, &ae) && ae.Code == api.CodeNoOwner:
+				if !ae.Retryable() || ae.RetryAfterMS == 0 {
+					return fmt.Errorf("cycle %d: no_owner shed not retryable: %+v", cycles, ae)
+				}
+				cycleSheds++
+			default:
+				return fmt.Errorf("cycle %d: mutate %s under outage: %w", cycles, name, err)
+			}
+		}
+		victimGraphs, err := memberGraphCount(cts.URL, victim)
+		if err != nil {
+			return err
+		}
+		if cycleSheds == 0 && victimGraphs > 0 {
+			return fmt.Errorf("cycle %d: member %s owns %d graphs but no mutation shed no_owner", cycles, victim, victimGraphs)
+		}
+		sheds += cycleSheds
+
+		// Rejoin: a fresh node bootstraps from the surviving replica via
+		// the replication primitives, catches up, is promoted, and the
+		// coordinator flips the member to it; the replica tier is then
+		// rebuilt behind the new owner.
+		freshOwner, err := newSoakClusterNode(true)
+		if err != nil {
+			return err
+		}
+		fol := replica.New(server.ReplicaSource{S: members[victim].rep.srv}, freshOwner.srv.FollowerState(), nil)
+		freshOwner.srv.AttachFollower(fol)
+		cctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = fol.CatchUp(cctx, time.Millisecond)
+		cancel()
+		if err != nil {
+			freshOwner.close()
+			return fmt.Errorf("cycle %d: rejoin catch-up: %w", cycles, err)
+		}
+		freshOwner.srv.Promote()
+		if err := coord.ReplaceOwner(victim, freshOwner.ts.URL); err != nil {
+			freshOwner.close()
+			return err
+		}
+		freshRep, err := newSoakClusterNode(true)
+		if err != nil {
+			freshOwner.close()
+			return err
+		}
+		repFol := replica.New(&replica.HTTPTransport{Base: freshOwner.ts.URL}, freshRep.srv.FollowerState(), nil)
+		freshRep.srv.AttachFollower(repFol)
+		if err := coord.ReplaceReplicas(victim, freshRep.ts.URL); err != nil {
+			freshOwner.close()
+			freshRep.close()
+			return err
+		}
+		old := members[victim]
+		members[victim] = &soakClusterMember{name: victim, owner: freshOwner, rep: freshRep, fol: repFol}
+		old.close()
+		coord.ProbeNow(ctx)
+		rebalances++
+
+		// The member takes writes again, and the sweep still matches.
+		if err := readSweep("rejoined"); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "cluster soak: %v clean\n", d)
+	fmt.Fprintf(w, "  cycles            %d\n", cycles)
+	fmt.Fprintf(w, "  graphs placed     %d\n", graphs)
+	fmt.Fprintf(w, "  mutations applied %d\n", mutations)
+	fmt.Fprintf(w, "  oracle compares   %d (all byte-equivalent)\n", compares)
+	fmt.Fprintf(w, "  no_owner sheds    %d\n", sheds)
+	fmt.Fprintf(w, "  owner rebalances  %d\n", rebalances)
+	return nil
+}

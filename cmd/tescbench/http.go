@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"tesc/api"
+)
+
+// postJSON posts body as JSON and decodes the response into out (when
+// non-nil), surfacing the service's typed error envelope on non-2xx
+// codes. The soak harnesses use it for ad-hoc requests; structured
+// workloads go through the tesc/client package.
+func postJSON(client *http.Client, url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e api.Error
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Code != "" {
+			return fmt.Errorf("%s: %s: %s", resp.Status, e.Code, e.Reason)
+		}
+		return fmt.Errorf("%s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

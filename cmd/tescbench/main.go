@@ -67,6 +67,7 @@ func main() {
 		overloadRounds = flag.Int("overload-rounds", 24, "requests per flood client in -overload mode")
 		overloadNodes  = flag.Int("overload-nodes", 16000, "synthetic graph size in -overload mode")
 		soakOverload   = flag.Duration("soak-overload", 0, "run an overload soak for this duration: cycles of flood burst + acked mutations + graceful drain + reboot, verifying typed sheds and exact acked-epoch recovery each cycle (built for the nightly -race job)")
+		soakCluster    = flag.Duration("soak-cluster", 0, "run a cluster soak for this duration: a 3-member coordinator (owner + replica each) against a single-node oracle, with owner kills, replica-served reads, typed no_owner sheds, and snapshot+WAL rejoin each cycle; every read must be byte-equivalent to the oracle (built for the nightly -race job)")
 
 		serve      = flag.String("serve", "", "load-test a running tescd daemon at this base URL instead of running experiments")
 		serveReqs  = flag.Int("serve-requests", 200, "number of correlate queries in -serve mode")
@@ -159,6 +160,13 @@ func main() {
 	}
 	if *soakOverload > 0 {
 		if err := runSoakOverload(*soakOverload, *seed, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tescbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soakCluster > 0 {
+		if err := runSoakCluster(*soakCluster, *seed, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "tescbench:", err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
 	"tesc/internal/graphgen"
 	"tesc/internal/server"
 )
@@ -36,13 +37,8 @@ type overloadConfig struct {
 	Seed   uint64
 }
 
-// typedReply is the unified retryable error body every 429/503/504
-// carries (see docs/OVERLOAD.md).
-type typedReply struct {
-	Error        string `json:"error"`
-	Reason       string `json:"reason"`
-	RetryAfterMS int64  `json:"retry_after_ms"`
-}
+// Every 429/503/504 carries the unified api.Error envelope (see
+// docs/OVERLOAD.md); shed accounting keys on its machine code.
 
 // overloadResult is one classified response: terminal status, the shed
 // reason when typed, and the latency when accepted.
@@ -89,9 +85,9 @@ func overloadPost(client *http.Client, url, tenant string, body any) (overloadRe
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable ||
 		resp.StatusCode == http.StatusGatewayTimeout {
-		var tr typedReply
-		if json.Unmarshal(raw, &tr) == nil && tr.Reason != "" && tr.RetryAfterMS > 0 {
-			out.reason = tr.Reason
+		var tr api.Error
+		if json.Unmarshal(raw, &tr) == nil && tr.Code != "" && tr.RetryAfterMS > 0 {
+			out.reason = string(tr.Code)
 		}
 		out.retryOK = resp.Header.Get("Retry-After") != ""
 	}

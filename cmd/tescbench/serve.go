@@ -1,8 +1,7 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -13,6 +12,8 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
+	"tesc/client"
 	"tesc/internal/simulate"
 )
 
@@ -34,7 +35,7 @@ type serveConfig struct {
 	Seed        uint64
 }
 
-// runServe drives the daemon at cfg.BaseURL.
+// runServe drives the daemon at cfg.BaseURL through the typed client.
 func runServe(cfg serveConfig, w io.Writer) error {
 	if cfg.Requests < 1 {
 		return fmt.Errorf("-serve-requests must be >= 1, got %d", cfg.Requests)
@@ -42,8 +43,8 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	if cfg.Concurrency < 1 {
 		return fmt.Errorf("-serve-concurrency must be >= 1, got %d", cfg.Concurrency)
 	}
-	base := strings.TrimRight(cfg.BaseURL, "/")
-	client := &http.Client{Timeout: 5 * time.Minute}
+	ctx := context.Background()
+	cl := client.New(cfg.BaseURL, client.WithHTTPClient(&http.Client{Timeout: 5 * time.Minute}))
 
 	// 1. synthesize the workload: the DBLP coauthorship surrogate (the
 	// recall experiments' graph) with one planted attracting pair
@@ -69,34 +70,26 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	if err := g.WriteGraph(&edges); err != nil {
 		return err
 	}
-	if err := postJSON(client, base+"/v1/graphs",
-		map[string]any{"name": graphName, "edge_list": edges.String()}, nil); err != nil {
+	if _, err := cl.RegisterGraph(ctx, api.RegisterGraphRequest{Name: graphName, EdgeList: edges.String()}); err != nil {
 		return fmt.Errorf("registering graph: %w", err)
 	}
-	defer func() {
-		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/graphs/"+graphName, nil)
-		if resp, err := client.Do(req); err == nil {
-			resp.Body.Close()
-		}
-	}()
-	if err := postJSON(client, base+"/v1/graphs/"+graphName+"/events",
-		map[string]any{"events": map[string][]int{"bench-a": va, "bench-b": vb}}, nil); err != nil {
+	defer func() { _ = cl.DeleteGraph(ctx, graphName) }()
+	if _, err := cl.RegisterEvents(ctx, graphName, api.RegisterEventsRequest{
+		Events: map[string][]int{"bench-a": va, "bench-b": vb},
+	}); err != nil {
 		return fmt.Errorf("registering events: %w", err)
 	}
 
 	correlate := func(seed uint64) (elapsed time.Duration, verdict string, err error) {
-		body := map[string]any{
-			"a": "bench-a", "b": "bench-b",
-			"h":           cfg.H,
-			"sample_size": cfg.SampleSize,
-			"method":      cfg.Method,
-			"seed":        seed,
-		}
-		var res struct {
-			Verdict string `json:"verdict"`
-		}
 		start := time.Now()
-		if err := postJSON(client, base+"/v1/graphs/"+graphName+"/correlate", body, &res); err != nil {
+		res, err := cl.Correlate(ctx, graphName, api.CorrelateRequest{
+			A: "bench-a", B: "bench-b",
+			H:          cfg.H,
+			SampleSize: cfg.SampleSize,
+			Method:     cfg.Method,
+			Seed:       seed,
+		})
+		if err != nil {
 			return 0, "", err
 		}
 		return time.Since(start), res.Verdict, nil
@@ -160,7 +153,7 @@ func runServe(cfg serveConfig, w io.Writer) error {
 		return ok[idx]
 	}
 
-	fmt.Fprintf(w, "== tescd load generation (%s) ==\n", base)
+	fmt.Fprintf(w, "== tescd load generation (%s) ==\n", cl.BaseURL())
 	fmt.Fprintf(w, "graph: %d nodes, %d edges; events: %d + %d occurrences; h=%d n=%d method=%s\n",
 		g.NumNodes(), g.NumEdges(), len(va), len(vb), cfg.H, cfg.SampleSize, cfg.Method)
 	fmt.Fprintf(w, "warmup (incl. index build):   %12v\n", warmup.Round(time.Microsecond))
@@ -170,31 +163,4 @@ func runServe(cfg serveConfig, w io.Writer) error {
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	fmt.Fprintf(w, "planted-positive recall:      %12.1f%%\n", 100*float64(positives)/float64(len(ok)))
 	return nil
-}
-
-// postJSON posts body as JSON and decodes the response into out (when
-// non-nil), surfacing the service's error message on non-2xx codes.
-func postJSON(client *http.Client, url string, body, out any) error {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s", resp.Status)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

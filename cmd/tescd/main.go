@@ -29,6 +29,14 @@
 //	tescd -pprof 127.0.0.1:6060   # opt-in profiling, loopback only
 //	tescd -data /var/lib/replica -follow http://primary:8537   # read replica
 //
+// With -coordinator, tescd serves no graphs itself: it routes the same
+// API across a cluster of nodes, placing each graph on an owner member
+// by rendezvous hashing, proxying mutations to owners and fanning reads
+// across owners and their replicas (see docs/CLUSTER.md):
+//
+//	tescd -coordinator -peers n1=http://h1:8537+http://h1r:8538,n2=http://h2:8537
+//	tescd -coordinator -topology /etc/tescd/topology.json
+//
 // See docs/API.md for the endpoint reference, e.g.:
 //
 //	curl -X POST localhost:8537/v1/graphs \
@@ -74,6 +82,13 @@ func main() {
 		follow    = flag.String("follow", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8537): bootstrap from its snapshots, stream its WAL, serve reads; mutation endpoints return 403")
 		followIvl = flag.Duration("follow-poll", 500*time.Millisecond, "poll interval between replication sync rounds (with -follow)")
 
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator: serve the same API by routing to the members in -peers or -topology instead of computing locally")
+		peers       = flag.String("peers", "", "cluster members as name=ownerURL[+replicaURL...],... (with -coordinator)")
+		topoFile    = flag.String("topology", "", "path to a JSON topology file {\"members\":[{\"name\",\"url\",\"replicas\"}]} (with -coordinator; alternative to -peers)")
+		probeIvl    = flag.Duration("probe-interval", time.Second, "health-probe period per cluster endpoint (with -coordinator)")
+		failThresh  = flag.Int("fail-threshold", 3, "consecutive probe failures before an endpoint is ejected from routing (with -coordinator)")
+		maxLag      = flag.Uint64("max-lag-epochs", 8, "replicas reporting more replication lag than this are not read-eligible (with -coordinator)")
+
 		maxFG        = flag.Int("max-inflight-fg", 0, "max concurrently executing foreground requests (correlate, point reads, mutations); 0 = default (256), negative = unlimited")
 		maxBG        = flag.Int("max-inflight-bg", 0, "max concurrently executing background tasks (screen jobs, monitor work, checkpoints); 0 = default (GOMAXPROCS, min 4), negative = unlimited")
 		tenantQPS    = flag.Float64("tenant-qps", 0, "per-tenant token-bucket quota in requests/second (tenant from the X-Tesc-Tenant header or the graph-name prefix); 0 = unlimited")
@@ -92,6 +107,15 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "tescd: ", log.LstdFlags)
+	if *coordinator {
+		if err := runCoordinator(*addr, *peers, *topoFile, *probeIvl, *failThresh, *maxLag, *quiet, logger); err != nil {
+			logger.Fatal(err)
+		}
+		return
+	}
+	if *peers != "" || *topoFile != "" {
+		logger.Fatal("-peers/-topology require -coordinator")
+	}
 	if _, err := wal.ParsePolicy(*fsync); err != nil {
 		logger.Fatalf("-fsync: %v", err)
 	}

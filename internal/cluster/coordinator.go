@@ -1,0 +1,705 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tesc/api"
+	"tesc/client"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	Topology Topology
+	// ProbeInterval is the period between /healthz probe sweeps
+	// (default 1s).
+	ProbeInterval time.Duration
+	// FailThreshold is the consecutive probe failures after which an
+	// endpoint is ejected from routing (default 3).
+	FailThreshold int
+	// MaxLagEpochs bounds replica read eligibility: a replica reporting
+	// replica_lag_epochs beyond this is not read-eligible (default 8).
+	MaxLagEpochs uint64
+	// HTTPClient is shared by every member client; nil uses a default
+	// with a 30s probe-independent timeout left to request contexts.
+	HTTPClient *http.Client
+	// Log receives routing diagnostics; nil disables them.
+	Log *log.Logger
+}
+
+// endpoint is one probed URL: a member's owner or one of its replicas.
+type endpoint struct {
+	url  string
+	role string // "owner" | "replica"
+	cl   *client.Client
+
+	// Probe state, under Coordinator.mu.
+	healthy     bool
+	consecFails int
+	lagEpochs   uint64
+	probed      bool // at least one probe completed
+}
+
+// member is one owner group. endpoints[0] is the owner.
+type member struct {
+	name      string
+	endpoints []*endpoint
+}
+
+// Coordinator routes the single-node API across a topology. It is an
+// http.Handler; NewCoordinator wires the routes and Run starts the
+// health prober.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu      sync.RWMutex
+	members []*member
+	// graphs is the set of graphs created (and not dropped) through
+	// this coordinator — the healthz placement count.
+	graphs map[string]bool
+
+	proxied     atomic.Int64
+	proxyErrors atomic.Int64
+	rebalanced  atomic.Int64
+}
+
+// NewCoordinator builds a coordinator over the topology.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.MaxLagEpochs == 0 {
+		cfg.MaxLagEpochs = 8
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	c := &Coordinator{cfg: cfg, mux: http.NewServeMux(), graphs: make(map[string]bool)}
+	for _, m := range cfg.Topology.Members {
+		mm := &member{name: m.Name}
+		mm.endpoints = append(mm.endpoints, c.newEndpoint(m.URL, "owner"))
+		for _, r := range m.Replicas {
+			mm.endpoints = append(mm.endpoints, c.newEndpoint(r, "replica"))
+		}
+		c.members = append(c.members, mm)
+	}
+	c.routes()
+	return c, nil
+}
+
+func (c *Coordinator) newEndpoint(url, role string) *endpoint {
+	return &endpoint{
+		url: url, role: role,
+		cl: client.New(url, client.WithHTTPClient(c.cfg.HTTPClient)),
+		// Unprobed endpoints start routable — a coordinator that boots
+		// ahead of its first probe sweep must not shed every request.
+		healthy: true,
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Handler returns the coordinator's HTTP handler — the same surface a
+// single node serves.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Run starts the health prober and blocks until ctx is done. The first
+// sweep runs immediately.
+func (c *Coordinator) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		c.ProbeNow(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// routes registers the single-node API surface. Every pattern a node
+// serves resolves here too; the catch-all keeps even unknown paths in
+// the error envelope.
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("POST /v1/graphs", c.handleCreateGraph)
+	c.mux.HandleFunc("GET /v1/graphs", c.handleListGraphs)
+	c.mux.HandleFunc("/v1/graphs/{name}", c.handlePerGraph)
+	c.mux.HandleFunc("/v1/graphs/{name}/{rest...}", c.handlePerGraph)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJob)
+	c.mux.HandleFunc("GET /healthz", c.handleHealth)
+	c.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, api.CodeNotFound, "no route for %s %s", r.Method, r.URL.Path)
+	})
+}
+
+// ---- envelope helpers ----------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code api.ErrorCode, format string, args ...any) {
+	writeJSON(w, api.StatusOf(code), &api.Error{Code: code, Reason: fmt.Sprintf(format, args...)})
+}
+
+func writeRetryable(w http.ResponseWriter, retryAfter time.Duration, code api.ErrorCode, format string, args ...any) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	writeJSON(w, api.StatusOf(code), &api.Error{Code: code, Reason: fmt.Sprintf(format, args...), RetryAfterMS: ms})
+}
+
+// ---- placement ------------------------------------------------------
+
+// memberNames returns the member names in topology order (under mu).
+func (c *Coordinator) memberNames() []string {
+	names := make([]string, len(c.members))
+	for i, m := range c.members {
+		names[i] = m.name
+	}
+	return names
+}
+
+// ownerOf resolves a graph's member. Placement is the pure rendezvous
+// function of (member set, graph name): no placement log, no consensus
+// — any coordinator over the same topology routes identically.
+func (c *Coordinator) ownerOf(graph string) *member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	name := rendezvousOwner(c.memberNames(), graph)
+	for _, m := range c.members {
+		if m.name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) memberByName(name string) *member {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range c.members {
+		if m.name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ReplaceOwner atomically flips a member's owner endpoint to newURL —
+// the last step of the join/handoff protocol, after the node at newURL
+// has caught up (Follower.CatchUp) and been promoted. The endpoint
+// starts healthy; the next probe sweep confirms.
+func (c *Coordinator) ReplaceOwner(memberName, newURL string) error {
+	newURL = strings.TrimRight(newURL, "/")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m.name != memberName {
+			continue
+		}
+		m.endpoints[0] = c.newEndpoint(newURL, "owner")
+		c.rebalanced.Add(1)
+		c.logf("cluster: member %s owner -> %s", memberName, newURL)
+		return nil
+	}
+	return fmt.Errorf("cluster: no member %q", memberName)
+}
+
+// ReplaceReplicas atomically swaps a member's replica endpoints — the
+// companion to ReplaceOwner when a member's replica tier is rebuilt to
+// follow a new owner.
+func (c *Coordinator) ReplaceReplicas(memberName string, urls ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		if m.name != memberName {
+			continue
+		}
+		eps := m.endpoints[:1:1]
+		for _, u := range urls {
+			eps = append(eps, c.newEndpoint(strings.TrimRight(u, "/"), "replica"))
+		}
+		m.endpoints = eps
+		c.logf("cluster: member %s replicas -> %v", memberName, urls)
+		return nil
+	}
+	return fmt.Errorf("cluster: no member %q", memberName)
+}
+
+// readEndpoint picks the first routable endpoint for reads: the owner
+// when healthy, else the first healthy replica within the lag bound.
+func (c *Coordinator) readEndpoint(m *member) *endpoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, ep := range m.endpoints {
+		if !ep.healthy {
+			continue
+		}
+		if ep.role == "replica" && ep.lagEpochs > c.cfg.MaxLagEpochs {
+			continue
+		}
+		return ep
+	}
+	return nil
+}
+
+// writeEndpoint returns the owner endpoint when routable, nil
+// otherwise — mutations never go anywhere else.
+func (c *Coordinator) writeEndpoint(m *member) *endpoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ep := m.endpoints[0]; ep.healthy {
+		return ep
+	}
+	return nil
+}
+
+// ---- proxying -------------------------------------------------------
+
+// forward replays the incoming request against ep byte-transparently
+// and streams the member's response back verbatim. Reports whether the
+// member answered at all (any HTTP status counts; a transport error
+// does not).
+func (c *Coordinator) forward(w http.ResponseWriter, r *http.Request, ep *endpoint, body io.Reader) bool {
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	resp, err := ep.cl.Forward(r.Context(), r.Method, pathAndQuery, r.Header, body)
+	if err != nil {
+		c.proxyErrors.Add(1)
+		c.logf("cluster: proxy %s %s -> %s: %v", r.Method, r.URL.Path, ep.url, err)
+		return false
+	}
+	defer resp.Body.Close()
+	c.proxied.Add(1)
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// proxyRead forwards a read to the member's eligible endpoints in
+// order, failing over on transport errors only (a non-2xx answer is an
+// answer — it streams back verbatim).
+func (c *Coordinator) proxyRead(w http.ResponseWriter, r *http.Request, m *member, body []byte) {
+	c.mu.RLock()
+	eps := append([]*endpoint(nil), m.endpoints...)
+	maxLag := c.cfg.MaxLagEpochs
+	c.mu.RUnlock()
+	tried := 0
+	for _, ep := range eps {
+		c.mu.RLock()
+		ok := ep.healthy && (ep.role == "owner" || ep.lagEpochs <= maxLag)
+		c.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		tried++
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		if c.forward(w, r, ep, rd) {
+			return
+		}
+		// Transport failure: eject immediately so later requests skip it
+		// until a probe brings it back.
+		c.mu.Lock()
+		ep.consecFails++
+		if ep.consecFails >= c.cfg.FailThreshold {
+			ep.healthy = false
+		}
+		c.mu.Unlock()
+	}
+	writeRetryable(w, time.Second, api.CodeUnavailable,
+		"member %s has no routable endpoint for reads (%d tried)", m.name, tried)
+}
+
+// proxyWrite forwards a mutation to the member's owner, or answers the
+// typed no_owner shed when the owner is not routable.
+func (c *Coordinator) proxyWrite(w http.ResponseWriter, r *http.Request, m *member, body []byte) bool {
+	ep := c.writeEndpoint(m)
+	if ep == nil {
+		writeRetryable(w, time.Second, api.CodeNoOwner,
+			"member %s (owner of this graph) is not routable; mutations wait for owner recovery or handoff", m.name)
+		return false
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	if !c.forward(w, r, ep, rd) {
+		c.mu.Lock()
+		ep.consecFails++
+		if ep.consecFails >= c.cfg.FailThreshold {
+			ep.healthy = false
+		}
+		c.mu.Unlock()
+		writeRetryable(w, time.Second, api.CodeNoOwner,
+			"member %s owner did not answer", m.name)
+		return false
+	}
+	return true
+}
+
+// ---- handlers -------------------------------------------------------
+
+// maxBodyBytes bounds buffered request bodies. Mutation bodies must be
+// buffered (the name decides the route before the bytes are spent), so
+// the bound keeps a hostile request from holding the coordinator's
+// memory.
+const maxBodyBytes = 256 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, api.CodeBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, api.CodeBadRequest, "request body exceeds %d bytes", maxBodyBytes)
+		return nil, false
+	}
+	return body, true
+}
+
+// handleCreateGraph decodes just enough of the body to place the graph
+// (the name), then forwards the original bytes to the owner.
+func (c *Coordinator) handleCreateGraph(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req api.RegisterGraphRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, api.CodeBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := api.ValidateGraphName(req.Name); err != nil {
+		writeError(w, api.CodeInvalidName, "%v", err)
+		return
+	}
+	m := c.ownerOf(req.Name)
+	if m == nil {
+		writeError(w, api.CodeNoOwner, "no members to place graph %q on", req.Name)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w}
+	if c.proxyWrite(rec, r, m, body) && rec.status == http.StatusCreated {
+		c.mu.Lock()
+		c.graphs[req.Name] = true
+		c.mu.Unlock()
+	}
+}
+
+// handleListGraphs fans the list across members and merges, sorted by
+// name. Members with no routable endpoint are skipped — the list keeps
+// answering through partial outages.
+func (c *Coordinator) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	c.mu.RLock()
+	members := append([]*member(nil), c.members...)
+	c.mu.RUnlock()
+	out := make([]api.GraphInfo, 0, 16)
+	for _, m := range members {
+		ep := c.readEndpoint(m)
+		if ep == nil {
+			c.logf("cluster: list: member %s skipped (no routable endpoint)", m.name)
+			continue
+		}
+		infos, err := ep.cl.ListGraphs(r.Context())
+		if err != nil {
+			c.proxyErrors.Add(1)
+			c.logf("cluster: list via %s: %v", ep.url, err)
+			continue
+		}
+		c.proxied.Add(1)
+		out = append(out, infos...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePerGraph routes every /v1/graphs/{name}... request: reads fan
+// across the owner group, mutations go to the owner only.
+func (c *Coordinator) handlePerGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := api.ValidateGraphName(name); err != nil {
+		writeError(w, api.CodeInvalidName, "%v", err)
+		return
+	}
+	m := c.ownerOf(name)
+	if m == nil {
+		writeError(w, api.CodeNoOwner, "no members to route graph %q to", name)
+		return
+	}
+	rest := r.PathValue("rest")
+
+	// Reads: every GET, plus correlate (a POST by shape, a pure
+	// function of the snapshot by semantics).
+	isRead := r.Method == http.MethodGet || (r.Method == http.MethodPost && rest == "correlate")
+	if isRead {
+		var body []byte
+		if r.Body != nil {
+			var ok bool
+			if body, ok = readBody(w, r); !ok {
+				return
+			}
+		}
+		c.proxyRead(w, r, m, body)
+		return
+	}
+
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	switch {
+	case r.Method == http.MethodPost && rest == "screen":
+		// The 202 carries a job ID local to the owner; suffix it with
+		// the endpoint coordinates so job polls route back to the node
+		// that runs the sweep.
+		c.proxyScreen(w, r, m, body)
+	case r.Method == http.MethodDelete && rest == "":
+		rec := &statusRecorder{ResponseWriter: w}
+		if c.proxyWrite(rec, r, m, body) && rec.status == http.StatusNoContent {
+			c.mu.Lock()
+			delete(c.graphs, name)
+			c.mu.Unlock()
+		}
+	default:
+		c.proxyWrite(w, r, m, body)
+	}
+}
+
+// proxyScreen forwards a screen request to the owner and rewrites the
+// accepted job ID from "job-3" to "job-3@0.member": the suffix names
+// the endpoint the job lives on, so polls route back to it. IDs are
+// documented opaque; a single node returns bare IDs, a coordinator
+// suffixed ones.
+func (c *Coordinator) proxyScreen(w http.ResponseWriter, r *http.Request, m *member, body []byte) {
+	ep := c.writeEndpoint(m)
+	if ep == nil {
+		writeRetryable(w, time.Second, api.CodeNoOwner,
+			"member %s (owner of this graph) is not routable", m.name)
+		return
+	}
+	acc, err := ep.cl.Screen(r.Context(), r.PathValue("name"), decodeScreen(body))
+	if err != nil {
+		c.answerClientErr(w, err)
+		return
+	}
+	c.proxied.Add(1)
+	acc.JobID = fmt.Sprintf("%s@0.%s", acc.JobID, m.name)
+	writeJSON(w, http.StatusAccepted, acc)
+}
+
+func decodeScreen(body []byte) api.ScreenRequest {
+	var req api.ScreenRequest
+	_ = json.Unmarshal(body, &req) // malformed bodies fail on the node with its typed 400
+	return req
+}
+
+// answerClientErr relays a typed client error as the envelope it
+// already is, or wraps a transport failure as unavailable.
+func (c *Coordinator) answerClientErr(w http.ResponseWriter, err error) {
+	if e, ok := err.(*api.Error); ok {
+		c.proxied.Add(1)
+		writeJSON(w, api.StatusOf(e.Code), e)
+		return
+	}
+	c.proxyErrors.Add(1)
+	writeRetryable(w, time.Second, api.CodeUnavailable, "proxying: %v", err)
+}
+
+// handleJob routes GET/DELETE /v1/jobs/{id} by the ID's endpoint
+// suffix, restoring the suffix on the returned view.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	bare, epIdx, memberName, ok := splitJobID(id)
+	if !ok {
+		writeError(w, api.CodeNotFound, "job %q: cluster job IDs carry an @member suffix", id)
+		return
+	}
+	m := c.memberByName(memberName)
+	if m == nil {
+		writeError(w, api.CodeNotFound, "job %q: no member %q", id, memberName)
+		return
+	}
+	c.mu.RLock()
+	var ep *endpoint
+	if epIdx < len(m.endpoints) {
+		ep = m.endpoints[epIdx]
+	}
+	c.mu.RUnlock()
+	if ep == nil {
+		writeError(w, api.CodeNotFound, "job %q: no endpoint %d on member %q", id, epIdx, memberName)
+		return
+	}
+	var view api.JobView
+	var err error
+	if r.Method == http.MethodDelete {
+		view, err = ep.cl.CancelJob(r.Context(), bare)
+	} else {
+		view, err = ep.cl.GetJob(r.Context(), bare)
+	}
+	if err != nil {
+		c.answerClientErr(w, err)
+		return
+	}
+	c.proxied.Add(1)
+	view.ID = id
+	status := http.StatusOK
+	if r.Method == http.MethodDelete {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, view)
+}
+
+// splitJobID parses "job-3@0.member" into (job-3, 0, member).
+func splitJobID(id string) (bare string, epIdx int, memberName string, ok bool) {
+	at := strings.LastIndex(id, "@")
+	if at < 0 {
+		return "", 0, "", false
+	}
+	suffix := id[at+1:]
+	idxStr, name, found := strings.Cut(suffix, ".")
+	if !found || name == "" {
+		return "", 0, "", false
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 {
+		return "", 0, "", false
+	}
+	return id[:at], idx, name, true
+}
+
+// statusRecorder captures the proxied status so create/drop can track
+// the placement set without re-reading the response.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// ---- health ---------------------------------------------------------
+
+// ProbeNow runs one synchronous probe sweep over every endpoint. The
+// prober calls it on a ticker; tests call it directly for determinism.
+func (c *Coordinator) ProbeNow(ctx context.Context) {
+	c.mu.RLock()
+	var eps []*endpoint
+	for _, m := range c.members {
+		eps = append(eps, m.endpoints...)
+	}
+	c.mu.RUnlock()
+	for _, ep := range eps {
+		probeCtx, cancel := context.WithTimeout(ctx, c.cfg.ProbeInterval)
+		h, err := ep.cl.Health(probeCtx)
+		cancel()
+		c.mu.Lock()
+		ep.probed = true
+		if err != nil {
+			ep.consecFails++
+			if ep.consecFails >= c.cfg.FailThreshold {
+				if ep.healthy {
+					c.logf("cluster: endpoint %s ejected after %d probe failures", ep.url, ep.consecFails)
+				}
+				ep.healthy = false
+			}
+		} else {
+			if !ep.healthy {
+				c.logf("cluster: endpoint %s recovered", ep.url)
+			}
+			ep.healthy = true
+			ep.consecFails = 0
+			ep.lagEpochs = 0
+			if h.ReplicaHealth != nil {
+				ep.lagEpochs = h.ReplicaLagEpochs
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// clusterHealth builds the healthz cluster section (under mu).
+func (c *Coordinator) clusterHealth() *api.ClusterHealth {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := c.memberNames()
+	perMember := make(map[string]int)
+	for g := range c.graphs {
+		perMember[rendezvousOwner(names, g)]++
+	}
+	ch := &api.ClusterHealth{
+		Graphs:      len(c.graphs),
+		Proxied:     c.proxied.Load(),
+		ProxyErrors: c.proxyErrors.Load(),
+		Rebalanced:  c.rebalanced.Load(),
+	}
+	for _, m := range c.members {
+		mh := api.ClusterMemberHealth{Name: m.name, Graphs: perMember[m.name]}
+		for _, ep := range m.endpoints {
+			mh.Endpoints = append(mh.Endpoints, api.ClusterEndpointHealth{
+				URL:                 ep.url,
+				Role:                ep.role,
+				Healthy:             ep.healthy,
+				ConsecutiveFailures: ep.consecFails,
+				LagEpochs:           ep.lagEpochs,
+			})
+		}
+		ch.Members = append(ch.Members, mh)
+	}
+	return ch
+}
+
+// handleHealth answers the coordinator's own healthz: node counters
+// stay zero (the coordinator computes nothing), the Cluster section
+// carries membership, placement and proxy accounting.
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ch := c.clusterHealth()
+	h := api.Health{Status: "ok", Graphs: ch.Graphs, Cluster: ch}
+	writeJSON(w, http.StatusOK, h)
+}

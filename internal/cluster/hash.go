@@ -1,0 +1,53 @@
+package cluster
+
+import "hash/fnv"
+
+// Placement is rendezvous (highest-random-weight) hashing: every
+// (member, graph) pair gets a pseudo-random score and the graph lives
+// on the member with the highest. Two properties make it the right
+// choice for graph-granular sharding:
+//
+//   - Determinism without state: any coordinator with the same member
+//     list computes the same owner, so placement needs no consensus and
+//     survives coordinator restarts with no placement log.
+//   - Minimal movement: adding or removing one member only moves the
+//     graphs whose top score was (or becomes) that member — in
+//     expectation 1/n of them — never a full reshuffle.
+
+// score is the rendezvous weight of graph on member, an FNV-1a hash of
+// the pair with a separator so ("ab","c") and ("a","bc") differ. The
+// raw FNV value is passed through an avalanche finalizer: for short
+// strings FNV's per-byte multiply leaves the member prefix dominating
+// the comparison, which would rank members in the same order for every
+// graph and send all placements to one node.
+func score(member, graph string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(member))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(graph))
+	return mix(h.Sum64())
+}
+
+// mix is the 64-bit avalanche finalizer from MurmurHash3 (fmix64):
+// every input bit flips each output bit with ~1/2 probability.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// rendezvousOwner picks the owning member name for graph from members.
+// Empty members yields "".
+func rendezvousOwner(members []string, graph string) string {
+	var best string
+	var bestScore uint64
+	for _, m := range members {
+		if s := score(m, graph); best == "" || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	top, err := ParsePeers("n1=http://h1:8537+http://h1r:8538/,n2=http://h2:8537, n3=http://h3:8537 ")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if len(top.Members) != 3 {
+		t.Fatalf("members = %d, want 3", len(top.Members))
+	}
+	m := top.Members[0]
+	if m.Name != "n1" || m.URL != "http://h1:8537" || len(m.Replicas) != 1 || m.Replicas[0] != "http://h1r:8538" {
+		t.Fatalf("member 0 = %+v", m)
+	}
+	if top.Members[2].Name != "n3" || top.Members[2].URL != "http://h3:8537" {
+		t.Fatalf("member 2 = %+v", top.Members[2])
+	}
+
+	for _, bad := range []string{
+		"",                        // no members
+		"http://h1:8537",          // missing name=
+		"n1=",                     // empty URL
+		"n1=http://a,n1=http://b", // duplicate name
+		"bad.name=http://a",       // '.' collides with the job-ID suffix
+		"bad@name=http://a",       // '@' collides with the job-ID suffix
+		"bad name=http://a",       // spaces
+	} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q): want error", bad)
+		}
+	}
+}
+
+func TestLoadTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	body := `{"members":[{"name":"a","url":"http://a:1/","replicas":["http://ar:2/"]},{"name":"b","url":"http://b:1"}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	top, err := LoadTopology(path)
+	if err != nil {
+		t.Fatalf("LoadTopology: %v", err)
+	}
+	if top.Members[0].URL != "http://a:1" || top.Members[0].Replicas[0] != "http://ar:2" {
+		t.Fatalf("trailing slashes not trimmed: %+v", top.Members[0])
+	}
+	if _, err := LoadTopology(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}
+
+// Rendezvous placement must be deterministic, cover every member at
+// realistic graph counts, and move only the departed member's graphs
+// when the member set shrinks.
+func TestRendezvousPlacement(t *testing.T) {
+	members := []string{"n1", "n2", "n3"}
+	graphs := make([]string, 64)
+	for i := range graphs {
+		graphs[i] = fmt.Sprintf("graph-%02d", i)
+	}
+
+	owner := make(map[string]string, len(graphs))
+	per := make(map[string]int)
+	for _, g := range graphs {
+		o := rendezvousOwner(members, g)
+		if o2 := rendezvousOwner(members, g); o2 != o {
+			t.Fatalf("placement of %q not deterministic: %q vs %q", g, o, o2)
+		}
+		owner[g] = o
+		per[o]++
+	}
+	for _, m := range members {
+		if per[m] == 0 {
+			t.Fatalf("member %s owns no graphs: %v", m, per)
+		}
+	}
+
+	// Drop n2: graphs owned by n1 or n3 must not move.
+	shrunk := []string{"n1", "n3"}
+	moved := 0
+	for _, g := range graphs {
+		now := rendezvousOwner(shrunk, g)
+		switch owner[g] {
+		case "n2":
+			moved++
+		default:
+			if now != owner[g] {
+				t.Fatalf("graph %q moved %s -> %s though its owner survived", g, owner[g], now)
+			}
+		}
+	}
+	if moved != per["n2"] {
+		t.Fatalf("moved %d graphs, want exactly n2's %d", moved, per["n2"])
+	}
+
+	if rendezvousOwner(nil, "g") != "" {
+		t.Fatal("empty member set must yield no owner")
+	}
+}
+
+func TestSplitJobID(t *testing.T) {
+	cases := []struct {
+		id     string
+		bare   string
+		epIdx  int
+		member string
+		ok     bool
+	}{
+		{"job-3@0.n1", "job-3", 0, "n1", true},
+		{"job-12@2.node-b", "job-12", 2, "node-b", true},
+		{"job-3", "", 0, "", false},      // no suffix
+		{"job-3@n1", "", 0, "", false},   // no endpoint index
+		{"job-3@x.n1", "", 0, "", false}, // non-numeric index
+		{"job-3@0.", "", 0, "", false},   // empty member
+		{"job-3@-1.n1", "", 0, "", false},
+	}
+	for _, c := range cases {
+		bare, idx, member, ok := splitJobID(c.id)
+		if ok != c.ok || bare != c.bare || idx != c.epIdx || member != c.member {
+			t.Errorf("splitJobID(%q) = (%q,%d,%q,%v), want (%q,%d,%q,%v)",
+				c.id, bare, idx, member, ok, c.bare, c.epIdx, c.member, c.ok)
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tesc/api"
 )
 
 // This file is tescd's overload-protection front door. Every /v1 route
@@ -112,31 +114,12 @@ func (c *AdmissionConfig) Normalize() error {
 
 // ---- typed backpressure ---------------------------------------------
 
-// Backpressure reasons, the machine-readable half of every 429/503/504
-// body the admission chain (and the stale-epoch freshness gate) emits.
-const (
-	reasonTenantQuota = "tenant_quota" // 429: per-tenant token bucket empty
-	reasonOverloadFG  = "overloaded_fg"
-	reasonOverloadBG  = "overloaded_bg"
-	reasonDraining    = "draining"
-	reasonStaleEpoch  = "stale_epoch"
-	reasonTimeout     = "timeout"
-)
-
-// retryableResponse is the unified JSON body of every backpressure
-// response: a human-readable error, a machine-readable reason, and the
-// suggested retry delay mirrored from the Retry-After header (in
-// milliseconds, since the header only has 1-second resolution).
-type retryableResponse struct {
-	Error        string `json:"error"`
-	Reason       string `json:"reason"`
-	RetryAfterMS int64  `json:"retry_after_ms"`
-}
-
-// writeRetryable emits the unified backpressure body. Every 429/503/504
-// tescd produces goes through here, so clients parse one shape and
-// always find a Retry-After header.
-func writeRetryable(w http.ResponseWriter, code int, retryAfter time.Duration, reason, format string, args ...any) {
+// writeRetryable emits the unified error envelope for a transient
+// failure: the code's canonical status, a Retry-After header, and the
+// same delay mirrored in retry_after_ms (the header only has 1-second
+// resolution). Every 429/503/504 tescd produces goes through here, so
+// clients parse one shape — api.Error — and always find a retry hint.
+func writeRetryable(w http.ResponseWriter, retryAfter time.Duration, code api.ErrorCode, format string, args ...any) {
 	if retryAfter <= 0 {
 		retryAfter = time.Second
 	}
@@ -152,9 +135,9 @@ func writeRetryable(w http.ResponseWriter, code int, retryAfter time.Duration, r
 		// opposite of the throttle's intent.
 		ms = 1
 	}
-	writeJSON(w, code, retryableResponse{
-		Error:        fmt.Sprintf(format, args...),
-		Reason:       reason,
+	writeJSON(w, api.StatusOf(code), &api.Error{
+		Code:         code,
+		Reason:       fmt.Sprintf(format, args...),
 		RetryAfterMS: ms,
 	})
 }
@@ -362,12 +345,12 @@ func (h *latencyHist) quantile(q float64) float64 {
 }
 
 // view shapes the histogram for healthz.
-func (h *latencyHist) view() map[string]any {
-	return map[string]any{
-		"count":  h.total(),
-		"p50_ms": h.quantile(0.50),
-		"p95_ms": h.quantile(0.95),
-		"p99_ms": h.quantile(0.99),
+func (h *latencyHist) view() api.LatencySummary {
+	return api.LatencySummary{
+		Count: h.total(),
+		P50MS: h.quantile(0.50),
+		P95MS: h.quantile(0.95),
+		P99MS: h.quantile(0.99),
 	}
 }
 
@@ -474,14 +457,14 @@ func (s *Server) admit(class reqClass, h http.HandlerFunc) http.HandlerFunc {
 	a := s.adm
 	return func(w http.ResponseWriter, r *http.Request) {
 		if a.draining.Load() {
-			writeRetryable(w, http.StatusServiceUnavailable, time.Second, reasonDraining,
+			writeRetryable(w, time.Second, api.CodeDraining,
 				"server is draining; retry against another replica")
 			return
 		}
 		tenant := tenantOf(r)
 		if ok, wait := a.tenants.allow(tenant); !ok {
 			a.quota429.Add(1)
-			writeRetryable(w, http.StatusTooManyRequests, wait, reasonTenantQuota,
+			writeRetryable(w, wait, api.CodeTenantQuota,
 				"tenant %q is over its request quota", tenant)
 			return
 		}
@@ -490,7 +473,7 @@ func (s *Server) admit(class reqClass, h http.HandlerFunc) http.HandlerFunc {
 		case classForeground:
 			if !a.fg.tryAcquire() {
 				a.shedFG.Add(1)
-				writeRetryable(w, http.StatusServiceUnavailable, time.Second, reasonOverloadFG,
+				writeRetryable(w, time.Second, api.CodeOverloadedFG,
 					"foreground capacity exhausted (%d in flight)", a.fg.inflight())
 				return
 			}
@@ -499,7 +482,7 @@ func (s *Server) admit(class reqClass, h http.HandlerFunc) http.HandlerFunc {
 			hist = &a.histBG
 			if !a.bg.tryAcquire() {
 				a.shedBG.Add(1)
-				writeRetryable(w, http.StatusServiceUnavailable, 2*time.Second, reasonOverloadBG,
+				writeRetryable(w, 2*time.Second, api.CodeOverloadedBG,
 					"background capacity exhausted (%d in flight)", a.bg.inflight())
 				return
 			}
@@ -546,17 +529,17 @@ func (a *admission) acquireBackground(timeout time.Duration) func() {
 }
 
 // sloView shapes the admission state for healthz.
-func (a *admission) sloView() map[string]any {
-	return map[string]any{
-		"fg":            a.histFG.view(),
-		"bg":            a.histBG.view(),
-		"inflight_fg":   a.fg.inflight(),
-		"inflight_bg":   a.bg.inflight(),
-		"shed_fg":       a.shedFG.Load(),
-		"shed_bg":       a.shedBG.Load(),
-		"quota_429":     a.quota429.Load(),
-		"timeouts":      a.timeouts.Load(),
-		"coalesce_hits": a.coalesceHits.Load(),
-		"draining":      a.draining.Load(),
+func (a *admission) sloView() api.SLOView {
+	return api.SLOView{
+		FG:           a.histFG.view(),
+		BG:           a.histBG.view(),
+		InflightFG:   a.fg.inflight(),
+		InflightBG:   a.bg.inflight(),
+		ShedFG:       a.shedFG.Load(),
+		ShedBG:       a.shedBG.Load(),
+		Quota429:     a.quota429.Load(),
+		Timeouts:     a.timeouts.Load(),
+		CoalesceHits: a.coalesceHits.Load(),
+		Draining:     a.draining.Load(),
 	}
 }

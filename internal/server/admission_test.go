@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tesc/api"
 )
 
 // fakeClock is a manually advanced clock for driving token-bucket
@@ -310,19 +312,22 @@ func TestClientTimeout(t *testing.T) {
 }
 
 // decodeRetryable asserts a response carries the unified backpressure
-// shape: a Retry-After header and the {error, reason, retry_after_ms}
-// body.
-func decodeRetryable(t *testing.T, rr *httptest.ResponseRecorder) retryableResponse {
+// shape: a Retry-After header and the {code, reason, retry_after_ms}
+// envelope.
+func decodeRetryable(t *testing.T, rr *httptest.ResponseRecorder) api.Error {
 	t.Helper()
 	if rr.Header().Get("Retry-After") == "" {
 		t.Fatalf("status %d response is missing the Retry-After header (body: %s)", rr.Code, rr.Body.String())
 	}
-	var body retryableResponse
+	var body api.Error
 	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
 		t.Fatalf("backpressure body %q is not the unified shape: %v", rr.Body.String(), err)
 	}
-	if body.Error == "" || body.Reason == "" || body.RetryAfterMS < 1000 {
+	if body.Code == "" || body.Reason == "" || body.RetryAfterMS < 1000 {
 		t.Fatalf("backpressure body incomplete: %+v", body)
+	}
+	if !body.Retryable() {
+		t.Fatalf("backpressure code %q is not in the retryable set", body.Code)
 	}
 	return body
 }
@@ -359,8 +364,8 @@ func TestAdmitChain(t *testing.T) {
 	if rr.Code != http.StatusTooManyRequests {
 		t.Fatalf("over-quota request = %d, want 429", rr.Code)
 	}
-	if body := decodeRetryable(t, rr); body.Reason != reasonTenantQuota {
-		t.Fatalf("reason = %q, want %q", body.Reason, reasonTenantQuota)
+	if body := decodeRetryable(t, rr); body.Code != api.CodeTenantQuota {
+		t.Fatalf("code = %q, want %q", body.Code, api.CodeTenantQuota)
 	}
 	if got := srv.adm.quota429.Load(); got != 1 {
 		t.Fatalf("quota_429 counter = %d, want 1", got)
@@ -374,8 +379,8 @@ func TestAdmitChain(t *testing.T) {
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("overloaded request = %d, want 503", rr.Code)
 	}
-	if body := decodeRetryable(t, rr); body.Reason != reasonOverloadFG {
-		t.Fatalf("reason = %q, want %q", body.Reason, reasonOverloadFG)
+	if body := decodeRetryable(t, rr); body.Code != api.CodeOverloadedFG {
+		t.Fatalf("code = %q, want %q", body.Code, api.CodeOverloadedFG)
 	}
 	if got := srv.adm.shedFG.Load(); got != 1 {
 		t.Fatalf("shed_fg counter = %d, want 1", got)
@@ -388,8 +393,8 @@ func TestAdmitChain(t *testing.T) {
 	if rr.Code != http.StatusServiceUnavailable {
 		t.Fatalf("draining request = %d, want 503", rr.Code)
 	}
-	if body := decodeRetryable(t, rr); body.Reason != reasonDraining {
-		t.Fatalf("reason = %q, want %q", body.Reason, reasonDraining)
+	if body := decodeRetryable(t, rr); body.Code != api.CodeDraining {
+		t.Fatalf("code = %q, want %q", body.Code, api.CodeDraining)
 	}
 	if handled != 1 {
 		t.Fatalf("handler ran %d times, want only the admitted request", handled)
@@ -542,8 +547,8 @@ func FuzzAdmissionConfig(f *testing.F) {
 				if rr.Header().Get("Retry-After") == "" {
 					t.Fatalf("%d response without Retry-After", rr.Code)
 				}
-				var body retryableResponse
-				if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil || body.Reason == "" {
+				var body api.Error
+				if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil || body.Reason == "" || body.Code == "" {
 					t.Fatalf("%d body %q is not the unified backpressure shape (%v)", rr.Code, rr.Body.String(), err)
 				}
 			default:

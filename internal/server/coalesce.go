@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strconv"
 	"sync"
+
+	"tesc/api"
 )
 
 // Request coalescing for the correlate path. Correlate is a pure
@@ -16,12 +18,13 @@ import (
 // each distinct query once per epoch.
 
 // flightCall is one in-flight correlate computation. done closes when
-// the leader has filled the outcome fields.
+// the leader has filled the outcome fields: resp on success (errCode
+// empty), the error envelope's code and reason otherwise.
 type flightCall struct {
-	done   chan struct{}
-	resp   correlateResponse
-	code   int
-	errMsg string
+	done    chan struct{}
+	resp    correlateResponse
+	errCode api.ErrorCode
+	errMsg  string
 	// ctxFail marks an outcome caused by the leader's own request
 	// context (its client hung up or its deadline fired). Followers
 	// must not adopt it — their clients are still waiting — so they

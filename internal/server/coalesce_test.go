@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tesc/api"
 )
 
 func TestFlightGroupLeaderFollower(t *testing.T) {
@@ -29,7 +31,6 @@ func TestFlightGroupLeaderFollower(t *testing.T) {
 		t.Fatal("a different key should start its own flight")
 	}
 
-	c.code = http.StatusOK
 	c.resp = correlateResponse{Tau: 0.5}
 	g.complete("k", c)
 	select {
@@ -121,7 +122,6 @@ func TestCorrelateCoalesceBitIdentical(t *testing.T) {
 	}
 
 	// Publish a sentinel outcome no real computation would produce.
-	c.code = http.StatusOK
 	c.resp = correlateResponse{Tau: 0.123456, Z: 9.75, P: 0.000011, Verdict: "positive",
 		Significant: true, N: 41, Sampler: "sentinel", Population: 1234,
 		SamplerBFS: 5, DensityBFS: 6, ElapsedMS: 99.5, Epoch: info.Epoch}
@@ -173,7 +173,7 @@ func TestCoalesceLeaderCtxFailRetries(t *testing.T) {
 	}
 
 	// The fake leader's client "hung up": publish a ctxFail outcome.
-	c.code, c.errMsg, c.ctxFail = 499, "client closed request", true
+	c.errCode, c.errMsg, c.ctxFail = api.CodeClientClosed, "client closed request", true
 	env.srv.flights.complete(key, c)
 
 	// The follower must NOT adopt the 499 — its own client is still
@@ -213,8 +213,8 @@ func TestCorrelateDeadContext(t *testing.T) {
 	if rr.Code != http.StatusGatewayTimeout {
 		t.Fatalf("expired-deadline correlate = %d, want 504 (body: %s)", rr.Code, rr.Body.String())
 	}
-	if got := decodeRetryable(t, rr); got.Reason != reasonTimeout {
-		t.Fatalf("reason = %q, want %q", got.Reason, reasonTimeout)
+	if got := decodeRetryable(t, rr); got.Code != api.CodeTimeout {
+		t.Fatalf("code = %q, want %q", got.Code, api.CodeTimeout)
 	}
 	if env.srv.adm.timeouts.Load() == 0 {
 		t.Fatal("timeout counter not incremented")

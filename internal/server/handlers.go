@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
 	"tesc/internal/graphio"
 	"tesc/internal/screen"
 	"tesc/internal/wal"
@@ -17,147 +18,23 @@ import (
 
 // ---- wire types -----------------------------------------------------
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-type registerGraphRequest struct {
-	// Name is the registry key for all later queries.
-	Name string `json:"name"`
-	// EdgeList is an inline whitespace edge list ("u v" per line,
-	// optional "# nodes N" header) — the tesc.ReadGraph format.
-	EdgeList string `json:"edge_list,omitempty"`
-	// Path loads the edge list from a server-side file instead
-	// (gzip-transparent).
-	Path string `json:"path,omitempty"`
-	// Snapshot imports a server-side .tescsnap file at admission time:
-	// graph, event store, epoch stamps and any persisted vicinity
-	// indexes land in one request, with zero index builds. Exactly one
-	// of EdgeList, Path and Snapshot must be set.
-	Snapshot string `json:"snapshot,omitempty"`
-}
-
-type graphInfo struct {
-	Name    string    `json:"name"`
-	Nodes   int       `json:"nodes"`
-	Edges   int64     `json:"edges"`
-	Events  int       `json:"events"`
-	Epoch   uint64    `json:"epoch"`
-	Created time.Time `json:"created"`
-}
-
-type registerEventsRequest struct {
-	// Events maps event names to occurrence node IDs to add.
-	Events map[string][]int `json:"events,omitempty"`
-	// Remove maps event names to occurrence node IDs to delete; an
-	// empty list removes the whole event. Additions and removals in one
-	// request form a single mutation (one epoch).
-	Remove map[string][]int `json:"remove,omitempty"`
-}
-
-type registerEventsResponse struct {
-	Graph  string `json:"graph"`
-	Events int    `json:"events"` // distinct events now registered
-	Epoch  uint64 `json:"epoch"`
-}
-
-type mutateEdgesRequest struct {
-	// Insert and Delete list edge mutations as [u, v] pairs, applied in
-	// order: insertions first, then deletions. No-ops (inserting a
-	// present edge, deleting an absent one) are skipped and reported.
-	Insert [][2]int `json:"insert,omitempty"`
-	Delete [][2]int `json:"delete,omitempty"`
-}
-
-type mutateEdgesResponse struct {
-	Graph    string `json:"graph"`
-	Epoch    uint64 `json:"epoch"`
-	Nodes    int    `json:"nodes"`
-	Edges    int64  `json:"edges"`
-	Inserted int    `json:"inserted"`
-	Deleted  int    `json:"deleted"`
-	Skipped  int    `json:"skipped"` // requested changes that were no-ops
-	// IndexesRefreshed counts the cached vicinity indexes migrated to
-	// the new graph by incremental repair (not rebuilt);
-	// NodesRecomputed the index entries repaired across them — the
-	// observable locality of the update.
-	IndexesRefreshed int `json:"indexes_refreshed"`
-	NodesRecomputed  int `json:"nodes_recomputed"`
-}
-
-type correlateRequest struct {
-	// A and B name registered events; alternatively NodesA/NodesB give
-	// explicit occurrence lists for ad-hoc queries.
-	A      string `json:"a,omitempty"`
-	B      string `json:"b,omitempty"`
-	NodesA []int  `json:"nodes_a,omitempty"`
-	NodesB []int  `json:"nodes_b,omitempty"`
-
-	// MinEpoch demands read-your-writes freshness: a server (typically
-	// a lagging replica) whose graph has not reached this epoch answers
-	// 503 with a Retry-After instead of silently serving stale state.
-	MinEpoch uint64 `json:"min_epoch,omitempty"`
-
-	// The remaining fields mirror tesc.Options.
-	H               int     `json:"h"`
-	SampleSize      int     `json:"sample_size,omitempty"`
-	Method          string  `json:"method,omitempty"`
-	ImportanceBatch int     `json:"importance_batch,omitempty"`
-	Tail            string  `json:"tail,omitempty"`
-	Alpha           float64 `json:"alpha,omitempty"`
-	Seed            uint64  `json:"seed,omitempty"`
-	UseSpearman     bool    `json:"use_spearman,omitempty"`
-}
-
-type correlateResponse struct {
-	Tau         float64 `json:"tau"`
-	Z           float64 `json:"z"`
-	P           float64 `json:"p"`
-	Significant bool    `json:"significant"`
-	Verdict     string  `json:"verdict"`
-	N           int     `json:"n"`
-	Sampler     string  `json:"sampler"`
-	Population  int     `json:"population"`
-	SamplerBFS  int64   `json:"sampler_bfs"`
-	DensityBFS  int64   `json:"density_bfs"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
-	// Epoch identifies the snapshot the whole query ran against: the
-	// graph, the event occurrences and the vicinity index all belong to
-	// this one version even if mutations landed mid-query.
-	Epoch uint64 `json:"epoch"`
-}
-
-type screenRequest struct {
-	// MinEpoch demands read-your-writes freshness, as on correlate.
-	MinEpoch uint64 `json:"min_epoch,omitempty"`
-
-	// The fields mirror tesc.ScreenOptions.
-	H              int     `json:"h"`
-	SampleSize     int     `json:"sample_size,omitempty"`
-	Alpha          float64 `json:"alpha,omitempty"`
-	Tail           string  `json:"tail,omitempty"`
-	MinOccurrences int     `json:"min_occurrences,omitempty"`
-	Bonferroni     bool    `json:"bonferroni,omitempty"`
-	Workers        int     `json:"workers,omitempty"`
-	Seed           uint64  `json:"seed,omitempty"`
-
-	// TopK > 0 runs the planned top-k screen instead of the exhaustive
-	// sweep: the K best pairs ranked by score under the tested tail,
-	// provably the ranking the exhaustive sweep would return. Theta runs
-	// the planned threshold screen: every pair scoring >= theta (a
-	// pointer so theta = 0 is expressible). The modes are mutually
-	// exclusive, and both are incompatible with bonferroni — a planned
-	// screen never observes the whole p-value family, so its results
-	// carry raw p-values. While a planned job runs, its job view exposes
-	// the current ranked result set under "partial".
-	TopK       int      `json:"top_k,omitempty"`
-	Theta      *float64 `json:"theta,omitempty"`
-	BoundAlpha float64  `json:"bound_alpha,omitempty"`
-}
-
-type screenResponse struct {
-	JobID string `json:"job_id"`
-}
+// Every request/response shape lives in the public api package — the
+// single source of truth the OpenAPI spec and the typed client are
+// generated from. The aliases keep handler code short; they ARE the
+// api types, so nothing here can drift from the published contract.
+type (
+	errorResponse          = api.Error
+	registerGraphRequest   = api.RegisterGraphRequest
+	graphInfo              = api.GraphInfo
+	registerEventsRequest  = api.RegisterEventsRequest
+	registerEventsResponse = api.RegisterEventsResponse
+	mutateEdgesRequest     = api.MutateEdgesRequest
+	mutateEdgesResponse    = api.MutateEdgesResponse
+	correlateRequest       = api.CorrelateRequest
+	correlateResponse      = api.CorrelateResponse
+	screenRequest          = api.ScreenRequest
+	screenResponse         = api.ScreenAccepted
+)
 
 // maxInlineNodes caps the node universe of graphs registered through an
 // inline edge_list body (16M nodes ≈ 128MB of offsets). Larger graphs
@@ -172,27 +49,48 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// writeError emits the unified error envelope (api.Error) under the
+// code's canonical HTTP status. Every non-2xx response a handler
+// produces goes through here or writeRetryable — there is exactly one
+// error body shape on the wire.
+func writeError(w http.ResponseWriter, code api.ErrorCode, format string, args ...any) {
+	writeJSON(w, api.StatusOf(code), &api.Error{Code: code, Reason: fmt.Sprintf(format, args...)})
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, api.CodeBadRequest, "invalid request body: %v", err)
 		return false
 	}
 	return true
 }
 
-// entry resolves the {name} path value to a registered graph, writing a
-// 404 on failure.
-func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*GraphEntry, bool) {
+// graphName extracts and validates the {name} path value. Names that do
+// not round-trip URL escaping are rejected at the router with a typed
+// 400: such a name can never have been registered (creation enforces
+// the same rule), and in a cluster it is the routing key a coordinator
+// proxies on, so it must be byte-transparent through any proxy hop.
+func graphName(w http.ResponseWriter, r *http.Request) (string, bool) {
 	name := r.PathValue("name")
+	if err := api.ValidateGraphName(name); err != nil {
+		writeError(w, api.CodeInvalidName, "%v", err)
+		return "", false
+	}
+	return name, true
+}
+
+// entry resolves the {name} path value to a registered graph, writing a
+// typed 400 for unroutable names and a 404 for unknown ones.
+func (s *Server) entry(w http.ResponseWriter, r *http.Request) (*GraphEntry, bool) {
+	name, ok := graphName(w, r)
+	if !ok {
+		return nil, false
+	}
 	e, ok := s.registry.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+		writeError(w, api.CodeNotFound, "unknown graph %q", name)
 		return nil, false
 	}
 	return e, true
@@ -246,8 +144,8 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Name == "" {
-		writeError(w, http.StatusBadRequest, "name is required")
+	if err := api.ValidateGraphName(req.Name); err != nil {
+		writeError(w, api.CodeInvalidName, "%v", err)
 		return
 	}
 	sources := 0
@@ -257,7 +155,7 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if sources != 1 {
-		writeError(w, http.StatusBadRequest, "exactly one of edge_list, path and snapshot must be set")
+		writeError(w, api.CodeBadRequest, "exactly one of edge_list, path and snapshot must be set")
 		return
 	}
 	if req.Snapshot != "" {
@@ -265,9 +163,9 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// The duplicate-name check lives inside the registry lock;
 			// report it as the same conflict the other sources return.
-			code := http.StatusBadRequest
+			code := api.CodeBadRequest
 			if errors.Is(err, ErrAlreadyRegistered) {
-				code = http.StatusConflict
+				code = api.CodeConflict
 			}
 			writeError(w, code, "importing snapshot: %v", err)
 			return
@@ -281,7 +179,7 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 			s.registry.Remove(req.Name)
 			s.cache.EvictGraph(e)
 			s.monitors.DropGraph(req.Name)
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeError(w, api.CodeUnavailable, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, e.info())
@@ -308,17 +206,17 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "loading graph: %v", err)
+		writeError(w, api.CodeBadRequest, "loading graph: %v", err)
 		return
 	}
 	e, err := s.registry.Register(req.Name, g)
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, api.CodeConflict, "%v", err)
 		return
 	}
 	if err := s.durableAck(req.Name); err != nil {
 		s.registry.Remove(req.Name)
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, api.CodeUnavailable, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, e.info())
@@ -348,7 +246,10 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 // handleDeleteGraph implements DELETE /v1/graphs/{name}. Cached
 // vicinity indexes of the graph are evicted with it.
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
+	name, ok := graphName(w, r)
+	if !ok {
+		return
+	}
 	if cur, ok := s.registry.Get(name); ok {
 		// Log the drop before removing anything: a crash right after
 		// the registry removal must not let this generation's WAL
@@ -356,13 +257,13 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		// name. A spurious drop record (the Get/Remove race losing to
 		// another DELETE) is harmless — replay only skips records.
 		if err := s.walAppend(&wal.Record{Kind: wal.KindDrop, Graph: name, Epoch: cur.Epoch()}); err != nil {
-			writeError(w, http.StatusServiceUnavailable, "durability unavailable: wal append: %v", err)
+			writeError(w, api.CodeUnavailable, "durability unavailable: wal append: %v", err)
 			return
 		}
 	}
-	e, ok := s.registry.Remove(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown graph %q", name)
+	e, removed := s.registry.Remove(name)
+	if !removed {
+		writeError(w, api.CodeNotFound, "unknown graph %q", name)
 		return
 	}
 	s.cache.EvictGraph(e)
@@ -382,16 +283,16 @@ func (s *Server) handleRegisterEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Events) == 0 && len(req.Remove) == 0 {
-		writeError(w, http.StatusBadRequest, "events or remove must be non-empty")
+		writeError(w, api.CodeBadRequest, "events or remove must be non-empty")
 		return
 	}
 	if err := s.applyEvents(e, req.Events, req.Remove, true); err != nil {
-		code := http.StatusBadRequest
+		code := api.CodeBadRequest
 		switch {
 		case errors.Is(err, errDurability):
-			code = http.StatusServiceUnavailable
+			code = api.CodeUnavailable
 		case strings.HasPrefix(err.Error(), "unknown event"):
-			code = http.StatusNotFound
+			code = api.CodeNotFound
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -409,9 +310,9 @@ func (s *Server) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
 	}
 	event := r.PathValue("event")
 	if err := s.applyEvents(e, nil, map[string][]int{event: nil}, true); err != nil {
-		code := http.StatusNotFound
+		code := api.CodeNotFound
 		if errors.Is(err, errDurability) {
-			code = http.StatusServiceUnavailable
+			code = api.CodeUnavailable
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -436,7 +337,7 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Insert) == 0 && len(req.Delete) == 0 {
-		writeError(w, http.StatusBadRequest, "insert or delete must be non-empty")
+		writeError(w, api.CodeBadRequest, "insert or delete must be non-empty")
 		return
 	}
 	changes := make([]tesc.EdgeChange, 0, len(req.Insert)+len(req.Delete))
@@ -449,9 +350,9 @@ func (s *Server) handleMutateEdges(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.applyEdges(e, changes, true)
 	if err != nil {
-		code := http.StatusBadRequest
+		code := api.CodeBadRequest
 		if errors.Is(err, errDurability) {
-			code = http.StatusServiceUnavailable
+			code = api.CodeUnavailable
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -489,12 +390,12 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.persist == nil {
-		writeError(w, http.StatusServiceUnavailable, "no data directory configured (start tescd with -data)")
+		writeError(w, api.CodeUnavailable, "no data directory configured (start tescd with -data)")
 		return
 	}
 	info, err := s.Checkpoint(e.Name())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		writeError(w, api.CodeInternal, "checkpoint: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -517,17 +418,17 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.H < 1 {
-		writeError(w, http.StatusBadRequest, "h must be >= 1")
+		writeError(w, api.CodeBadRequest, "h must be >= 1")
 		return
 	}
 	method, err := parseMethod(req.Method)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.CodeBadRequest, "%v", err)
 		return
 	}
 	tail, err := parseTail(req.Tail)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.CodeBadRequest, "%v", err)
 		return
 	}
 	// Bind the whole query to one snapshot: occurrences, graph and
@@ -570,7 +471,7 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runCorrelate(r *http.Request, e *GraphEntry, snap Snapshot, req *correlateRequest, method tesc.Method, tail tesc.Tail, c *flightCall) {
 	va, vb, code, err := resolveEventPair(snap, req)
 	if err != nil {
-		c.code, c.errMsg = code, err.Error()
+		c.errCode, c.errMsg = code, err.Error()
 		return
 	}
 	opts := tesc.Options{
@@ -587,7 +488,7 @@ func (s *Server) runCorrelate(r *http.Request, e *GraphEntry, snap Snapshot, req
 	if method == tesc.Importance || method == tesc.Rejection {
 		idx, err := s.cache.Get(e, snap, req.H, s.indexWorkers)
 		if err != nil {
-			c.code, c.errMsg = http.StatusInternalServerError, fmt.Sprintf("building vicinity index: %v", err)
+			c.errCode, c.errMsg = api.CodeInternal, fmt.Sprintf("building vicinity index: %v", err)
 			return
 		}
 		opts.Index = idx
@@ -601,19 +502,18 @@ func (s *Server) runCorrelate(r *http.Request, e *GraphEntry, snap Snapshot, req
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			c.code, c.errMsg, c.ctxFail = http.StatusGatewayTimeout, err.Error(), true
+			c.errCode, c.errMsg, c.ctxFail = api.CodeTimeout, err.Error(), true
 		case errors.Is(err, context.Canceled):
 			// 499 is the de-facto "client closed request" status; the
 			// write is a no-op on the closed connection, but the code
 			// keeps the outcome honest in logs and tests.
-			c.code, c.errMsg, c.ctxFail = 499, err.Error(), true
+			c.errCode, c.errMsg, c.ctxFail = api.CodeClientClosed, err.Error(), true
 		default:
-			c.code, c.errMsg = http.StatusUnprocessableEntity, err.Error()
+			c.errCode, c.errMsg = api.CodeUnprocessable, err.Error()
 		}
 		return
 	}
 	s.bfsRuns.Add(res.DensityBFS)
-	c.code = http.StatusOK
 	c.resp = correlateResponse{
 		Tau:         res.Tau,
 		Z:           res.Z,
@@ -634,14 +534,14 @@ func (s *Server) runCorrelate(r *http.Request, e *GraphEntry, snap Snapshot, req
 // Coalesced followers share the leader's response verbatim (including
 // ElapsedMS — the computation's cost, paid once).
 func (s *Server) writeCorrelateOutcome(w http.ResponseWriter, c *flightCall) {
-	switch c.code {
-	case http.StatusOK:
+	switch c.errCode {
+	case "":
 		writeJSON(w, http.StatusOK, c.resp)
-	case http.StatusGatewayTimeout:
+	case api.CodeTimeout:
 		s.adm.timeouts.Add(1)
-		writeRetryable(w, http.StatusGatewayTimeout, time.Second, reasonTimeout, "%s", c.errMsg)
+		writeRetryable(w, time.Second, api.CodeTimeout, "%s", c.errMsg)
 	default:
-		writeError(w, c.code, "%s", c.errMsg)
+		writeError(w, c.errCode, "%s", c.errMsg)
 	}
 }
 
@@ -651,11 +551,11 @@ func (s *Server) writeCorrelateOutcome(w http.ResponseWriter, c *flightCall) {
 func (s *Server) writeCtxOutcome(w http.ResponseWriter, r *http.Request) {
 	if errors.Is(context.Cause(r.Context()), context.DeadlineExceeded) {
 		s.adm.timeouts.Add(1)
-		writeRetryable(w, http.StatusGatewayTimeout, time.Second, reasonTimeout,
+		writeRetryable(w, time.Second, api.CodeTimeout,
 			"request deadline exceeded while waiting for a coalesced result")
 		return
 	}
-	writeError(w, 499, "client closed request")
+	writeError(w, api.CodeClientClosed, "client closed request")
 }
 
 // freshEnough enforces a request's min_epoch floor: a graph still
@@ -669,38 +569,38 @@ func (s *Server) freshEnough(w http.ResponseWriter, name string, epoch, minEpoch
 	if minEpoch == 0 || epoch >= minEpoch {
 		return true
 	}
-	writeRetryable(w, http.StatusServiceUnavailable, time.Second, reasonStaleEpoch,
+	writeRetryable(w, time.Second, api.CodeStaleEpoch,
 		"%v: graph %q is at epoch %d, request needs %d", screen.ErrStaleEpoch, name, epoch, minEpoch)
 	return false
 }
 
 // resolveEventPair turns a correlate request into two occurrence
 // lists, from events registered in the snapshot or inline node lists.
-// The returned code distinguishes malformed requests (400) from
-// unknown events (404).
-func resolveEventPair(snap Snapshot, req *correlateRequest) (va, vb []int, code int, err error) {
+// The returned code distinguishes malformed requests (bad_request)
+// from unknown events (not_found).
+func resolveEventPair(snap Snapshot, req *correlateRequest) (va, vb []int, code api.ErrorCode, err error) {
 	switch {
 	case req.A != "" && req.NodesA != nil:
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("set either a or nodes_a, not both")
+		return nil, nil, api.CodeBadRequest, fmt.Errorf("set either a or nodes_a, not both")
 	case req.B != "" && req.NodesB != nil:
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("set either b or nodes_b, not both")
+		return nil, nil, api.CodeBadRequest, fmt.Errorf("set either b or nodes_b, not both")
 	}
 	va = req.NodesA
 	if req.A != "" {
 		if va, err = storeOccurrences(snap.Store, req.A); err != nil {
-			return nil, nil, http.StatusNotFound, err
+			return nil, nil, api.CodeNotFound, err
 		}
 	}
 	vb = req.NodesB
 	if req.B != "" {
 		if vb, err = storeOccurrences(snap.Store, req.B); err != nil {
-			return nil, nil, http.StatusNotFound, err
+			return nil, nil, api.CodeNotFound, err
 		}
 	}
 	if va == nil || vb == nil {
-		return nil, nil, http.StatusBadRequest, fmt.Errorf("both events must be given (a/nodes_a and b/nodes_b)")
+		return nil, nil, api.CodeBadRequest, fmt.Errorf("both events must be given (a/nodes_a and b/nodes_b)")
 	}
-	return va, vb, 0, nil
+	return va, vb, "", nil
 }
 
 // handleScreen implements POST /v1/graphs/{name}/screen: an
@@ -716,33 +616,33 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.H < 1 {
-		writeError(w, http.StatusBadRequest, "h must be >= 1")
+		writeError(w, api.CodeBadRequest, "h must be >= 1")
 		return
 	}
 	tail, err := parseTail(req.Tail)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.CodeBadRequest, "%v", err)
 		return
 	}
 	if req.TopK < 0 {
-		writeError(w, http.StatusBadRequest, "top_k must be >= 0")
+		writeError(w, api.CodeBadRequest, "top_k must be >= 0")
 		return
 	}
 	planned := req.TopK > 0 || req.Theta != nil
 	if req.TopK > 0 && req.Theta != nil {
-		writeError(w, http.StatusBadRequest, "top_k and theta are mutually exclusive")
+		writeError(w, api.CodeBadRequest, "top_k and theta are mutually exclusive")
 		return
 	}
 	if req.Theta != nil && (*req.Theta < -1 || *req.Theta > 1) {
-		writeError(w, http.StatusBadRequest, "theta must lie in [-1, 1]")
+		writeError(w, api.CodeBadRequest, "theta must lie in [-1, 1]")
 		return
 	}
 	if planned && req.Bonferroni {
-		writeError(w, http.StatusBadRequest, "bonferroni requires the exhaustive sweep: a planned screen reports raw p-values")
+		writeError(w, api.CodeBadRequest, "bonferroni requires the exhaustive sweep: a planned screen reports raw p-values")
 		return
 	}
 	if !planned && req.BoundAlpha != 0 {
-		writeError(w, http.StatusBadRequest, "bound_alpha applies only to planned screens (set top_k or theta)")
+		writeError(w, api.CodeBadRequest, "bound_alpha applies only to planned screens (set top_k or theta)")
 		return
 	}
 	// One snapshot for the whole sweep: a long screening job keeps its
@@ -753,7 +653,7 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	}
 	ev := eventSetOf(snap.Store)
 	if len(ev) < 2 {
-		writeError(w, http.StatusUnprocessableEntity, "screening needs at least 2 registered events, have %d", len(ev))
+		writeError(w, api.CodeUnprocessable, "screening needs at least 2 registered events, have %d", len(ev))
 		return
 	}
 	g := snap.Graph
@@ -775,7 +675,7 @@ func (s *Server) handleScreen(w http.ResponseWriter, r *http.Request) {
 	// the job is shed with a typed 503 before any work is spent.
 	release, ok := s.adm.acquireJobSlot()
 	if !ok {
-		writeRetryable(w, http.StatusServiceUnavailable, 2*time.Second, reasonOverloadBG,
+		writeRetryable(w, 2*time.Second, api.CodeOverloadedBG,
 			"background capacity exhausted (%d screen/monitor tasks in flight)", s.adm.bg.inflight())
 		return
 	}
@@ -826,7 +726,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		writeError(w, api.CodeNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Snapshot())
@@ -842,7 +742,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		writeError(w, api.CodeNotFound, "unknown job %q", id)
 		return
 	}
 	j.cancel()
@@ -858,45 +758,45 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			walFsyncs = lg.Fsyncs()
 		}
 	}
-	health := map[string]any{
-		"status":                 "ok",
-		"graphs":                 len(s.registry.Names()),
-		"indexes":                s.cache.Len(),
-		"index_built":            s.cache.Builds(),
-		"index_refreshed":        s.cache.Refreshes(),
-		"index_nodes_recomputed": s.cache.NodesRecomputed(),
-		"snapshot_saved":         s.snapSaved.Load(),
-		"snapshot_loaded":        s.snapLoaded.Load(),
-		"bfs_runs":               s.bfsRuns.Load(),
-		"density_memo_hits":      s.memoHits.Load(),
-		"screens_planned":        s.screensPlanned.Load(),
-		"screen_pairs_pruned":    s.pairsPruned.Load(),
-		"monitors_active":        s.monitors.Active(),
-		"monitor_reruns":         s.monitors.Reruns(),
-		"monitor_nodes_reused":   s.monitors.NodesReused(),
-		"wal_appends":            walAppends,
-		"wal_fsyncs":             walFsyncs,
-		"wal_replayed":           s.walReplayed.Load(),
-		"recovery_epoch":         s.recoveryEpoch.Load(),
-		"records_shipped":        s.recordsShipped.Load(),
-		// slo is the overload-protection section: per-class latency
+	health := api.Health{
+		Status:               "ok",
+		Graphs:               len(s.registry.Names()),
+		Indexes:              s.cache.Len(),
+		IndexBuilt:           s.cache.Builds(),
+		IndexRefreshed:       s.cache.Refreshes(),
+		IndexNodesRecomputed: s.cache.NodesRecomputed(),
+		SnapshotSaved:        s.snapSaved.Load(),
+		SnapshotLoaded:       s.snapLoaded.Load(),
+		BFSRuns:              s.bfsRuns.Load(),
+		DensityMemoHits:      s.memoHits.Load(),
+		ScreensPlanned:       s.screensPlanned.Load(),
+		ScreenPairsPruned:    s.pairsPruned.Load(),
+		MonitorsActive:       s.monitors.Active(),
+		MonitorReruns:        s.monitors.Reruns(),
+		MonitorNodesReused:   s.monitors.NodesReused(),
+		WALAppends:           walAppends,
+		WALFsyncs:            walFsyncs,
+		WALReplayed:          s.walReplayed.Load(),
+		RecoveryEpoch:        s.recoveryEpoch.Load(),
+		RecordsShipped:       s.recordsShipped.Load(),
+		// SLO is the overload-protection section: per-class latency
 		// quantiles (upper bucket bounds, ms) plus shed/quota/timeout/
 		// coalesce accounting — the live view the bench gate holds tail
 		// latency against. See docs/OVERLOAD.md.
-		"slo": s.adm.sloView(),
-	}
-	if s.readOnly {
-		health["read_only"] = true
+		SLO:      s.adm.sloView(),
+		ReadOnly: s.readOnly.Load(),
 	}
 	if f := s.follower; f != nil {
 		m := f.Metrics()
-		health["replica_lag_epochs"] = m.LagEpochs
-		health["records_applied"] = m.RecordsApplied
-		health["records_skipped"] = m.RecordsSkipped
-		health["replica_pulls"] = m.Pulls
-		health["replica_bootstraps"] = m.Bootstraps
-		health["replica_discards"] = m.Discards
-		health["replica_faults"] = m.Faults
+		health.ReplicaHealth = &api.ReplicaHealth{
+			ReplicaLagEpochs:  m.LagEpochs,
+			RecordsApplied:    m.RecordsApplied,
+			RecordsSkipped:    m.RecordsSkipped,
+			ReplicaPulls:      m.Pulls,
+			ReplicaBootstraps: m.Bootstraps,
+			ReplicaDiscards:   m.Discards,
+			ReplicaFaults:     m.Faults,
+		}
 	}
 	writeJSON(w, http.StatusOK, health)
 }

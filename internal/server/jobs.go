@@ -8,20 +8,18 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
 )
 
-// JobStatus is the lifecycle state of an asynchronous screening job.
-type JobStatus string
+// JobStatus and its states live in the public api package; the aliases
+// keep this file and the handler layer reading naturally.
+type JobStatus = api.JobStatus
 
 const (
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
-	// JobCancelled marks a job abandoned before completion — by a
-	// client's DELETE, a propagated deadline, or server drain. Planned
-	// jobs keep their partial ranking (the pairs fully evaluated before
-	// the cancel) visible in the view.
-	JobCancelled JobStatus = "cancelled"
+	JobRunning   = api.JobRunning
+	JobDone      = api.JobDone
+	JobFailed    = api.JobFailed
+	JobCancelled = api.JobCancelled
 )
 
 // Job is one asynchronous screening run. Screening sweeps test O(|Q|²)
@@ -52,43 +50,12 @@ type Job struct {
 	finished time.Time
 }
 
-// ScreenedPairView is one screened pair, shaped for JSON.
-type ScreenedPairView struct {
-	A           string  `json:"a"`
-	B           string  `json:"b"`
-	OccA        int     `json:"occ_a"`
-	OccB        int     `json:"occ_b"`
-	Tau         float64 `json:"tau"`
-	Z           float64 `json:"z"`
-	P           float64 `json:"p"`
-	AdjP        float64 `json:"adj_p"`
-	Significant bool    `json:"significant"`
-	Skipped     string  `json:"skipped,omitempty"`
-}
-
-// PlannerStatsView is the planned screen's work accounting, shaped for
-// JSON. FullTests versus Candidates is the sweep work the planner
-// saved: the exhaustive sweep pays a full test per candidate.
-type PlannerStatsView struct {
-	Candidates   int   `json:"candidates"`
-	FullTests    int   `json:"full_tests"`
-	PrunedEarly  int   `json:"pruned_early"`
-	PrunedPrior  int   `json:"pruned_prior"`
-	Checkpoints  int   `json:"checkpoints"`
-	DensityEvals int64 `json:"density_evals"`
-}
-
-// ScreenResultView is a completed screening run, shaped for JSON.
-// Planner is set only for planned (top-k / threshold) jobs.
-type ScreenResultView struct {
-	Pairs    []ScreenedPairView `json:"pairs"`
-	Tested   int                `json:"tested"`
-	Skipped  int                `json:"skipped"`
-	Rejected int                `json:"rejected"`
-	BFSRuns  int64              `json:"bfs_runs"`
-	MemoHits int64              `json:"density_memo_hits"`
-	Planner  *PlannerStatsView  `json:"planner,omitempty"`
-}
+// The screening wire shapes live in the public api package.
+type (
+	ScreenedPairView = api.ScreenedPair
+	PlannerStatsView = api.PlannerStats
+	ScreenResultView = api.ScreenResult
+)
 
 func screenedPairViews(pairs []tesc.ScreenedPair) []ScreenedPairView {
 	out := make([]ScreenedPairView, len(pairs))
@@ -147,22 +114,11 @@ func plannedResultView(r *tesc.ScreenTopKResult) *ScreenResultView {
 	}
 }
 
-// JobView is an immutable snapshot of a job, shaped for JSON. Partial
-// is the planner's current ranked result set, visible only while a
-// planned job is still running: pollers watch the ranking converge
-// instead of staring at a counter.
-type JobView struct {
-	ID       string             `json:"id"`
-	Graph    string             `json:"graph"`
-	Status   JobStatus          `json:"status"`
-	Done     int                `json:"done"`
-	Total    int                `json:"total"`
-	Error    string             `json:"error,omitempty"`
-	Partial  []ScreenedPairView `json:"partial,omitempty"`
-	Result   *ScreenResultView  `json:"result,omitempty"`
-	Created  time.Time          `json:"created"`
-	Finished *time.Time         `json:"finished,omitempty"`
-}
+// JobView is an immutable snapshot of a job — api.JobView on the wire.
+// Partial is the planner's current ranked result set, visible only
+// while a planned job is still running: pollers watch the ranking
+// converge instead of staring at a counter.
+type JobView = api.JobView
 
 // Snapshot returns a consistent view of the job.
 func (j *Job) Snapshot() JobView {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
 )
 
 // waitStatus polls until the job reaches the wanted status, failing
@@ -198,7 +199,7 @@ func TestCancelJobEndpoint(t *testing.T) {
 	var buf bytes.Buffer
 	buf.ReadFrom(res.Body)
 	var e errorResponse
-	if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e.Error == "" {
-		t.Fatalf("404 body %q is not the error shape", buf.String())
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e.Code != api.CodeNotFound || e.Reason == "" {
+		t.Fatalf("404 body %q is not the error envelope", buf.String())
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
 	"tesc/internal/events"
 	"tesc/internal/graph"
 	"tesc/internal/monitor"
@@ -15,91 +16,15 @@ import (
 
 // ---- wire types -----------------------------------------------------
 
-type createMonitorRequest struct {
-	// ID optionally names the monitor; the server generates one when
-	// empty.
-	ID string `json:"id,omitempty"`
-	// A and B name the monitored (registered) event pair. Leave both
-	// empty and set top_k instead to register a watchlist: a standing
-	// top-k screen over the graph's whole event vocabulary, re-ranked
-	// incrementally as mutations land.
-	A string `json:"a,omitempty"`
-	B string `json:"b,omitempty"`
-	// TopK > 0 selects watchlist mode (mutually exclusive with a/b).
-	TopK int `json:"top_k,omitempty"`
-	// MinOccurrences filters watchlist candidates (default 1); fixed
-	// pairs must leave it unset.
-	MinOccurrences int `json:"min_occurrences,omitempty"`
-	// The test parameters mirror the correlate request.
-	H          int     `json:"h"`
-	SampleSize int     `json:"sample_size,omitempty"`
-	Alpha      float64 `json:"alpha,omitempty"`
-	Tail       string  `json:"tail,omitempty"`
-	Seed       uint64  `json:"seed,omitempty"`
-	// Policy selects re-evaluation: "auto" (default; debounced
-	// re-screens as deltas land) or "manual" (accumulate invalidations,
-	// re-screen only on POST .../refresh).
-	Policy string `json:"policy,omitempty"`
-	// DebounceMS is the auto-mode coalescing window in milliseconds
-	// (default 250): a burst of B mutation batches inside the window
-	// triggers one re-screen, not B.
-	DebounceMS int `json:"debounce_ms,omitempty"`
-	// History bounds the per-monitor result ring (default 64).
-	History int `json:"history,omitempty"`
-}
-
-// rankedPairView is one entry of a watchlist sample's ranked list.
-type rankedPairView struct {
-	A           string  `json:"a"`
-	B           string  `json:"b"`
-	Tau         float64 `json:"tau"`
-	Z           float64 `json:"z"`
-	P           float64 `json:"p"`
-	Significant bool    `json:"significant"`
-}
-
-type monitorSampleView struct {
-	Epoch       uint64    `json:"epoch"`
-	At          time.Time `json:"at"`
-	Batches     int       `json:"batches"`
-	Tau         float64   `json:"tau"`
-	Z           float64   `json:"z"`
-	P           float64   `json:"p"`
-	Significant bool      `json:"significant"`
-	Skipped     string    `json:"skipped,omitempty"`
-	// Top is a watchlist sample's ranked list; the head fields above
-	// mirror its first entry.
-	Top        []rankedPairView `json:"top,omitempty"`
-	Reused     int64            `json:"nodes_reused"`
-	Recomputed int64            `json:"nodes_recomputed"`
-	ElapsedMS  float64          `json:"elapsed_ms"`
-}
-
-type monitorView struct {
-	ID    string `json:"id"`
-	Graph string `json:"graph"`
-	A     string `json:"a,omitempty"`
-	B     string `json:"b,omitempty"`
-	// TopK and MinOccurrences are set on watchlists only.
-	TopK           int     `json:"top_k,omitempty"`
-	MinOccurrences int     `json:"min_occurrences,omitempty"`
-	H              int     `json:"h"`
-	SampleSize     int     `json:"sample_size"`
-	Alpha          float64 `json:"alpha"`
-	Tail           string  `json:"tail"`
-	Seed           uint64  `json:"seed"`
-	Policy         string  `json:"policy"`
-	DebounceMS     int64   `json:"debounce_ms"`
-	HistoryCap     int     `json:"history_cap"`
-	Pending        int     `json:"pending_batches"`
-	// Last is the most recent (re-)screen, when one exists.
-	Last *monitorSampleView `json:"last,omitempty"`
-}
-
-type monitorDetailView struct {
-	monitorView
-	History []monitorSampleView `json:"history"`
-}
+// The monitor wire shapes live in the public api package; the aliases
+// keep this file's conversion helpers reading naturally.
+type (
+	createMonitorRequest = api.CreateMonitorRequest
+	rankedPairView       = api.RankedPair
+	monitorSampleView    = api.MonitorSample
+	monitorView          = api.MonitorView
+	monitorDetailView    = api.MonitorDetail
+)
 
 func sampleView(s monitor.Sample) monitorSampleView {
 	v := monitorSampleView{
@@ -231,18 +156,18 @@ func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
 	}
 	alt, err := parseTailAlt(req.Tail)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.CodeBadRequest, "%v", err)
 		return
 	}
 	mode, err := monitor.ParseMode(req.Policy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, api.CodeBadRequest, "%v", err)
 		return
 	}
 	snap := e.Snapshot()
 	for _, name := range []string{req.A, req.B} {
 		if name != "" && !snap.Store.Has(name) {
-			writeError(w, http.StatusNotFound, "unknown event %q", name)
+			writeError(w, api.CodeNotFound, "unknown event %q", name)
 			return
 		}
 	}
@@ -263,9 +188,9 @@ func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.monitors.Create(e.Name(), def, entrySnapshotFunc(e))
 	if err != nil {
-		code := http.StatusBadRequest
+		code := api.CodeBadRequest
 		if strings.Contains(err.Error(), "already registered") {
-			code = http.StatusConflict
+			code = api.CodeConflict
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -277,7 +202,7 @@ func (s *Server) handleCreateMonitor(w http.ResponseWriter, r *http.Request) {
 	// survive a crash.
 	if err := s.durableAck(e.Name()); err != nil {
 		s.monitors.Delete(e.Name(), m.Def().ID)
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, api.CodeUnavailable, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.monitorInfo(m))
@@ -306,7 +231,7 @@ func (s *Server) monitorByPath(w http.ResponseWriter, r *http.Request) (*monitor
 	id := r.PathValue("id")
 	m, ok := s.monitors.Get(e.Name(), id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "graph %q has no monitor %q", e.Name(), id)
+		writeError(w, api.CodeNotFound, "graph %q has no monitor %q", e.Name(), id)
 		return nil, nil, false
 	}
 	return m, e, true
@@ -320,7 +245,7 @@ func (s *Server) handleGetMonitor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hist := m.History()
-	detail := monitorDetailView{monitorView: s.monitorInfo(m), History: make([]monitorSampleView, len(hist))}
+	detail := monitorDetailView{MonitorView: s.monitorInfo(m), History: make([]monitorSampleView, len(hist))}
 	for i, smp := range hist {
 		detail.History[i] = sampleView(smp)
 	}
@@ -339,7 +264,7 @@ func (s *Server) handleDeleteMonitor(w http.ResponseWriter, r *http.Request) {
 	// it at the next boot is the snapshot's job, not the client's), so
 	// only the durability failure is surfaced.
 	if err := s.durableAck(e.Name()); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, api.CodeUnavailable, "%v", err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -360,14 +285,11 @@ func (s *Server) handleRefreshMonitor(w http.ResponseWriter, r *http.Request) {
 	force := r.URL.Query().Get("force") == "1" || r.URL.Query().Get("force") == "true"
 	_, ran, err := m.Refresh(force)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, api.CodeUnprocessable, "%v", err)
 		return
 	}
 	if ran {
 		s.markDirty(e.Name())
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Ran bool `json:"ran"`
-		monitorView
-	}{Ran: ran, monitorView: s.monitorInfo(m)})
+	writeJSON(w, http.StatusOK, api.MonitorRefreshResponse{Ran: ran, MonitorView: s.monitorInfo(m)})
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tesc"
+	"tesc/api"
 )
 
 // newOverloadEnv is newTestEnv with an explicit server config: the
@@ -74,21 +75,21 @@ func rawPost(env *testEnv, path string, body any, tenant string) (int, http.Head
 }
 
 // checkTyped asserts a backpressure response carries Retry-After and
-// the unified body with one of the allowed reasons.
-func checkTyped(code int, hdr http.Header, body []byte, reasons ...string) error {
+// the unified envelope with one of the allowed codes.
+func checkTyped(code int, hdr http.Header, body []byte, codes ...api.ErrorCode) error {
 	if hdr.Get("Retry-After") == "" {
 		return fmt.Errorf("%d response without Retry-After (body %s)", code, body)
 	}
-	var r retryableResponse
+	var r api.Error
 	if err := json.Unmarshal(body, &r); err != nil {
 		return fmt.Errorf("%d body %q is not the unified shape: %v", code, body, err)
 	}
-	for _, want := range reasons {
-		if r.Reason == want {
+	for _, want := range codes {
+		if r.Code == want {
 			return nil
 		}
 	}
-	return fmt.Errorf("%d reason %q, want one of %v", code, r.Reason, reasons)
+	return fmt.Errorf("%d code %q, want one of %v", code, r.Code, codes)
 }
 
 func p99(lats []time.Duration) time.Duration {
@@ -166,7 +167,7 @@ func TestOverloadFloodShedsTypedAndBoundsForeground(t *testing.T) {
 					accepted = append(accepted, lat)
 				case code == http.StatusServiceUnavailable:
 					shed++
-					if terr := checkTyped(code, hdr, body, reasonOverloadFG); terr != nil {
+					if terr := checkTyped(code, hdr, body, api.CodeOverloadedFG); terr != nil {
 						failures = append(failures, terr)
 					}
 				default:
@@ -189,7 +190,7 @@ func TestOverloadFloodShedsTypedAndBoundsForeground(t *testing.T) {
 				failures = append(failures, err)
 			case code == http.StatusAccepted:
 			case code == http.StatusServiceUnavailable:
-				if terr := checkTyped(code, hdr, body, reasonOverloadBG); terr != nil {
+				if terr := checkTyped(code, hdr, body, api.CodeOverloadedBG); terr != nil {
 					failures = append(failures, terr)
 				}
 			default:
@@ -288,7 +289,7 @@ func TestHogTenantIsolation(t *testing.T) {
 		case http.StatusOK:
 		case http.StatusTooManyRequests:
 			quota++
-			if err := checkTyped(code, hdr, body, reasonTenantQuota); err != nil {
+			if err := checkTyped(code, hdr, body, api.CodeTenantQuota); err != nil {
 				t.Fatal(err)
 			}
 		default:
@@ -347,7 +348,7 @@ func TestDrainFlushesAndRecovers(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("correlate during drain = %d, want 503", code)
 	}
-	if err := checkTyped(code, hdr, body, reasonDraining); err != nil {
+	if err := checkTyped(code, hdr, body, api.CodeDraining); err != nil {
 		t.Fatal(err)
 	}
 

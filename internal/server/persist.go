@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"tesc/api"
 	"tesc/internal/snapshot"
 	"tesc/internal/vicinity"
 	"tesc/internal/wal"
@@ -266,16 +267,7 @@ func (s *Server) FlushSnapshots() {
 
 // checkpointInfo describes one written snapshot, both the
 // POST /v1/graphs/{name}/snapshot response and the tescd log line.
-type checkpointInfo struct {
-	Graph        string `json:"graph"`
-	Path         string `json:"path"`
-	Bytes        int64  `json:"bytes"`
-	Epoch        uint64 `json:"epoch"`
-	GraphVersion uint64 `json:"graph_version"`
-	Events       int    `json:"events"`
-	IndexLevels  []int  `json:"index_levels"`
-	Monitors     int    `json:"monitors"`
-}
+type checkpointInfo = api.CheckpointInfo
 
 // Checkpoint writes the named graph's current snapshot — graph, event
 // store, and the cached vicinity indexes at the current graph version

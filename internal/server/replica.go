@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	"tesc"
+	"tesc/api"
 	"tesc/internal/replica"
 	"tesc/internal/snapshot"
 	"tesc/internal/wal"
@@ -132,10 +133,22 @@ func (rs ReplicaSource) Pull(cur wal.ShipCursor, maxBytes int) (wal.ShipBatch, e
 func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := s.replicaStatus()
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, api.CodeUnavailable, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	out := api.ReplicaStatus{
+		Oldest: api.LogCursor{Seg: st.Oldest.Seg, Off: st.Oldest.Off},
+		End:    api.LogCursor{Seg: st.End.Seg, Off: st.End.Off},
+	}
+	for _, g := range st.Graphs {
+		out.Graphs = append(out.Graphs, api.ReplicaGraphStatus{
+			Name:         g.Name,
+			Epoch:        g.Epoch,
+			GraphVersion: g.GraphVersion,
+			Monitors:     g.Monitors,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleReplicaSnapshot implements
@@ -145,9 +158,9 @@ func (s *Server) handleReplicaSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	part, err := s.replicaSnapshotPart(name)
 	if err != nil {
-		code := http.StatusServiceUnavailable
+		code := api.CodeUnavailable
 		if errors.Is(err, replica.ErrUnknownGraph) {
-			code = http.StatusNotFound
+			code = api.CodeNotFound
 		}
 		writeError(w, code, "%v", err)
 		return
@@ -167,19 +180,19 @@ func (s *Server) handleReplicaWAL(w http.ResponseWriter, r *http.Request) {
 	seg, err1 := strconv.ParseUint(q.Get("seg"), 10, 64)
 	off, err2 := strconv.ParseInt(q.Get("off"), 10, 64)
 	if err1 != nil || err2 != nil {
-		writeError(w, http.StatusBadRequest, "seg and off query parameters are required integers")
+		writeError(w, api.CodeBadRequest, "seg and off query parameters are required integers")
 		return
 	}
 	maxBytes := 1 << 20
 	if v := q.Get("max"); v != "" {
 		if maxBytes, err1 = strconv.Atoi(v); err1 != nil || maxBytes <= 0 {
-			writeError(w, http.StatusBadRequest, "max must be a positive integer")
+			writeError(w, api.CodeBadRequest, "max must be a positive integer")
 			return
 		}
 	}
 	batch, err := s.replicaPull(wal.ShipCursor{Seg: seg, Off: off}, maxBytes)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, api.CodeUnavailable, "%v", err)
 		return
 	}
 	h := w.Header()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tesc/api"
 	"tesc/internal/monitor"
 	"tesc/internal/replica"
 	"tesc/internal/wal"
@@ -110,12 +111,17 @@ type Server struct {
 	pairsPruned    atomic.Int64
 
 	// readOnly gates the client-facing mutation endpoints on a replica;
-	// recordsShipped counts WAL records served to followers; follower,
-	// set by AttachFollower before serving, surfaces replication lag
-	// and apply counters in healthz.
-	readOnly       bool
+	// atomic because Promote flips it at runtime (cluster handoff) while
+	// requests are in flight. recordsShipped counts WAL records served
+	// to followers; follower, set by AttachFollower before serving,
+	// surfaces replication lag and apply counters in healthz.
+	readOnly       atomic.Bool
 	recordsShipped atomic.Int64
 	follower       *replica.Follower
+
+	// routes records every registered mux pattern ("METHOD /path") — the
+	// OpenAPI drift gate asserts it matches api.Routes exactly.
+	routes []string
 }
 
 // New assembles a server from the config.
@@ -167,7 +173,7 @@ func New(cfg Config) *Server {
 			durable:     make(map[string]uint64),
 		}
 	}
-	s.readOnly = cfg.ReadOnly
+	s.readOnly.Store(cfg.ReadOnly)
 	// Mutation endpoints go through the read-only gate; on a replica
 	// they 403 so every state change arrives via replication, keeping
 	// follower state bit-for-bit derivable from the primary's log.
@@ -179,41 +185,67 @@ func New(cfg Config) *Server {
 	// healthz and the replica protocol stay ungated: operators must be
 	// able to observe an overloaded server, and followers must keep
 	// streaming so shedding never grows replication lag.
-	s.mux.HandleFunc("POST /v1/graphs", s.admit(classForeground, s.mutating(s.handleRegisterGraph)))
-	s.mux.HandleFunc("GET /v1/graphs", s.admit(classForeground, s.handleListGraphs))
-	s.mux.HandleFunc("GET /v1/graphs/{name}", s.admit(classForeground, s.handleGetGraph))
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.admit(classForeground, s.mutating(s.handleDeleteGraph)))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/events", s.admit(classForeground, s.mutating(s.handleRegisterEvents)))
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}/events/{event}", s.admit(classForeground, s.mutating(s.handleDeleteEvent)))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.admit(classForeground, s.mutating(s.handleMutateEdges)))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/snapshot", s.admit(classBackground, s.handleCheckpoint))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/correlate", s.admit(classForeground, s.handleCorrelate))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/screen", s.admit(classBackgroundJob, s.handleScreen))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors", s.admit(classBackground, s.mutating(s.handleCreateMonitor)))
-	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors", s.admit(classForeground, s.handleListMonitors))
-	s.mux.HandleFunc("GET /v1/graphs/{name}/monitors/{id}", s.admit(classForeground, s.handleGetMonitor))
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}/monitors/{id}", s.admit(classForeground, s.mutating(s.handleDeleteMonitor)))
-	s.mux.HandleFunc("POST /v1/graphs/{name}/monitors/{id}/refresh", s.admit(classBackground, s.handleRefreshMonitor))
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.admit(classForeground, s.handleGetJob))
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.admit(classForeground, s.handleCancelJob))
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
-	s.mux.HandleFunc("GET /v1/replica/graphs/{name}/snapshot", s.handleReplicaSnapshot)
-	s.mux.HandleFunc("GET /v1/replica/wal", s.handleReplicaWAL)
+	s.handle("POST /v1/graphs", s.admit(classForeground, s.mutating(s.handleRegisterGraph)))
+	s.handle("GET /v1/graphs", s.admit(classForeground, s.handleListGraphs))
+	s.handle("GET /v1/graphs/{name}", s.admit(classForeground, s.handleGetGraph))
+	s.handle("DELETE /v1/graphs/{name}", s.admit(classForeground, s.mutating(s.handleDeleteGraph)))
+	s.handle("POST /v1/graphs/{name}/events", s.admit(classForeground, s.mutating(s.handleRegisterEvents)))
+	s.handle("DELETE /v1/graphs/{name}/events/{event}", s.admit(classForeground, s.mutating(s.handleDeleteEvent)))
+	s.handle("POST /v1/graphs/{name}/edges", s.admit(classForeground, s.mutating(s.handleMutateEdges)))
+	s.handle("POST /v1/graphs/{name}/snapshot", s.admit(classBackground, s.handleCheckpoint))
+	s.handle("POST /v1/graphs/{name}/correlate", s.admit(classForeground, s.handleCorrelate))
+	s.handle("POST /v1/graphs/{name}/screen", s.admit(classBackgroundJob, s.handleScreen))
+	s.handle("POST /v1/graphs/{name}/monitors", s.admit(classBackground, s.mutating(s.handleCreateMonitor)))
+	s.handle("GET /v1/graphs/{name}/monitors", s.admit(classForeground, s.handleListMonitors))
+	s.handle("GET /v1/graphs/{name}/monitors/{id}", s.admit(classForeground, s.handleGetMonitor))
+	s.handle("DELETE /v1/graphs/{name}/monitors/{id}", s.admit(classForeground, s.mutating(s.handleDeleteMonitor)))
+	s.handle("POST /v1/graphs/{name}/monitors/{id}/refresh", s.admit(classBackground, s.handleRefreshMonitor))
+	s.handle("GET /v1/jobs/{id}", s.admit(classForeground, s.handleGetJob))
+	s.handle("DELETE /v1/jobs/{id}", s.admit(classForeground, s.handleCancelJob))
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("GET /v1/replica/status", s.handleReplicaStatus)
+	s.handle("GET /v1/replica/graphs/{name}/snapshot", s.handleReplicaSnapshot)
+	s.handle("GET /v1/replica/wal", s.handleReplicaWAL)
 	return s
+}
+
+// handle registers a route, recording the pattern for Routes.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns every registered mux pattern ("METHOD /path"). The
+// OpenAPI drift gate compares it against the canonical api.Routes
+// table, so a handler cannot be added off the books.
+func (s *Server) Routes() []string {
+	out := make([]string, len(s.routes))
+	copy(out, s.routes)
+	return out
 }
 
 // mutating gates a client-facing mutation handler behind the read-only
 // flag.
 func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.readOnly {
-			writeError(w, http.StatusForbidden, "read-only replica: send mutations to the primary")
+		if s.readOnly.Load() {
+			writeError(w, api.CodeReadOnly, "read-only replica: send mutations to the primary")
 			return
 		}
 		h(w, r)
 	}
 }
+
+// ReadOnly reports whether client-facing mutations are currently
+// rejected (the server is a replica).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// Promote flips a read-only replica into a writable primary — the
+// cluster handoff seam. Call it after the node's replication follower
+// has caught up and stopped: from this instant client mutations are
+// accepted and logged to the node's own WAL, so exactly one node in a
+// placement group may be promoted at a time.
+func (s *Server) Promote() { s.readOnly.Store(false) }
 
 // Monitors exposes the standing-query manager (for tests and tooling).
 func (s *Server) Monitors() *monitor.Manager { return s.monitors }
